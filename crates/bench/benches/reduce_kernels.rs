@@ -1,0 +1,42 @@
+//! Criterion benchmarks of the simulated GPU reduction kernels' value
+//! paths (Table 4's algorithms; the *timings* in Table 4 come from the
+//! calibrated cost model — this measures the simulator itself).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fpna_gpu_sim::{GpuDevice, GpuModel, KernelParams, ReduceKernel, ScheduleKind};
+
+fn bench_reduce(c: &mut Criterion) {
+    let n = 1_000_000usize;
+    let mut rng = fpna_core::rng::SplitMix64::new(2);
+    let xs: Vec<f64> = (0..n).map(|_| rng.next_f64() * 10.0).collect();
+    let device = GpuDevice::new(GpuModel::V100);
+    let params = KernelParams::new(128, 512);
+    let mut group = c.benchmark_group("reduce_kernels");
+    group.throughput(Throughput::Elements(n as u64));
+    group.sample_size(20);
+    for kernel in ReduceKernel::all() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kernel.name()),
+            &xs,
+            |b, xs| {
+                let mut run = 0u64;
+                b.iter(|| {
+                    run += 1;
+                    device
+                        .reduce(
+                            kernel,
+                            std::hint::black_box(xs),
+                            params,
+                            &ScheduleKind::Seeded(3).for_run(run),
+                        )
+                        .unwrap()
+                        .value
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reduce);
+criterion_main!(benches);

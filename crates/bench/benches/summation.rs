@@ -1,0 +1,22 @@
+//! Criterion microbenchmarks of every summation algorithm
+//! (deterministic and not) — the cost side of the §III trade-off.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fpna_summation::SumAlgorithm;
+
+fn bench_summation(c: &mut Criterion) {
+    let n = 100_000usize;
+    let mut rng = fpna_core::rng::SplitMix64::new(1);
+    let xs: Vec<f64> = (0..n).map(|_| rng.next_f64() * 10.0).collect();
+    let mut group = c.benchmark_group("summation");
+    group.throughput(Throughput::Elements(n as u64));
+    for alg in SumAlgorithm::roster(4) {
+        group.bench_with_input(BenchmarkId::from_parameter(alg.name()), &xs, |b, xs| {
+            b.iter(|| alg.sum(std::hint::black_box(xs)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_summation);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Criterion benchmarks of the tensor library's paired kernels —
+//! deterministic vs non-deterministic cost of `index_add`,
+//! `scatter_reduce` and `cumsum` (the productivity/performance theme of
+//! §IV).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use fpna_gpu_sim::GpuModel;
+use fpna_tensor::context::GpuContext;
+use fpna_tensor::ops::cumsum::cumsum;
+use fpna_tensor::ops::index::index_add;
+use fpna_tensor::ops::scatter::{scatter_reduce, ReduceOp};
+use fpna_tensor::Tensor;
+
+fn bench_torch_ops(c: &mut Criterion) {
+    let n = 100_000usize;
+    let rows = 1_000usize;
+    let mut rng = fpna_core::rng::SplitMix64::new(3);
+    let src = Tensor::from_vec(vec![n], (0..n).map(|_| rng.next_f64() * 1e6).collect());
+    let index: Vec<u32> = (0..n).map(|_| rng.next_below(rows as u64) as u32).collect();
+    let dst = Tensor::zeros(vec![rows]);
+    let det = GpuContext::new(GpuModel::H100, 1).with_determinism(Some(true));
+    let nd = GpuContext::new(GpuModel::H100, 1).with_determinism(Some(false));
+
+    let mut group = c.benchmark_group("torch_ops");
+    group.throughput(Throughput::Elements(n as u64));
+    group.sample_size(20);
+    group.bench_function("index_add/det", |b| {
+        b.iter(|| index_add(&det, &dst, &index, std::hint::black_box(&src)).unwrap())
+    });
+    group.bench_function("index_add/nd", |b| {
+        let mut run = 0u64;
+        b.iter(|| {
+            run += 1;
+            index_add(&nd.for_run(run), &dst, &index, std::hint::black_box(&src)).unwrap()
+        })
+    });
+    group.bench_function("scatter_reduce_sum/nd", |b| {
+        let mut run = 0u64;
+        b.iter(|| {
+            run += 1;
+            scatter_reduce(
+                &nd.for_run(run),
+                &dst,
+                &index,
+                std::hint::black_box(&src),
+                ReduceOp::Sum,
+            )
+            .unwrap()
+        })
+    });
+    group.bench_function("cumsum/det", |b| {
+        b.iter(|| cumsum(&det, std::hint::black_box(&src)).unwrap())
+    });
+    group.bench_function("cumsum/nd", |b| {
+        let mut run = 0u64;
+        b.iter(|| {
+            run += 1;
+            cumsum(&nd.for_run(run), std::hint::black_box(&src)).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_torch_ops);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Fig 4: count variability `Vc` vs reduction ratio for
+//! `scatter_reduce(sum)`, `scatter_reduce(mean)` (2000-element 1-D
+//! arrays) and `index_add` (100 × 100 arrays), with bootstrap error
+//! bars.
+//!
+//! `cargo run --release -p fpna-bench --bin fig4 [--runs 40]`
+
+use fpna_gpu_sim::GpuModel;
+use fpna_stats::bootstrap::bootstrap_mean;
+use fpna_tensor::sweep::{ratio_experiment, RatioOp};
+
+fn main() {
+    let runs = fpna_bench::arg_usize("runs", 40);
+    let seed = fpna_bench::arg_u64("seed", 44);
+    fpna_bench::banner(
+        "Fig 4",
+        "Vc vs reduction ratio (scatter_reduce n=2000, index_add n=100x100)",
+        &format!("{runs} runs per point (paper: 1000)"),
+    );
+    println!(
+        "{:>4}  {:>26}  {:>26}  {:>26}",
+        "R",
+        "scatter reduce(sum)",
+        "scatter reduce(mean)",
+        "index add"
+    );
+    for r10 in 1..=10 {
+        let r = r10 as f64 / 10.0;
+        let mut cells = Vec::new();
+        for (op, dim) in [
+            (RatioOp::ScatterReduceSum, 2000usize),
+            (RatioOp::ScatterReduceMean, 2000),
+            (RatioOp::IndexAdd, 100),
+        ] {
+            let report = ratio_experiment(GpuModel::H100, op, dim, r, runs, seed ^ r10);
+            let vcs: Vec<f64> = report.per_run.iter().map(|&(_, vc)| vc).collect();
+            let b = bootstrap_mean(&vcs, 200, seed ^ 0xB007);
+            cells.push(format!("{:.5} +- {:.5}", b.estimate, b.std_error));
+        }
+        println!(
+            "{:>4.1}  {:>26}  {:>26}  {:>26}",
+            r, cells[0], cells[1], cells[2]
+        );
+    }
+}

@@ -1,0 +1,34 @@
+//! Table 1: effects of random permutations on serial sums of FP64
+//! numbers drawn from N(0, 1).
+//!
+//! `cargo run --release -p fpna-bench --bin table1 [--seed S]`
+
+use fpna_core::report::{sci, Table};
+use fpna_stats::samplers::{Distribution, Sampler};
+use fpna_summation::serial::{randomly_permuted_sum, serial_sum};
+
+fn main() {
+    let seed = fpna_bench::arg_u64("seed", 2024);
+    fpna_bench::banner(
+        "Table 1",
+        "effects of permutations on sums of floating-point numbers",
+        "",
+    );
+    let mut table = Table::new(["size", "Snd - Sd", "Vs"]);
+    // The paper lists two permutations per size from 1e3 upward.
+    let sizes = [
+        100usize, 1_000, 1_000, 10_000, 10_000, 100_000, 100_000, 1_000_000, 1_000_000,
+    ];
+    for (row, &n) in sizes.iter().enumerate() {
+        let mut sampler = Sampler::new(
+            Distribution::standard_normal(),
+            seed ^ (n as u64).rotate_left(17),
+        );
+        let xs = sampler.sample_vec(n);
+        let sd = serial_sum(&xs);
+        let snd = randomly_permuted_sum(&xs, seed.wrapping_add(row as u64));
+        let vs = fpna_core::metrics::scalar_variability(snd, sd);
+        table.push_row([n.to_string(), sci(snd - sd), sci(vs)]);
+    }
+    println!("{}", table.render());
+}

@@ -1,0 +1,26 @@
+//! Table 2: properties of the six parallel-sum implementations.
+//!
+//! `cargo run -p fpna-bench --bin table2`
+
+use fpna_core::report::Table;
+use fpna_gpu_sim::ReduceKernel;
+
+fn main() {
+    fpna_bench::banner(
+        "Table 2",
+        "different implementations of the parallel sum in CUDA",
+        "",
+    );
+    let mut table = Table::new(["Method", "deterministic", "# of kernels", "synchronization"]);
+    for k in ReduceKernel::all() {
+        table.push_row([
+            k.name().to_string(),
+            if k.is_deterministic() { "Yes" } else { "No" }.to_string(),
+            k.kernel_count()
+                .map(|c| c.to_string())
+                .unwrap_or_else(|| "-".to_string()),
+            k.sync_method().to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+}

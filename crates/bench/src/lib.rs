@@ -1,0 +1,110 @@
+//! # fpna-bench
+//!
+//! Regenerators for every table and figure in the paper, plus shared
+//! experiment plumbing. Each `table*`/`fig*` binary prints the same
+//! rows/series the paper reports; `EXPERIMENTS.md` records
+//! paper-vs-measured for each.
+//!
+//! All binaries accept `--runs`, `--arrays`, `--models`, … style
+//! overrides; defaults are scaled down from the paper's (e.g. 10 000
+//! runs → hundreds) so a full regeneration finishes in minutes on a
+//! laptop. Scaling factors are documented per experiment in
+//! `EXPERIMENTS.md`.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::fmt::Write as _;
+
+/// Parse `--name value` from the process arguments, with a default.
+pub fn arg_usize(name: &str, default: usize) -> usize {
+    arg_value(name)
+        .map(|v| {
+            v.parse()
+                .unwrap_or_else(|_| panic!("--{name} expects an integer, got {v}"))
+        })
+        .unwrap_or(default)
+}
+
+/// Parse `--name value` as u64.
+pub fn arg_u64(name: &str, default: u64) -> u64 {
+    arg_value(name)
+        .map(|v| {
+            v.parse()
+                .unwrap_or_else(|_| panic!("--{name} expects an integer, got {v}"))
+        })
+        .unwrap_or(default)
+}
+
+fn arg_value(name: &str) -> Option<String> {
+    let flag = format!("--{name}");
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == flag {
+            return args.next();
+        }
+        if let Some(rest) = a.strip_prefix(&format!("{flag}=")) {
+            return Some(rest.to_string());
+        }
+    }
+    None
+}
+
+/// Print the standard experiment banner.
+pub fn banner(id: &str, paper_ref: &str, scaling_note: &str) {
+    println!("=== {id} — {paper_ref} ===");
+    if !scaling_note.is_empty() {
+        println!("({scaling_note})");
+    }
+    println!();
+}
+
+/// Render a sparse ASCII heat map of `values[row][col]` with row/col
+/// labels — the Fig 3 output format.
+pub fn ascii_heatmap(row_labels: &[String], col_labels: &[String], values: &[Vec<f64>]) -> String {
+    let shades = [' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
+    let max = values
+        .iter()
+        .flatten()
+        .copied()
+        .fold(f64::MIN_POSITIVE, f64::max);
+    let mut out = String::new();
+    let label_w = row_labels.iter().map(|l| l.len()).max().unwrap_or(0);
+    for (r, row) in values.iter().enumerate() {
+        let _ = write!(out, "{:>label_w$} |", row_labels[r]);
+        for &v in row {
+            let idx = ((v / max) * (shades.len() - 1) as f64).round() as usize;
+            let c = shades[idx.min(shades.len() - 1)];
+            let _ = write!(out, " {c}{c}");
+        }
+        let _ = writeln!(out, " |");
+    }
+    let _ = write!(out, "{:>label_w$}  ", "");
+    for l in col_labels {
+        let _ = write!(out, " {:>2}", &l[..l.len().min(2)]);
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(out, "(shade ∝ value; max = {max:.3e})");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heatmap_renders() {
+        let rows = vec!["a".to_string(), "bb".to_string()];
+        let cols = vec!["1".to_string(), "2".to_string()];
+        let vals = vec![vec![0.0, 0.5], vec![1.0, 0.25]];
+        let s = ascii_heatmap(&rows, &cols, &vals);
+        assert!(s.contains('@'), "max cell should be darkest: {s}");
+        assert!(s.lines().count() >= 4);
+    }
+
+    #[test]
+    fn args_fall_back_to_defaults() {
+        assert_eq!(arg_usize("definitely-not-passed", 42), 42);
+        assert_eq!(arg_u64("also-not-passed", 7), 7);
+    }
+}

@@ -1,0 +1,314 @@
+//! Allreduce algorithms over simulated ranks.
+//!
+//! The value semantics are exact: every variant returns the elementwise
+//! sum of the per-rank vectors. The *bits* differ by combine order:
+//!
+//! | algorithm | combine order | deterministic? |
+//! |---|---|---|
+//! | ring | fixed rotation per segment | yes (always) |
+//! | k-ary tree, rank order | children ascending | yes |
+//! | k-ary tree, arrival order | seeded shuffle per node | **no** |
+//! | recursive doubling | (lower, upper) pairs | yes |
+//! | any algorithm, reproducible | exact accumulators | yes, and identical across algorithms |
+//!
+//! Note the subtlety the tests pin down: ring and tree are each
+//! internally deterministic but give **different bits from each
+//! other** — real MPI libraries select algorithms at runtime by message
+//! size and topology, so "deterministic per algorithm" still does not
+//! give reproducible applications. Only the exact variant is stable
+//! across all of it.
+
+use fpna_core::rng::{shuffle, SplitMix64};
+use fpna_summation::exact::ExactAccumulator;
+
+/// Reduction topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algorithm {
+    /// Ring reduce-scatter + allgather.
+    Ring,
+    /// Reduction tree with the given fanout (≥ 2).
+    KAryTree {
+        /// Children per node.
+        fanout: usize,
+    },
+    /// Recursive doubling (rank count must be a power of two).
+    RecursiveDoubling,
+}
+
+/// Combine-order policy at each reduction point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ordering {
+    /// Contributions fold in simulated message-arrival order (seeded).
+    ArrivalOrder {
+        /// Seed standing in for "what the fabric did this run".
+        seed: u64,
+    },
+    /// Contributions are buffered and folded in rank order —
+    /// deterministic; the software-scheduled interconnect model.
+    RankOrder,
+    /// Exact accumulators travel with the messages; one final rounding.
+    Reproducible,
+}
+
+/// Allreduce (sum) over `ranks[r]` vectors of equal length. Returns
+/// the reduced vector (identical on every rank after the broadcast
+/// phase, which involves no arithmetic).
+///
+/// # Panics
+///
+/// Panics on empty input, mismatched lengths, fanout < 2, or a
+/// non-power-of-two rank count for recursive doubling.
+pub fn allreduce(ranks: &[Vec<f64>], algorithm: Algorithm, ordering: Ordering) -> Vec<f64> {
+    assert!(!ranks.is_empty(), "allreduce needs at least one rank");
+    let m = ranks[0].len();
+    assert!(
+        ranks.iter().all(|v| v.len() == m),
+        "all ranks must contribute equally-shaped vectors"
+    );
+    if let Ordering::Reproducible = ordering {
+        return reproducible_sum(ranks, m);
+    }
+    match algorithm {
+        Algorithm::Ring => ring(ranks, m),
+        Algorithm::KAryTree { fanout } => {
+            assert!(fanout >= 2, "tree fanout must be at least 2");
+            let order_seed = match ordering {
+                Ordering::ArrivalOrder { seed } => Some(seed),
+                Ordering::RankOrder => None,
+                Ordering::Reproducible => unreachable!(),
+            };
+            tree(ranks, m, fanout, order_seed)
+        }
+        Algorithm::RecursiveDoubling => {
+            assert!(
+                ranks.len().is_power_of_two(),
+                "recursive doubling needs a power-of-two rank count"
+            );
+            recursive_doubling(ranks, m)
+        }
+    }
+}
+
+/// Exact path: element-wise long accumulators, merged in any order —
+/// the order provably cannot matter, so we just fold rank-major.
+fn reproducible_sum(ranks: &[Vec<f64>], m: usize) -> Vec<f64> {
+    let mut accs: Vec<ExactAccumulator> = (0..m).map(|_| ExactAccumulator::new()).collect();
+    for r in ranks {
+        for (acc, &v) in accs.iter_mut().zip(r) {
+            acc.add(v);
+        }
+    }
+    accs.iter().map(|a| a.round()).collect()
+}
+
+/// Ring: element block `s` accumulates around the ring starting at
+/// rank `s + 1`; the rotation is part of the algorithm, so the bits
+/// depend on the segment boundaries but never on timing.
+fn ring(ranks: &[Vec<f64>], m: usize) -> Vec<f64> {
+    let p = ranks.len();
+    let seg_len = m.div_ceil(p);
+    let mut out = vec![0.0f64; m];
+    for s in 0..p {
+        let lo = (s * seg_len).min(m);
+        let hi = ((s + 1) * seg_len).min(m);
+        for i in lo..hi {
+            // accumulation starts at the segment owner and walks the ring
+            let mut acc = ranks[s][i];
+            for step in 1..p {
+                acc += ranks[(s + step) % p][i];
+            }
+            out[i] = acc;
+        }
+    }
+    out
+}
+
+/// K-ary reduction tree rooted at rank 0; children of `v` are
+/// `f·v + 1 ..= f·v + f`. Each node folds its own buffer first (it is
+/// resident), then child results — in rank order or in seeded arrival
+/// order.
+fn tree(ranks: &[Vec<f64>], m: usize, fanout: usize, arrival_seed: Option<u64>) -> Vec<f64> {
+    fn reduce_node(
+        v: usize,
+        ranks: &[Vec<f64>],
+        m: usize,
+        fanout: usize,
+        arrival_seed: Option<u64>,
+    ) -> Vec<f64> {
+        let p = ranks.len();
+        let mut children: Vec<usize> = (1..=fanout)
+            .map(|k| fanout * v + k)
+            .filter(|&c| c < p)
+            .collect();
+        let mut acc = ranks[v].clone();
+        if children.is_empty() {
+            return acc;
+        }
+        if let Some(seed) = arrival_seed {
+            // arrival order: a per-node seeded shuffle
+            let mut rng = SplitMix64::new(seed ^ (v as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            shuffle(&mut children, &mut rng);
+        }
+        for c in children {
+            let child = reduce_node(c, ranks, m, fanout, arrival_seed);
+            for (a, b) in acc.iter_mut().zip(&child) {
+                *a += b;
+            }
+        }
+        acc
+    }
+    reduce_node(0, ranks, m, fanout, arrival_seed)
+}
+
+/// Recursive doubling: in round `d`, partners `r` and `r ^ d` exchange
+/// and both compute `lower + upper` — symmetric, so every rank holds
+/// identical bits at every round.
+fn recursive_doubling(ranks: &[Vec<f64>], m: usize) -> Vec<f64> {
+    let p = ranks.len();
+    let mut buffers: Vec<Vec<f64>> = ranks.to_vec();
+    let mut d = 1;
+    while d < p {
+        let snapshot = buffers.clone();
+        for r in 0..p {
+            let partner = r ^ d;
+            let (lower, upper) = if r < partner { (r, partner) } else { (partner, r) };
+            for i in 0..m {
+                buffers[r][i] = snapshot[lower][i] + snapshot[upper][i];
+            }
+        }
+        d <<= 1;
+    }
+    buffers.swap_remove(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpna_core::rng::SplitMix64;
+    use fpna_summation::exact::exact_sum;
+
+    fn make_ranks(p: usize, m: usize, seed: u64) -> Vec<Vec<f64>> {
+        let mut rng = SplitMix64::new(seed);
+        (0..p)
+            .map(|_| (0..m).map(|_| rng.next_f64() * 1e8 - 5e7).collect())
+            .collect()
+    }
+
+    fn column_exact(ranks: &[Vec<f64>], i: usize) -> f64 {
+        exact_sum(&ranks.iter().map(|r| r[i]).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn all_variants_compute_the_sum() {
+        let ranks = make_ranks(8, 64, 1);
+        for (alg, ord) in [
+            (Algorithm::Ring, Ordering::RankOrder),
+            (Algorithm::KAryTree { fanout: 2 }, Ordering::RankOrder),
+            (Algorithm::KAryTree { fanout: 4 }, Ordering::ArrivalOrder { seed: 3 }),
+            (Algorithm::RecursiveDoubling, Ordering::RankOrder),
+            (Algorithm::Ring, Ordering::Reproducible),
+        ] {
+            let out = allreduce(&ranks, alg, ord);
+            for i in [0usize, 17, 63] {
+                let want = column_exact(&ranks, i);
+                assert!(
+                    (out[i] - want).abs() < 1e-6,
+                    "{alg:?}/{ord:?} at {i}: {} vs {want}",
+                    out[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn arrival_order_varies_across_runs() {
+        let ranks = make_ranks(64, 16, 2);
+        let mut bits = std::collections::HashSet::new();
+        for run in 0..10 {
+            let out = allreduce(
+                &ranks,
+                Algorithm::KAryTree { fanout: 8 },
+                Ordering::ArrivalOrder { seed: 100 + run },
+            );
+            bits.insert(out.iter().map(|v| v.to_bits()).collect::<Vec<_>>());
+        }
+        assert!(bits.len() > 1, "arrival order should leak into bits");
+    }
+
+    #[test]
+    fn rank_order_and_ring_and_doubling_are_deterministic() {
+        let ranks = make_ranks(16, 32, 3);
+        for alg in [
+            Algorithm::Ring,
+            Algorithm::KAryTree { fanout: 2 },
+            Algorithm::RecursiveDoubling,
+        ] {
+            let a = allreduce(&ranks, alg, Ordering::RankOrder);
+            let b = allreduce(&ranks, alg, Ordering::RankOrder);
+            assert_eq!(
+                a.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                b.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "{alg:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn different_algorithms_give_different_bits() {
+        // The MPI trap: each algorithm deterministic, mutually
+        // inconsistent — runtime algorithm selection breaks
+        // reproducibility even without timing nondeterminism.
+        let ranks = make_ranks(16, 256, 4);
+        let ring = allreduce(&ranks, Algorithm::Ring, Ordering::RankOrder);
+        let tree = allreduce(&ranks, Algorithm::KAryTree { fanout: 2 }, Ordering::RankOrder);
+        let rd = allreduce(&ranks, Algorithm::RecursiveDoubling, Ordering::RankOrder);
+        let differs = |a: &[f64], b: &[f64]| {
+            a.iter().zip(b).any(|(x, y)| x.to_bits() != y.to_bits())
+        };
+        assert!(differs(&ring, &tree) || differs(&ring, &rd) || differs(&tree, &rd));
+    }
+
+    #[test]
+    fn reproducible_is_identical_across_everything() {
+        let ranks = make_ranks(32, 64, 5);
+        let reference = allreduce(&ranks, Algorithm::Ring, Ordering::Reproducible);
+        for alg in [
+            Algorithm::Ring,
+            Algorithm::KAryTree { fanout: 3 },
+            Algorithm::RecursiveDoubling,
+        ] {
+            let out = allreduce(&ranks, alg, Ordering::Reproducible);
+            assert_eq!(
+                out.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                reference.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "{alg:?} must agree bitwise in reproducible mode"
+            );
+        }
+    }
+
+    #[test]
+    fn single_rank_is_identity() {
+        let ranks = make_ranks(1, 8, 6);
+        let out = allreduce(&ranks, Algorithm::Ring, Ordering::RankOrder);
+        assert_eq!(out, ranks[0]);
+        let out = allreduce(&ranks, Algorithm::KAryTree { fanout: 2 }, Ordering::RankOrder);
+        assert_eq!(out, ranks[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn recursive_doubling_needs_pow2() {
+        let ranks = make_ranks(6, 4, 7);
+        allreduce(&ranks, Algorithm::RecursiveDoubling, Ordering::RankOrder);
+    }
+
+    #[test]
+    #[should_panic(expected = "equally-shaped")]
+    fn mismatched_lengths_panic() {
+        allreduce(
+            &[vec![1.0], vec![1.0, 2.0]],
+            Algorithm::Ring,
+            Ordering::RankOrder,
+        );
+    }
+}

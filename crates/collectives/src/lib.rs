@@ -1,0 +1,33 @@
+//! # fpna-collectives
+//!
+//! Simulated multi-node reduction collectives — the paper's concluding
+//! future-work item: *"in HPC and distributed settings there will also
+//! be inter-chip and inter-node communication, such as with MPI,
+//! leading to more runtime variation. On the LPU architecture,
+//! inter-chip communication can be software scheduled, removing such
+//! communication variations."*
+//!
+//! An `MPI_Allreduce` combines per-rank vectors with floating-point
+//! addition. Implementations differ in *where* and *in which order*
+//! partial sums combine:
+//!
+//! * [`allreduce::Algorithm::Ring`], [`allreduce::Algorithm::KAryTree`]
+//!   and [`allreduce::Algorithm::RecursiveDoubling`] — the classic
+//!   topologies. With [`allreduce::Ordering::ArrivalOrder`], each
+//!   combine step folds incoming contributions in (simulated seeded)
+//!   message-arrival order — the MPI reality on a busy fabric, and a
+//!   source of run-to-run variability *on top of* the intra-node FPNA
+//!   studied in the paper's main sections;
+//! * [`allreduce::Ordering::RankOrder`] — arrivals are buffered and
+//!   combined in rank order: deterministic for a fixed topology (the
+//!   "software-scheduled interconnect" of the LPU multiprocessor);
+//! * [`allreduce::Ordering::Reproducible`] — exact accumulators travel
+//!   with the messages, so the result is bitwise identical across
+//!   *every* algorithm, topology and schedule.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod allreduce;
+
+pub use allreduce::{allreduce, Algorithm, Ordering};

@@ -1,0 +1,169 @@
+//! Global determinism context, mirroring
+//! `torch.use_deterministic_algorithms` (paper §IV).
+//!
+//! PyTorch exposes a process-wide switch that makes operations with a
+//! deterministic implementation use it, and makes operations *without*
+//! one raise a runtime error. The paper leans on this switch for all of
+//! its D/ND comparisons — and reports that the documentation around it
+//! is not always accurate (they hit a runtime error asking for a
+//! deterministic `scatter_reduce`). We reproduce the same three-state
+//! API so the tensor library can honour it:
+//!
+//! * [`DeterminismMode::NonDeterministic`] — kernels may use runtime-
+//!   ordered atomics (the default, as in PyTorch);
+//! * [`DeterminismMode::Deterministic`] — deterministic kernels are
+//!   required; ops lacking one return
+//!   [`FpnaError::NoDeterministicImplementation`];
+//! * [`DeterminismMode::WarnOnly`] — deterministic kernels are selected
+//!   when available but missing ones only record a warning (PyTorch's
+//!   `warn_only=True`).
+//!
+//! The mode is a process-global (an `AtomicU8`), just like the original,
+//! plus an RAII [`DeterminismGuard`] for scoped flips in tests.
+
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+
+use crate::error::FpnaError;
+
+/// Process-wide determinism policy. See module docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeterminismMode {
+    /// Allow non-deterministic kernels (default).
+    NonDeterministic,
+    /// Require deterministic kernels; error when none exists.
+    Deterministic,
+    /// Prefer deterministic kernels; count a warning when none exists.
+    WarnOnly,
+}
+
+static MODE: AtomicU8 = AtomicU8::new(0);
+static WARNINGS: AtomicUsize = AtomicUsize::new(0);
+
+fn encode(mode: DeterminismMode) -> u8 {
+    match mode {
+        DeterminismMode::NonDeterministic => 0,
+        DeterminismMode::Deterministic => 1,
+        DeterminismMode::WarnOnly => 2,
+    }
+}
+
+fn decode(v: u8) -> DeterminismMode {
+    match v {
+        0 => DeterminismMode::NonDeterministic,
+        1 => DeterminismMode::Deterministic,
+        _ => DeterminismMode::WarnOnly,
+    }
+}
+
+/// Set the global determinism mode. Equivalent to
+/// `torch.use_deterministic_algorithms(mode)`.
+pub fn use_deterministic_algorithms(mode: DeterminismMode) {
+    MODE.store(encode(mode), Ordering::SeqCst);
+}
+
+/// Read the current global determinism mode.
+pub fn determinism_mode() -> DeterminismMode {
+    decode(MODE.load(Ordering::SeqCst))
+}
+
+/// `true` when deterministic kernels should be selected (i.e. the mode
+/// is `Deterministic` or `WarnOnly`).
+pub fn deterministic_requested() -> bool {
+    determinism_mode() != DeterminismMode::NonDeterministic
+}
+
+/// Number of "no deterministic implementation" warnings recorded while
+/// in [`DeterminismMode::WarnOnly`].
+pub fn warning_count() -> usize {
+    WARNINGS.load(Ordering::SeqCst)
+}
+
+/// Called by kernels that have no deterministic implementation when the
+/// caller asked for determinism. Returns an error in `Deterministic`
+/// mode, records a warning in `WarnOnly` mode, is a no-op otherwise.
+pub fn report_nondeterministic_only(op: &'static str) -> Result<(), FpnaError> {
+    match determinism_mode() {
+        DeterminismMode::Deterministic => {
+            Err(FpnaError::NoDeterministicImplementation { op })
+        }
+        DeterminismMode::WarnOnly => {
+            WARNINGS.fetch_add(1, Ordering::SeqCst);
+            Ok(())
+        }
+        DeterminismMode::NonDeterministic => Ok(()),
+    }
+}
+
+/// RAII guard that sets a determinism mode and restores the previous one
+/// on drop. Intended for tests and scoped experiments.
+///
+/// Note the mode is process-global: concurrent guards in multithreaded
+/// tests will race just like they would with the PyTorch switch. Tests
+/// that use guards should serialise on a lock (see `fpna-tensor`).
+#[derive(Debug)]
+pub struct DeterminismGuard {
+    previous: DeterminismMode,
+}
+
+impl DeterminismGuard {
+    /// Set `mode` globally, remembering the previous mode.
+    pub fn new(mode: DeterminismMode) -> Self {
+        let previous = determinism_mode();
+        use_deterministic_algorithms(mode);
+        DeterminismGuard { previous }
+    }
+}
+
+impl Drop for DeterminismGuard {
+    fn drop(&mut self) {
+        use_deterministic_algorithms(self.previous);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex;
+
+    // The mode is process-global; serialise tests touching it.
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn default_is_nondeterministic() {
+        let _l = LOCK.lock();
+        let _g = DeterminismGuard::new(DeterminismMode::NonDeterministic);
+        assert_eq!(determinism_mode(), DeterminismMode::NonDeterministic);
+        assert!(!deterministic_requested());
+        assert!(report_nondeterministic_only("x").is_ok());
+    }
+
+    #[test]
+    fn deterministic_mode_errors_for_missing_kernels() {
+        let _l = LOCK.lock();
+        let _g = DeterminismGuard::new(DeterminismMode::Deterministic);
+        assert!(deterministic_requested());
+        let err = report_nondeterministic_only("scatter_reduce").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("scatter_reduce"), "{msg}");
+    }
+
+    #[test]
+    fn warn_only_counts() {
+        let _l = LOCK.lock();
+        let _g = DeterminismGuard::new(DeterminismMode::WarnOnly);
+        let before = warning_count();
+        report_nondeterministic_only("op").unwrap();
+        assert_eq!(warning_count(), before + 1);
+    }
+
+    #[test]
+    fn guard_restores_mode() {
+        let _l = LOCK.lock();
+        let _outer = DeterminismGuard::new(DeterminismMode::NonDeterministic);
+        {
+            let _g = DeterminismGuard::new(DeterminismMode::Deterministic);
+            assert_eq!(determinism_mode(), DeterminismMode::Deterministic);
+        }
+        assert_eq!(determinism_mode(), DeterminismMode::NonDeterministic);
+    }
+}

@@ -1,0 +1,104 @@
+//! Error types shared across the fpna workspace.
+
+use std::fmt;
+
+/// Convenience alias used throughout the workspace.
+pub type Result<T> = std::result::Result<T, FpnaError>;
+
+/// Errors surfaced by the fpna crates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FpnaError {
+    /// A deterministic kernel was requested (via
+    /// [`crate::determinism::use_deterministic_algorithms`]) for an
+    /// operation that only has a non-deterministic implementation.
+    ///
+    /// This mirrors the PyTorch runtime error the paper encountered for
+    /// `scatter_reduce` (§IV): the documentation promised a
+    /// deterministic path that did not exist.
+    NoDeterministicImplementation {
+        /// Name of the offending operation.
+        op: &'static str,
+    },
+    /// Tensor/kernel shape mismatch.
+    ShapeMismatch {
+        /// Human-readable description of the mismatch.
+        context: String,
+    },
+    /// An index was out of bounds for the dimension it addresses.
+    IndexOutOfBounds {
+        /// The offending index value.
+        index: usize,
+        /// The bound it violated.
+        bound: usize,
+        /// Where it happened.
+        context: &'static str,
+    },
+    /// A configuration value was invalid (zero-sized block, empty grid,
+    /// reduction ratio outside (0, 1], ...).
+    InvalidConfig {
+        /// Human-readable description.
+        context: String,
+    },
+}
+
+impl fmt::Display for FpnaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FpnaError::NoDeterministicImplementation { op } => write!(
+                f,
+                "{op} does not have a deterministic implementation, but \
+                 use_deterministic_algorithms(Deterministic) is set"
+            ),
+            FpnaError::ShapeMismatch { context } => {
+                write!(f, "shape mismatch: {context}")
+            }
+            FpnaError::IndexOutOfBounds {
+                index,
+                bound,
+                context,
+            } => write!(f, "index {index} out of bounds {bound} in {context}"),
+            FpnaError::InvalidConfig { context } => {
+                write!(f, "invalid configuration: {context}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FpnaError {}
+
+impl FpnaError {
+    /// Shorthand constructor for [`FpnaError::ShapeMismatch`].
+    pub fn shape(context: impl Into<String>) -> Self {
+        FpnaError::ShapeMismatch {
+            context: context.into(),
+        }
+    }
+
+    /// Shorthand constructor for [`FpnaError::InvalidConfig`].
+    pub fn config(context: impl Into<String>) -> Self {
+        FpnaError::InvalidConfig {
+            context: context.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = FpnaError::NoDeterministicImplementation { op: "cumsum" };
+        assert!(e.to_string().contains("cumsum"));
+        let e = FpnaError::shape("a vs b");
+        assert!(e.to_string().contains("a vs b"));
+        let e = FpnaError::IndexOutOfBounds {
+            index: 7,
+            bound: 5,
+            context: "index_add",
+        };
+        assert!(e.to_string().contains('7'));
+        let e = FpnaError::config("bad");
+        assert!(e.to_string().contains("bad"));
+    }
+}

@@ -1,0 +1,243 @@
+//! Variability metrics `Vs`, `Vermv` and `Vc` (paper §II).
+//!
+//! The paper defines three metrics quantifying run-to-run variability of
+//! a non-deterministic implementation of a function against a reference
+//! (usually deterministic) implementation. Each metric is zero if and
+//! only if the two outputs are bitwise identical and increases with
+//! variability.
+//!
+//! * Scalar outputs: `Vs(f) = 1 − |f_ND / f_D|`. Note that `Vs` is
+//!   *signed*: Table 1 of the paper reports negative values whenever
+//!   `|f_ND| > |f_D|`.
+//! * Array outputs: `Vermv` (elementwise relative mean absolute
+//!   variation, Eq. 1) and `Vc` (count variability, Eq. 2).
+//!
+//! "Different" is always interpreted *bitwise* — via [`f64::to_bits`] —
+//! so `-0.0` vs `0.0` counts as a difference and `NaN` compares equal to
+//! an identically-encoded `NaN`. This matches the paper's usage: the
+//! metrics certify bitwise reproducibility, not approximate agreement.
+
+/// Scalar variability `Vs(f) = 1 − |f_ND / f_D|` between a
+/// non-deterministic output `nd` and a deterministic reference `d`.
+///
+/// Returns exactly `0.0` when the two values are bitwise identical
+/// (including the `d == 0` case). When `d == 0` but `nd != 0` the ratio
+/// is infinite and `Vs` is `-∞`, faithfully signalling unbounded
+/// relative variability.
+///
+/// ```
+/// use fpna_core::metrics::scalar_variability;
+/// assert_eq!(scalar_variability(2.0, 2.0), 0.0);
+/// // |nd| > |d|  =>  Vs < 0 (as in Table 1 of the paper)
+/// assert!(scalar_variability(2.0 + 1e-15, 2.0) < 0.0);
+/// assert!(scalar_variability(2.0 - 1e-15, 2.0) > 0.0);
+/// ```
+#[inline]
+pub fn scalar_variability(nd: f64, d: f64) -> f64 {
+    if nd.to_bits() == d.to_bits() {
+        return 0.0;
+    }
+    1.0 - (nd / d).abs()
+}
+
+/// Elementwise relative mean absolute variation (`Vermv`, paper Eq. 1):
+///
+/// `Vermv = (1/D) Σ_i |A_i − B_i| / |A_i|`
+///
+/// where `A` is the reference output and `B` the comparison output, both
+/// flattened to slices (the metric is a sum over all elements of a
+/// multidimensional array, so the logical shape is irrelevant as long as
+/// both sides use the same layout).
+///
+/// Elements where `A_i == 0` would make the relative term undefined; for
+/// those the absolute difference `|A_i − B_i|` is used instead (zero when
+/// both are zero), keeping the metric finite and preserving the
+/// zero-iff-bitwise-identical property.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths — comparing outputs of
+/// different shapes is a logic error, not a data condition.
+pub fn ermv(reference: &[f64], other: &[f64]) -> f64 {
+    assert_eq!(
+        reference.len(),
+        other.len(),
+        "Vermv requires equally-shaped outputs"
+    );
+    if reference.is_empty() {
+        return 0.0;
+    }
+    let mut acc = 0.0f64;
+    for (&a, &b) in reference.iter().zip(other) {
+        if a.to_bits() == b.to_bits() {
+            continue;
+        }
+        let diff = (a - b).abs();
+        if a == 0.0 {
+            acc += diff;
+        } else {
+            acc += diff / a.abs();
+        }
+    }
+    acc / reference.len() as f64
+}
+
+/// Count variability (`Vc`, paper Eq. 2): the fraction of elements that
+/// differ *bitwise* between the two outputs.
+///
+/// `Vc = (1/D) Σ_i 1(A_i ≠ B_i)`
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+///
+/// ```
+/// use fpna_core::metrics::count_variability;
+/// assert_eq!(count_variability(&[1.0, 2.0, 3.0], &[1.0, 2.5, 3.0]), 1.0 / 3.0);
+/// ```
+pub fn count_variability(reference: &[f64], other: &[f64]) -> f64 {
+    assert_eq!(
+        reference.len(),
+        other.len(),
+        "Vc requires equally-shaped outputs"
+    );
+    if reference.is_empty() {
+        return 0.0;
+    }
+    let differing = reference
+        .iter()
+        .zip(other)
+        .filter(|(a, b)| a.to_bits() != b.to_bits())
+        .count();
+    differing as f64 / reference.len() as f64
+}
+
+/// Full comparison of two equally-shaped array outputs: both array
+/// metrics plus the maximum elementwise absolute difference, computed in
+/// one pass.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArrayComparison {
+    /// Elementwise relative mean absolute variation (Eq. 1).
+    pub vermv: f64,
+    /// Count variability (Eq. 2).
+    pub vc: f64,
+    /// Largest absolute elementwise difference.
+    pub max_abs_diff: f64,
+    /// Number of elements compared.
+    pub len: usize,
+}
+
+impl ArrayComparison {
+    /// Compare `other` against `reference` (both flattened).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    pub fn compare(reference: &[f64], other: &[f64]) -> Self {
+        assert_eq!(
+            reference.len(),
+            other.len(),
+            "array comparison requires equally-shaped outputs"
+        );
+        let mut rel_acc = 0.0f64;
+        let mut differing = 0usize;
+        let mut max_abs = 0.0f64;
+        for (&a, &b) in reference.iter().zip(other) {
+            if a.to_bits() == b.to_bits() {
+                continue;
+            }
+            differing += 1;
+            let diff = (a - b).abs();
+            max_abs = max_abs.max(diff);
+            rel_acc += if a == 0.0 { diff } else { diff / a.abs() };
+        }
+        let d = reference.len().max(1) as f64;
+        ArrayComparison {
+            vermv: rel_acc / d,
+            vc: differing as f64 / d,
+            max_abs_diff: max_abs,
+            len: reference.len(),
+        }
+    }
+
+    /// `true` when the outputs were bitwise identical.
+    #[inline]
+    pub fn bitwise_identical(&self) -> bool {
+        self.vc == 0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vs_zero_iff_bitwise_identical() {
+        assert_eq!(scalar_variability(1.5, 1.5), 0.0);
+        assert_eq!(scalar_variability(0.0, 0.0), 0.0);
+        assert_eq!(scalar_variability(f64::NAN, f64::NAN), 0.0);
+        assert_ne!(scalar_variability(1.5 + 1e-14, 1.5), 0.0);
+        // -0.0 and 0.0 differ bitwise but |ratio| = NaN; the bitwise
+        // check fires first only for identical encodings.
+        assert!(scalar_variability(-0.0, 0.0).is_nan());
+    }
+
+    #[test]
+    fn vs_sign_convention() {
+        // nd larger in magnitude -> negative Vs, matching Table 1.
+        assert!(scalar_variability(10.0 + 1e-10, 10.0) < 0.0);
+        assert!(scalar_variability(10.0 - 1e-10, 10.0) > 0.0);
+        assert!(scalar_variability(-10.0 - 1e-10, -10.0) < 0.0);
+    }
+
+    #[test]
+    fn vs_zero_reference() {
+        assert_eq!(scalar_variability(1.0, 0.0), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn ermv_basics() {
+        assert_eq!(ermv(&[], &[]), 0.0);
+        assert_eq!(ermv(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+        let v = ermv(&[2.0, 4.0], &[2.0, 5.0]);
+        assert!((v - 0.25 / 2.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn ermv_zero_reference_elements_fall_back_to_absolute() {
+        let v = ermv(&[0.0, 1.0], &[0.5, 1.0]);
+        assert!((v - 0.25).abs() < 1e-15);
+        // both zero -> no contribution
+        assert_eq!(ermv(&[0.0], &[0.0]), 0.0);
+    }
+
+    #[test]
+    fn vc_counts_bitwise_differences() {
+        assert_eq!(count_variability(&[0.0], &[-0.0]), 1.0);
+        assert_eq!(count_variability(&[1.0, 2.0, 3.0], &[1.0, 2.0, 3.0]), 0.0);
+        assert_eq!(
+            count_variability(&[1.0, 2.0, 3.0, 4.0], &[1.0, 9.0, 3.0, 8.0]),
+            0.5
+        );
+    }
+
+    #[test]
+    fn comparison_matches_individual_metrics() {
+        let a = [1.0, 0.0, 3.0, -2.0, 5.5];
+        let b = [1.0, 0.25, 3.0, -2.5, 5.5];
+        let c = ArrayComparison::compare(&a, &b);
+        assert!((c.vermv - ermv(&a, &b)).abs() < 1e-16);
+        assert_eq!(c.vc, count_variability(&a, &b));
+        assert_eq!(c.max_abs_diff, 0.5);
+        assert!(!c.bitwise_identical());
+        let ident = ArrayComparison::compare(&a, &a);
+        assert!(ident.bitwise_identical());
+        assert_eq!(ident.max_abs_diff, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equally-shaped")]
+    fn mismatched_lengths_panic() {
+        let _ = ermv(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,185 @@
+//! Seeded randomness plumbing: reproducible experiment seeds, stream
+//! splitting, and Fisher–Yates permutations.
+//!
+//! Every stochastic experiment in the suite must be *replayable*: the
+//! whole point of a reproducibility study is that the only
+//! non-determinism under investigation is the one injected by the
+//! scheduler model, never by ambient RNG state. All entropy therefore
+//! flows from explicit `u64` seeds through [`SplitMix64`] — a tiny,
+//! well-understood generator that is also the standard seeding function
+//! for larger PRNGs — or through `rand`'s `StdRng` seeded from it.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// SplitMix64 (Steele, Lea, Flood 2014): a 64-bit generator with a
+/// single u64 of state. Used for seed derivation and cheap permutation
+/// draws inside the simulator's scheduler, where creating a full
+/// `StdRng` per block would dominate the simulation cost.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Create a generator from a seed.
+    #[inline]
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64 random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)` using the top 53 bits.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Unbiased uniform integer in `[0, bound)` via Lemire's method.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    #[inline]
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "next_below(0)");
+        // Lemire's nearly-divisionless rejection method.
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (bound as u128);
+        let mut l = m as u64;
+        if l < bound {
+            let t = bound.wrapping_neg() % bound;
+            while l < t {
+                x = self.next_u64();
+                m = (x as u128) * (bound as u128);
+                l = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Derive an independent child seed. Deriving with distinct labels
+    /// yields decorrelated streams from one experiment seed.
+    #[inline]
+    pub fn derive(&mut self, label: u64) -> u64 {
+        let mut child = SplitMix64::new(self.next_u64() ^ label.rotate_left(17));
+        child.next_u64()
+    }
+}
+
+/// Derive a named sub-seed from an experiment seed. Stable across runs
+/// and platforms.
+pub fn derive_seed(seed: u64, stream: u64) -> u64 {
+    let mut g = SplitMix64::new(seed ^ 0xA076_1D64_78BD_642F);
+    let mixed = g
+        .next_u64()
+        .wrapping_add(stream.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    SplitMix64::new(mixed).next_u64()
+}
+
+/// Seed a `rand::StdRng` from an experiment seed and stream label.
+pub fn std_rng(seed: u64, stream: u64) -> StdRng {
+    StdRng::seed_from_u64(derive_seed(seed, stream))
+}
+
+/// In-place Fisher–Yates shuffle driven by [`SplitMix64`].
+pub fn shuffle<T>(items: &mut [T], rng: &mut SplitMix64) {
+    let n = items.len();
+    for i in (1..n).rev() {
+        let j = rng.next_below(i as u64 + 1) as usize;
+        items.swap(i, j);
+    }
+}
+
+/// A fresh random permutation of `0..n`.
+pub fn permutation(n: usize, rng: &mut SplitMix64) -> Vec<u32> {
+    assert!(n <= u32::MAX as usize, "permutation index overflow");
+    let mut idx: Vec<u32> = (0..n as u32).collect();
+    shuffle(&mut idx, rng);
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_reproducible() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn distinct_seeds_diverge() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn next_f64_in_unit_interval() {
+        let mut g = SplitMix64::new(7);
+        for _ in 0..10_000 {
+            let x = g.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn next_below_is_in_range_and_covers() {
+        let mut g = SplitMix64::new(9);
+        let mut seen = [false; 7];
+        for _ in 0..1_000 {
+            let v = g.next_below(7) as usize;
+            assert!(v < 7);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues should be hit");
+    }
+
+    #[test]
+    #[should_panic(expected = "next_below(0)")]
+    fn next_below_zero_panics() {
+        SplitMix64::new(0).next_below(0);
+    }
+
+    #[test]
+    fn permutation_is_a_permutation() {
+        let mut g = SplitMix64::new(3);
+        let p = permutation(100, &mut g);
+        let mut sorted = p.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn derive_seed_streams_differ() {
+        let s0 = derive_seed(1234, 0);
+        let s1 = derive_seed(1234, 1);
+        let s2 = derive_seed(1234, 2);
+        assert_ne!(s0, s1);
+        assert_ne!(s1, s2);
+        // stable: same inputs, same outputs
+        assert_eq!(derive_seed(1234, 1), s1);
+    }
+
+    #[test]
+    fn std_rng_is_seedable() {
+        use rand::RngCore;
+        let mut a = std_rng(5, 0);
+        let mut b = std_rng(5, 0);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

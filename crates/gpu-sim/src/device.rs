@@ -1,0 +1,271 @@
+//! [`GpuDevice`]: the façade tying profile, scheduler, kernels and cost
+//! model together — the object experiments talk to.
+
+use fpna_core::error::FpnaError;
+use fpna_core::Result;
+
+use crate::cost::{jittered_time_ns, reduce_time_ns};
+use crate::profile::{DeviceProfile, GpuModel};
+use crate::reduce::{reduce_value, KernelParams, ReduceKernel};
+use crate::schedule::{ScheduleKind, Scheduler};
+
+/// Result of a simulated kernel launch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReduceOutcome {
+    /// The reduction value (bitwise meaningful).
+    pub value: f64,
+    /// Simulated wall time of the launch in nanoseconds, including the
+    /// profile's measurement jitter.
+    pub time_ns: f64,
+    /// Whether the kernel that produced this value is deterministic.
+    pub deterministic: bool,
+}
+
+/// A simulated GPU: a device profile plus its wave scheduler.
+#[derive(Debug, Clone)]
+pub struct GpuDevice {
+    profile: DeviceProfile,
+    scheduler: Scheduler,
+}
+
+impl GpuDevice {
+    /// Device for a stock model.
+    pub fn new(model: GpuModel) -> Self {
+        GpuDevice::with_profile(DeviceProfile::new(model))
+    }
+
+    /// Device for a custom profile.
+    pub fn with_profile(profile: DeviceProfile) -> Self {
+        let scheduler = Scheduler::from_profile(&profile);
+        GpuDevice { profile, scheduler }
+    }
+
+    /// The device profile.
+    pub fn profile(&self) -> &DeviceProfile {
+        &self.profile
+    }
+
+    /// The device's wave scheduler.
+    pub fn scheduler(&self) -> &Scheduler {
+        &self.scheduler
+    }
+
+    /// Launch a reduction kernel over `data` under schedule `kind`.
+    ///
+    /// Returns [`FpnaError::InvalidConfig`] when the kernel is not
+    /// available on the device — FP64 `atomicAdd` (AO) requires an
+    /// unsafe compiler mode on AMD and is excluded there, as in the
+    /// paper.
+    pub fn reduce(
+        &self,
+        kernel: ReduceKernel,
+        data: &[f64],
+        params: KernelParams,
+        kind: &ScheduleKind,
+    ) -> Result<ReduceOutcome> {
+        if kernel == ReduceKernel::Ao && !self.profile.supports_ao {
+            return Err(FpnaError::config(format!(
+                "FP64 atomicAdd (AO) is not available on {}",
+                self.profile.model.name()
+            )));
+        }
+        let value = reduce_value(
+            kernel,
+            data,
+            params,
+            &self.scheduler,
+            self.profile.warp_width,
+            kind,
+        );
+        let base = reduce_time_ns(&self.profile, kernel, data.len(), params);
+        let jitter_seed = match *kind {
+            ScheduleKind::Seeded(s) | ScheduleKind::UniformRandom(s) => s,
+            ScheduleKind::InOrder => 0,
+            ScheduleKind::Reverse => 1,
+        };
+        Ok(ReduceOutcome {
+            value,
+            time_ns: jittered_time_ns(base, self.profile.timing_jitter, jitter_seed),
+            deterministic: kernel.is_deterministic(),
+        })
+    }
+
+    /// The order in which `n_items` atomic contributions commit on this
+    /// device: items are grouped into warps (lane order preserved),
+    /// warps into blocks of 256 threads, and blocks interleave under
+    /// the wave scheduler. Returns a permutation of `0..n_items`.
+    ///
+    /// This is the primitive `fpna-tensor`'s non-deterministic kernels
+    /// (`index_add`, `scatter_reduce`, `conv_transpose*`, …) use to
+    /// order their accumulations.
+    pub fn scatter_commit_order(&self, n_items: usize, kind: &ScheduleKind) -> Vec<u32> {
+        assert!(n_items <= u32::MAX as usize, "scatter too large");
+        if n_items == 0 {
+            return Vec::new();
+        }
+        let ww = self.profile.warp_width as usize;
+        let threads_per_block = 256usize.max(ww);
+        let warps_per_block = threads_per_block / ww;
+        let n_warps = n_items.div_ceil(ww);
+        let n_blocks = n_warps.div_ceil(warps_per_block);
+        let queues: Vec<u32> = (0..n_blocks)
+            .map(|b| {
+                let first_warp = b * warps_per_block;
+                let warps = warps_per_block.min(n_warps - first_warp);
+                warps as u32
+            })
+            .collect();
+        let events = self.scheduler.interleave(&queues, kind);
+        let mut order = Vec::with_capacity(n_items);
+        for (block, warp_in_block) in events {
+            let warp = block as usize * warps_per_block + warp_in_block as usize;
+            let base = warp * ww;
+            for lane in 0..ww {
+                let idx = base + lane;
+                if idx < n_items {
+                    order.push(idx as u32);
+                }
+            }
+        }
+        debug_assert_eq!(order.len(), n_items);
+        order
+    }
+
+    /// Commit `(address, value)` contributions into `dst` with
+    /// `atomicAdd` semantics: additions to the same address happen in
+    /// the device's commit order — the non-deterministic accumulation
+    /// at the heart of §IV.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an address is out of bounds for `dst` (callers
+    /// validate indices before launching, as the tensor library does).
+    pub fn atomic_scatter_add(
+        &self,
+        dst: &mut [f64],
+        contributions: &[(u32, f64)],
+        kind: &ScheduleKind,
+    ) {
+        let order = self.scatter_commit_order(contributions.len(), kind);
+        for &i in &order {
+            let (addr, val) = contributions[i as usize];
+            dst[addr as usize] += val;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpna_core::rng::SplitMix64;
+
+    fn data(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = SplitMix64::new(seed);
+        (0..n).map(|_| rng.next_f64() * 10.0).collect()
+    }
+
+    #[test]
+    fn reduce_outcome_fields() {
+        let dev = GpuDevice::new(GpuModel::V100);
+        let xs = data(10_000, 1);
+        let out = dev
+            .reduce(
+                ReduceKernel::Sptr,
+                &xs,
+                KernelParams::new(128, 32),
+                &ScheduleKind::Seeded(1),
+            )
+            .unwrap();
+        assert!(out.deterministic);
+        assert!(out.time_ns > 0.0);
+        assert!((out.value - xs.iter().sum::<f64>()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ao_rejected_on_amd() {
+        let dev = GpuDevice::new(GpuModel::Mi250x);
+        let xs = data(100, 2);
+        let err = dev
+            .reduce(
+                ReduceKernel::Ao,
+                &xs,
+                KernelParams::new(64, 2),
+                &ScheduleKind::InOrder,
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("Mi250X"));
+        // SPA (atomic but supported path) still works
+        assert!(dev
+            .reduce(
+                ReduceKernel::Spa,
+                &xs,
+                KernelParams::new(64, 2),
+                &ScheduleKind::InOrder
+            )
+            .is_ok());
+    }
+
+    #[test]
+    fn scatter_order_is_permutation() {
+        let dev = GpuDevice::new(GpuModel::V100);
+        for n in [0usize, 1, 31, 32, 33, 1000, 4097] {
+            let order = dev.scatter_commit_order(n, &ScheduleKind::Seeded(3));
+            let mut seen = vec![false; n];
+            for &i in &order {
+                assert!(!seen[i as usize]);
+                seen[i as usize] = true;
+            }
+            assert_eq!(order.len(), n);
+        }
+    }
+
+    #[test]
+    fn scatter_order_preserves_lanes() {
+        // Within a warp-aligned group of 32, indices stay consecutive.
+        let dev = GpuDevice::new(GpuModel::V100);
+        let order = dev.scatter_commit_order(320, &ScheduleKind::Seeded(5));
+        for chunk in order.chunks(32) {
+            for w in chunk.windows(2) {
+                assert_eq!(w[1], w[0] + 1, "lanes must commit in order");
+            }
+        }
+    }
+
+    #[test]
+    fn scatter_add_same_multiset_different_bits() {
+        // Contributions to one address: same multiset, different order
+        // => potentially different bits; in-order must equal the plain
+        // serial accumulation.
+        let dev = GpuDevice::new(GpuModel::V100);
+        let contribs: Vec<(u32, f64)> = data(10_000, 6)
+            .into_iter()
+            .map(|v| (0u32, v * 1e8 - 5e7))
+            .collect();
+        let mut serial = vec![0.0f64];
+        for &(_, v) in &contribs {
+            serial[0] += v;
+        }
+        let mut in_order = vec![0.0f64];
+        dev.atomic_scatter_add(&mut in_order, &contribs, &ScheduleKind::InOrder);
+        assert_eq!(in_order[0].to_bits(), serial[0].to_bits());
+
+        let mut seen = std::collections::HashSet::new();
+        for run in 0..10 {
+            let mut dst = vec![0.0f64];
+            dev.atomic_scatter_add(&mut dst, &contribs, &ScheduleKind::Seeded(run));
+            seen.insert(dst[0].to_bits());
+        }
+        assert!(seen.len() > 1, "expected order-dependent bits");
+    }
+
+    #[test]
+    fn scatter_add_disjoint_addresses_is_order_invariant() {
+        let dev = GpuDevice::new(GpuModel::Gh200);
+        let contribs: Vec<(u32, f64)> = (0..1000u32).map(|i| (i, i as f64 * 0.5)).collect();
+        let mut a = vec![0.0f64; 1000];
+        let mut b = vec![0.0f64; 1000];
+        dev.atomic_scatter_add(&mut a, &contribs, &ScheduleKind::Seeded(1));
+        dev.atomic_scatter_add(&mut b, &contribs, &ScheduleKind::Seeded(2));
+        assert_eq!(a, b, "no shared addresses => no FPNA");
+    }
+}

@@ -1,0 +1,49 @@
+//! # fpna-gpu-sim
+//!
+//! A software GPU for studying floating-point non-associativity.
+//!
+//! Real GPUs make parallel reductions non-reproducible because the
+//! *commit order* of atomic operations depends on the runtime block
+//! scheduler, which is outside the programmer's control. This crate
+//! reproduces exactly that mechanism in software:
+//!
+//! * [`profile`] — device profiles (V100, GH200, MI250X, H100) holding
+//!   the calibrated cost-model parameters;
+//! * [`schedule`] — a generative block/warp scheduler: blocks become
+//!   resident in waves (bounded by the device's concurrent-block
+//!   capacity), warps from resident blocks interleave randomly, and
+//!   lanes within a warp commit in order. A seed fully determines a
+//!   schedule, so experiments are replayable; *varying* the seed plays
+//!   the role of re-running the kernel on real hardware;
+//! * [`reduce`] — the paper's six parallel-sum implementations
+//!   (§III-A, Table 2): the non-deterministic `AO` and `SPA` and the
+//!   deterministic `SPTR`, `SPRG`, `TPRC` and `CU`;
+//! * [`cost`] — the cycle/latency cost model behind the Table 4
+//!   timings;
+//! * [`device`] — [`device::GpuDevice`], the façade tying it together,
+//!   including the atomic scatter unit used by `fpna-tensor`'s
+//!   non-deterministic kernels.
+//!
+//! ## What is faithfully modelled
+//!
+//! Deterministic kernels produce bitwise identical results under every
+//! schedule (this is asserted by property tests); non-deterministic
+//! kernels produce results that vary with the seed because their
+//! floating-point additions commit in schedule order. Timing comes
+//! from a calibrated analytic cost model — it reproduces the *shape* of
+//! the paper's Table 4 (ranking and relative gaps), not silicon-exact
+//! microseconds.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cost;
+pub mod device;
+pub mod profile;
+pub mod reduce;
+pub mod schedule;
+
+pub use device::{GpuDevice, ReduceOutcome};
+pub use profile::{DeviceProfile, GpuModel};
+pub use reduce::{KernelParams, ReduceKernel};
+pub use schedule::{ScheduleKind, Scheduler};

@@ -1,0 +1,117 @@
+//! Property tests for the simulator: schedule validity, kernel value
+//! correctness against an exact oracle, and the determinism contract.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use fpna_gpu_sim::{GpuDevice, GpuModel, KernelParams, ReduceKernel, ScheduleKind, Scheduler};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Interleavings cover every item exactly once and preserve each
+    /// queue's internal order, for every policy.
+    #[test]
+    fn interleave_is_a_valid_linearisation(
+        queues in vec(0u32..20, 1..40),
+        window in 1u32..64,
+        seed in any::<u64>(),
+    ) {
+        let s = Scheduler::new(window);
+        for kind in [
+            ScheduleKind::Seeded(seed),
+            ScheduleKind::UniformRandom(seed),
+            ScheduleKind::InOrder,
+            ScheduleKind::Reverse,
+        ] {
+            let events = s.interleave(&queues, &kind);
+            let total: usize = queues.iter().map(|&c| c as usize).sum();
+            prop_assert_eq!(events.len(), total);
+            let mut next = vec![0u32; queues.len()];
+            for (q, i) in events {
+                prop_assert_eq!(i, next[q as usize], "queue {} out of order", q);
+                next[q as usize] += 1;
+            }
+            for (q, (&want, got)) in queues.iter().zip(next).enumerate() {
+                prop_assert_eq!(want, got, "queue {} incomplete", q);
+            }
+        }
+    }
+
+    /// Every reduction kernel returns the true sum to a tolerance set
+    /// by the input's conditioning — under an arbitrary schedule.
+    #[test]
+    fn kernels_compute_the_sum(
+        xs in vec(-1e6..1e6f64, 1..2000),
+        seed in any::<u64>(),
+        nt_pow in 4u32..9,
+        nb in 1u32..32,
+    ) {
+        let device = GpuDevice::new(GpuModel::Gh200);
+        let params = KernelParams::new(1 << nt_pow, nb);
+        let exact = fpna_summation::exact::exact_sum(&xs);
+        let scale: f64 = xs.iter().map(|x| x.abs()).sum::<f64>().max(1.0);
+        for kernel in ReduceKernel::all() {
+            let v = device
+                .reduce(kernel, &xs, params, &ScheduleKind::Seeded(seed))
+                .unwrap()
+                .value;
+            prop_assert!((v - exact).abs() <= 1e-11 * scale,
+                "{}: {} vs {}", kernel.name(), v, exact);
+        }
+    }
+
+    /// The determinism contract: deterministic kernels produce one bit
+    /// pattern across schedules; with a *fixed* schedule, every kernel
+    /// replays exactly.
+    #[test]
+    fn determinism_contract(
+        xs in vec(-1e3..1e3f64, 64..512),
+        seed_a in any::<u64>(),
+        seed_b in any::<u64>(),
+    ) {
+        let device = GpuDevice::new(GpuModel::V100);
+        let params = KernelParams::new(64, 8);
+        for kernel in ReduceKernel::all() {
+            let a1 = device.reduce(kernel, &xs, params, &ScheduleKind::Seeded(seed_a)).unwrap().value;
+            let a2 = device.reduce(kernel, &xs, params, &ScheduleKind::Seeded(seed_a)).unwrap().value;
+            prop_assert_eq!(a1.to_bits(), a2.to_bits(), "{} must replay", kernel.name());
+            if kernel.is_deterministic() {
+                let b = device.reduce(kernel, &xs, params, &ScheduleKind::Seeded(seed_b)).unwrap().value;
+                prop_assert_eq!(a1.to_bits(), b.to_bits(), "{} must ignore schedule", kernel.name());
+            }
+        }
+    }
+
+    /// Scatter commit orders are permutations that keep warp lanes
+    /// consecutive.
+    #[test]
+    fn scatter_order_valid(n in 0usize..5000, seed in any::<u64>()) {
+        let device = GpuDevice::new(GpuModel::H100);
+        let order = device.scatter_commit_order(n, &ScheduleKind::Seeded(seed));
+        prop_assert_eq!(order.len(), n);
+        let mut seen = vec![false; n];
+        for &i in &order {
+            prop_assert!(!seen[i as usize]);
+            seen[i as usize] = true;
+        }
+        // every *full* warp's items commit consecutively in lane order
+        let ww = 32usize;
+        let mut pos = vec![0usize; n];
+        for (p, &i) in order.iter().enumerate() {
+            pos[i as usize] = p;
+        }
+        for warp_start in (0..n).step_by(ww) {
+            if warp_start + ww > n {
+                break; // partial trailing warp
+            }
+            for lane in 1..ww {
+                prop_assert_eq!(
+                    pos[warp_start + lane],
+                    pos[warp_start] + lane,
+                    "warp at {} not lane-ordered", warp_start
+                );
+            }
+        }
+    }
+}

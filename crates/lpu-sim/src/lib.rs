@@ -1,0 +1,51 @@
+//! # fpna-lpu-sim
+//!
+//! A deterministic, statically scheduled accelerator in the style of
+//! the Groq LPU (Abts et al., ISCA 2020) — the paper's §IV/§V hardware
+//! answer to floating-point non-associativity.
+//!
+//! The defining properties, reproduced here *by construction*:
+//!
+//! 1. **No runtime arbitration.** A program is an ordered list of
+//!    instructions with all data movement (including gather/scatter
+//!    index sets) resolved at compile time. Execution follows program
+//!    order; reductions use a fixed tree. Two executions of the same
+//!    compiled program on the same inputs are bitwise identical —
+//!    there is no scheduler to vary.
+//! 2. **Ahead-of-time timing.** Every instruction has a cycle cost
+//!    that depends only on shapes, so a compiled program's runtime is a
+//!    *number computed at compile time*, not a measurement — which is
+//!    why the paper reports Groq runtimes without error bars.
+//!
+//! Three modules:
+//!
+//! * [`spec`] — machine parameters (clock, vector lanes, MAC array,
+//!   per-instruction dispatch costs), calibrated to the Groq columns of
+//!   Tables 6 and 8;
+//! * [`program`] — the instruction set and [`program::Program`]
+//!   builder, with static shape checking and cycle accounting;
+//! * [`machine`] — the executor.
+//!
+//! ```
+//! use fpna_lpu_sim::{program::{Program, TensorShape}, machine::Lpu, spec::LpuSpec};
+//!
+//! let mut p = Program::new();
+//! let x = p.input(TensorShape::new(2, 3));
+//! let w = p.input(TensorShape::new(3, 2));
+//! let y = p.matmul(x, w);
+//! p.output(y);
+//! let lpu = Lpu::new(LpuSpec::groq_like());
+//! let compiled = lpu.compile(p).unwrap();
+//! assert!(compiled.cycles() > 0.0); // known before execution
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod machine;
+pub mod program;
+pub mod spec;
+
+pub use machine::{Lpu, Tensor2};
+pub use program::{Program, TensorShape};
+pub use spec::LpuSpec;

@@ -1,0 +1,314 @@
+//! The LPU instruction set and program builder.
+//!
+//! Programs are built ahead of time: every tensor shape, every
+//! gather/scatter index set, and therefore every instruction's cycle
+//! cost is known before the first input byte arrives. The builder
+//! checks shapes at construction ("compile time"), so a mis-shaped
+//! graph never reaches the executor.
+
+use fpna_core::error::FpnaError;
+use fpna_core::Result;
+
+/// Shape of a 2-D tensor (`rows × cols`). 1-D data is `1 × n`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TensorShape {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+}
+
+impl TensorShape {
+    /// New shape.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        TensorShape { rows, cols }
+    }
+
+    /// Total element count.
+    pub fn len(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// `true` for zero-element shapes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Identifier of a tensor slot inside a program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TensorId(pub(crate) usize);
+
+/// One statically scheduled instruction.
+#[derive(Debug, Clone)]
+pub(crate) enum Inst {
+    /// `out = a × b` (matrix product).
+    MatMul {
+        a: TensorId,
+        b: TensorId,
+        out: TensorId,
+    },
+    /// `out = a + b` elementwise.
+    Add {
+        a: TensorId,
+        b: TensorId,
+        out: TensorId,
+    },
+    /// `out[r, :] = a[r, :] + bias[0, :]` (row broadcast).
+    AddRowBroadcast {
+        a: TensorId,
+        bias: TensorId,
+        out: TensorId,
+    },
+    /// `out = max(a, 0)`.
+    Relu { a: TensorId, out: TensorId },
+    /// `out = a * factor`.
+    Scale {
+        a: TensorId,
+        factor: f64,
+        out: TensorId,
+    },
+    /// `out[k, :] = src[index[k], :]` — static gather.
+    GatherRows {
+        src: TensorId,
+        index: Vec<u32>,
+        out: TensorId,
+    },
+    /// `out[index[k], :] += src[k, :]`, `k` ascending — static,
+    /// deterministic scatter-add.
+    ScatterAddRows {
+        src: TensorId,
+        index: Vec<u32>,
+        out: TensorId,
+    },
+    /// `out[r, :] = a[r, :] / counts[r]` with `counts[r] == 0` rows
+    /// passed through — the mean-aggregation divide.
+    DivRowCounts {
+        a: TensorId,
+        counts: Vec<u32>,
+        out: TensorId,
+    },
+    /// `out[0, 0] = Σ a` via the fixed pairwise tree.
+    ReduceSumAll { a: TensorId, out: TensorId },
+    /// Row-wise softmax (for classifier heads).
+    SoftmaxRows { a: TensorId, out: TensorId },
+}
+
+/// A statically scheduled LPU program.
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    pub(crate) shapes: Vec<TensorShape>,
+    pub(crate) inputs: Vec<TensorId>,
+    pub(crate) outputs: Vec<TensorId>,
+    pub(crate) insts: Vec<Inst>,
+}
+
+impl Program {
+    /// Empty program.
+    pub fn new() -> Self {
+        Program::default()
+    }
+
+    fn alloc(&mut self, shape: TensorShape) -> TensorId {
+        let id = TensorId(self.shapes.len());
+        self.shapes.push(shape);
+        id
+    }
+
+    /// Shape of a tensor slot.
+    pub fn shape(&self, id: TensorId) -> TensorShape {
+        self.shapes[id.0]
+    }
+
+    /// Declare an external input.
+    pub fn input(&mut self, shape: TensorShape) -> TensorId {
+        let id = self.alloc(shape);
+        self.inputs.push(id);
+        id
+    }
+
+    /// Mark a tensor as a program output.
+    pub fn output(&mut self, id: TensorId) {
+        self.outputs.push(id);
+    }
+
+    /// Matrix product `a × b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an inner-dimension mismatch — shapes are static, so a
+    /// mismatch is a programming error caught at build time.
+    pub fn matmul(&mut self, a: TensorId, b: TensorId) -> TensorId {
+        let (sa, sb) = (self.shape(a), self.shape(b));
+        assert_eq!(sa.cols, sb.rows, "matmul inner dimension mismatch");
+        let out = self.alloc(TensorShape::new(sa.rows, sb.cols));
+        self.insts.push(Inst::MatMul { a, b, out });
+        out
+    }
+
+    /// Elementwise sum.
+    pub fn add(&mut self, a: TensorId, b: TensorId) -> TensorId {
+        assert_eq!(self.shape(a), self.shape(b), "add shape mismatch");
+        let out = self.alloc(self.shape(a));
+        self.insts.push(Inst::Add { a, b, out });
+        out
+    }
+
+    /// Add a `1 × cols` bias row to every row of `a`.
+    pub fn add_row_broadcast(&mut self, a: TensorId, bias: TensorId) -> TensorId {
+        let (sa, sb) = (self.shape(a), self.shape(bias));
+        assert_eq!(sb.rows, 1, "bias must be a single row");
+        assert_eq!(sa.cols, sb.cols, "bias width mismatch");
+        let out = self.alloc(sa);
+        self.insts.push(Inst::AddRowBroadcast { a, bias, out });
+        out
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&mut self, a: TensorId) -> TensorId {
+        let out = self.alloc(self.shape(a));
+        self.insts.push(Inst::Relu { a, out });
+        out
+    }
+
+    /// Multiply by a compile-time scalar.
+    pub fn scale(&mut self, a: TensorId, factor: f64) -> TensorId {
+        let out = self.alloc(self.shape(a));
+        self.insts.push(Inst::Scale { a, factor, out });
+        out
+    }
+
+    /// Static gather: `out[k, :] = src[index[k], :]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range (indices are compile-time
+    /// constants on this architecture).
+    pub fn gather_rows(&mut self, src: TensorId, index: Vec<u32>) -> TensorId {
+        let s = self.shape(src);
+        assert!(
+            index.iter().all(|&i| (i as usize) < s.rows),
+            "gather index out of range"
+        );
+        let out = self.alloc(TensorShape::new(index.len(), s.cols));
+        self.insts.push(Inst::GatherRows { src, index, out });
+        out
+    }
+
+    /// Static deterministic scatter-add into a fresh `out_rows × cols`
+    /// zero tensor: `out[index[k], :] += src[k, :]` for `k` ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index.len()` differs from `src`'s row count or any
+    /// index exceeds `out_rows`.
+    pub fn scatter_add_rows(&mut self, src: TensorId, index: Vec<u32>, out_rows: usize) -> TensorId {
+        let s = self.shape(src);
+        assert_eq!(index.len(), s.rows, "one index per source row");
+        assert!(
+            index.iter().all(|&i| (i as usize) < out_rows),
+            "scatter index out of range"
+        );
+        let out = self.alloc(TensorShape::new(out_rows, s.cols));
+        self.insts.push(Inst::ScatterAddRows { src, index, out });
+        out
+    }
+
+    /// Divide each row by a compile-time count (zero counts pass the
+    /// row through) — the "mean" half of mean-aggregation.
+    pub fn div_row_counts(&mut self, a: TensorId, counts: Vec<u32>) -> TensorId {
+        let s = self.shape(a);
+        assert_eq!(counts.len(), s.rows, "one count per row");
+        let out = self.alloc(s);
+        self.insts.push(Inst::DivRowCounts { a, counts, out });
+        out
+    }
+
+    /// Full reduction to a `1 × 1` tensor via the fixed pairwise tree.
+    pub fn reduce_sum_all(&mut self, a: TensorId) -> TensorId {
+        let out = self.alloc(TensorShape::new(1, 1));
+        self.insts.push(Inst::ReduceSumAll { a, out });
+        out
+    }
+
+    /// Row-wise softmax.
+    pub fn softmax_rows(&mut self, a: TensorId) -> TensorId {
+        let out = self.alloc(self.shape(a));
+        self.insts.push(Inst::SoftmaxRows { a, out });
+        out
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// `true` for an empty program.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Validate the program is executable (has outputs, outputs
+    /// defined). Called by the machine's `compile`.
+    pub(crate) fn validate(&self) -> Result<()> {
+        if self.outputs.is_empty() {
+            return Err(FpnaError::config("program has no outputs"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_flow_through_builder() {
+        let mut p = Program::new();
+        let x = p.input(TensorShape::new(4, 8));
+        let w = p.input(TensorShape::new(8, 3));
+        let y = p.matmul(x, w);
+        assert_eq!(p.shape(y), TensorShape::new(4, 3));
+        let r = p.relu(y);
+        assert_eq!(p.shape(r), TensorShape::new(4, 3));
+        let g = p.gather_rows(r, vec![0, 0, 2]);
+        assert_eq!(p.shape(g), TensorShape::new(3, 3));
+        let s = p.scatter_add_rows(g, vec![1, 1, 0], 2);
+        assert_eq!(p.shape(s), TensorShape::new(2, 3));
+        p.output(s);
+        assert!(p.validate().is_ok());
+        assert_eq!(p.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension")]
+    fn matmul_shape_mismatch_panics() {
+        let mut p = Program::new();
+        let x = p.input(TensorShape::new(4, 8));
+        let w = p.input(TensorShape::new(7, 3));
+        p.matmul(x, w);
+    }
+
+    #[test]
+    #[should_panic(expected = "gather index")]
+    fn gather_oob_panics() {
+        let mut p = Program::new();
+        let x = p.input(TensorShape::new(2, 2));
+        p.gather_rows(x, vec![5]);
+    }
+
+    #[test]
+    fn no_outputs_fails_validation() {
+        let mut p = Program::new();
+        let _ = p.input(TensorShape::new(1, 1));
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn shape_helpers() {
+        let s = TensorShape::new(3, 4);
+        assert_eq!(s.len(), 12);
+        assert!(!s.is_empty());
+        assert!(TensorShape::new(0, 5).is_empty());
+    }
+}

@@ -1,0 +1,269 @@
+//! Graph representation and the synthetic Cora generator.
+//!
+//! The paper trains on Cora: 2708 scientific publications in 7
+//! classes, 5429 citation links, 1433-dimensional bag-of-words
+//! features. The real dataset is a download; the experiment, however,
+//! only needs *a fixed graph of the same shape* — it measures
+//! divergence between repeated runs on identical inputs, so any seeded
+//! graph exercising the same `index_add` code path preserves the
+//! behaviour (substitution documented in DESIGN.md). The generator
+//! produces a class-assortative stochastic-block-model-like citation
+//! graph with sparse class-correlated features.
+
+use fpna_core::rng::SplitMix64;
+use fpna_tensor::Tensor;
+
+/// An undirected graph stored as a directed edge list (both
+/// directions), plus per-node degrees.
+#[derive(Debug, Clone)]
+pub struct Graph {
+    /// Number of nodes.
+    pub num_nodes: usize,
+    /// Directed edges: `edge_src[e] → edge_dst[e]`. Each undirected
+    /// link appears in both directions, matching PyG's representation.
+    pub edge_src: Vec<u32>,
+    /// Destination node of each directed edge.
+    pub edge_dst: Vec<u32>,
+    /// In-degree of every node (the mean-aggregation divisor).
+    pub degree: Vec<u32>,
+}
+
+impl Graph {
+    /// Build from undirected links, expanding both directions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a link references a node `>= num_nodes`.
+    pub fn from_undirected(num_nodes: usize, links: &[(u32, u32)]) -> Self {
+        let mut edge_src = Vec::with_capacity(links.len() * 2);
+        let mut edge_dst = Vec::with_capacity(links.len() * 2);
+        let mut degree = vec![0u32; num_nodes];
+        for &(a, b) in links {
+            assert!(
+                (a as usize) < num_nodes && (b as usize) < num_nodes,
+                "link ({a}, {b}) out of range"
+            );
+            edge_src.push(a);
+            edge_dst.push(b);
+            degree[b as usize] += 1;
+            edge_src.push(b);
+            edge_dst.push(a);
+            degree[a as usize] += 1;
+        }
+        Graph {
+            num_nodes,
+            edge_src,
+            edge_dst,
+            degree,
+        }
+    }
+
+    /// Number of directed edges.
+    pub fn num_edges(&self) -> usize {
+        self.edge_src.len()
+    }
+}
+
+/// A node-classification dataset: graph, features, labels, train mask.
+#[derive(Debug, Clone)]
+pub struct NodeClassification {
+    /// The graph.
+    pub graph: Graph,
+    /// Node features, `[num_nodes, num_features]`.
+    pub features: Tensor,
+    /// Class label per node.
+    pub labels: Vec<u32>,
+    /// Number of classes.
+    pub num_classes: usize,
+    /// Nodes that contribute to the training loss.
+    pub train_mask: Vec<bool>,
+}
+
+/// Parameters of the synthetic citation-graph generator.
+#[derive(Debug, Clone, Copy)]
+pub struct CoraParams {
+    /// Node count.
+    pub nodes: usize,
+    /// Feature dimension.
+    pub features: usize,
+    /// Class count.
+    pub classes: usize,
+    /// Undirected link count.
+    pub links: usize,
+    /// Probability that a link connects same-class nodes
+    /// (assortativity).
+    pub intra_class_prob: f64,
+    /// Non-zero features per node (bag-of-words sparsity).
+    pub active_features: usize,
+    /// Fraction of nodes in the training mask.
+    pub train_fraction: f64,
+}
+
+impl CoraParams {
+    /// The real Cora's dimensions (2708 / 1433 / 7 / 5429).
+    pub fn cora() -> Self {
+        CoraParams {
+            nodes: 2708,
+            features: 1433,
+            classes: 7,
+            links: 5429,
+            intra_class_prob: 0.8,
+            active_features: 18,
+            train_fraction: 0.05,
+        }
+    }
+
+    /// A scaled-down variant for fast tests.
+    pub fn tiny() -> Self {
+        CoraParams {
+            nodes: 120,
+            features: 32,
+            classes: 4,
+            links: 240,
+            intra_class_prob: 0.8,
+            active_features: 6,
+            train_fraction: 0.3,
+        }
+    }
+}
+
+/// Generate a synthetic citation dataset. Fully determined by the
+/// seed: the same `(params, seed)` always yields the same bits, so the
+/// *inputs* of every experiment are identical across runs — the
+/// precondition for attributing divergence to FPNA.
+pub fn synthetic_cora(params: CoraParams, seed: u64) -> NodeClassification {
+    assert!(params.classes >= 2, "need at least two classes");
+    assert!(params.nodes >= params.classes, "need nodes >= classes");
+    let mut rng = SplitMix64::new(seed);
+
+    // Class labels: round-robin then shuffled, so classes are balanced.
+    let mut labels: Vec<u32> = (0..params.nodes)
+        .map(|i| (i % params.classes) as u32)
+        .collect();
+    fpna_core::rng::shuffle(&mut labels, &mut rng);
+
+    // Class-assortative links. Rejection-free: pick an endpoint, then
+    // pick the partner from the same class w.p. intra_class_prob.
+    let mut by_class: Vec<Vec<u32>> = vec![Vec::new(); params.classes];
+    for (i, &c) in labels.iter().enumerate() {
+        by_class[c as usize].push(i as u32);
+    }
+    let mut links = Vec::with_capacity(params.links);
+    let mut seen = std::collections::HashSet::with_capacity(params.links * 2);
+    while links.len() < params.links {
+        let a = rng.next_below(params.nodes as u64) as u32;
+        let b = if rng.next_f64() < params.intra_class_prob {
+            let peers = &by_class[labels[a as usize] as usize];
+            peers[rng.next_below(peers.len() as u64) as usize]
+        } else {
+            rng.next_below(params.nodes as u64) as u32
+        };
+        if a == b {
+            continue;
+        }
+        let key = (a.min(b), a.max(b));
+        if seen.insert(key) {
+            links.push(key);
+        }
+    }
+    let graph = Graph::from_undirected(params.nodes, &links);
+
+    // Sparse class-correlated bag-of-words features: each class owns a
+    // band of the vocabulary; a node activates mostly in its band.
+    let mut data = vec![0.0f64; params.nodes * params.features];
+    let band = (params.features / params.classes).max(1);
+    for i in 0..params.nodes {
+        let c = labels[i] as usize;
+        for _ in 0..params.active_features {
+            let in_band = rng.next_f64() < 0.7;
+            let f = if in_band {
+                c * band + rng.next_below(band as u64) as usize
+            } else {
+                rng.next_below(params.features as u64) as usize
+            };
+            data[i * params.features + f.min(params.features - 1)] = 1.0;
+        }
+    }
+    let features = Tensor::from_vec(vec![params.nodes, params.features], data);
+
+    // Training mask: first train_fraction of a shuffled node order.
+    let mut order: Vec<u32> = (0..params.nodes as u32).collect();
+    fpna_core::rng::shuffle(&mut order, &mut rng);
+    let n_train = ((params.nodes as f64 * params.train_fraction) as usize).max(params.classes);
+    let mut train_mask = vec![false; params.nodes];
+    for &i in order.iter().take(n_train) {
+        train_mask[i as usize] = true;
+    }
+
+    NodeClassification {
+        graph,
+        features,
+        labels,
+        num_classes: params.classes,
+        train_mask,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_undirected_expands_both_directions() {
+        let g = Graph::from_undirected(3, &[(0, 1), (1, 2)]);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.degree, vec![1, 2, 1]);
+    }
+
+    #[test]
+    fn cora_dimensions() {
+        let ds = synthetic_cora(CoraParams::cora(), 1);
+        assert_eq!(ds.graph.num_nodes, 2708);
+        assert_eq!(ds.features.shape(), &[2708, 1433]);
+        assert_eq!(ds.labels.len(), 2708);
+        assert_eq!(ds.num_classes, 7);
+        assert_eq!(ds.graph.num_edges(), 2 * 5429);
+        assert!(ds.train_mask.iter().filter(|&&m| m).count() >= 7);
+    }
+
+    #[test]
+    fn generation_is_seeded() {
+        let a = synthetic_cora(CoraParams::tiny(), 7);
+        let b = synthetic_cora(CoraParams::tiny(), 7);
+        assert!(a.features.bitwise_eq(&b.features));
+        assert_eq!(a.labels, b.labels);
+        assert_eq!(a.graph.edge_src, b.graph.edge_src);
+        let c = synthetic_cora(CoraParams::tiny(), 8);
+        assert_ne!(a.graph.edge_src, c.graph.edge_src);
+    }
+
+    #[test]
+    fn assortativity_holds() {
+        let ds = synthetic_cora(CoraParams::cora(), 3);
+        let mut intra = 0usize;
+        let mut total = 0usize;
+        for (&s, &d) in ds.graph.edge_src.iter().zip(&ds.graph.edge_dst) {
+            total += 1;
+            if ds.labels[s as usize] == ds.labels[d as usize] {
+                intra += 1;
+            }
+        }
+        let frac = intra as f64 / total as f64;
+        assert!(frac > 0.6, "intra-class fraction {frac}");
+    }
+
+    #[test]
+    fn features_are_sparse_binary() {
+        let ds = synthetic_cora(CoraParams::tiny(), 4);
+        let nnz = ds.features.data().iter().filter(|&&x| x != 0.0).count();
+        let density = nnz as f64 / ds.features.numel() as f64;
+        assert!(density < 0.3, "density {density}");
+        assert!(ds.features.data().iter().all(|&x| x == 0.0 || x == 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_link_panics() {
+        Graph::from_undirected(2, &[(0, 5)]);
+    }
+}

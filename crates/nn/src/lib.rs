@@ -1,0 +1,39 @@
+//! # fpna-nn
+//!
+//! The §V substrate of the paper: a GraphSAGE graph neural network
+//! trained and evaluated on a synthetic Cora, with deterministic and
+//! non-deterministic training/inference pipelines.
+//!
+//! The network is built directly on `fpna-tensor`'s kernels, and — as
+//! in the paper's implementation — **the only non-deterministic
+//! operation in the model is `index_add`**, used by the mean
+//! aggregation of each SAGE layer in both the forward and the backward
+//! pass. Flipping the kernel choice therefore isolates exactly the
+//! effect the paper studies: identical inputs, identical initial
+//! weights, identical hyperparameters, different atomic commit orders.
+//!
+//! * [`graph`] — graph representation + the synthetic Cora generator
+//!   (2708 nodes, 1433 features, 7 classes, 5429 undirected edges);
+//! * [`linalg`] — small deterministic dense kernels (matmul, softmax);
+//! * [`sage`] — the SAGEConv layer with manual forward/backward;
+//! * [`model`] — the two-layer GraphSAGE classifier, cross-entropy and
+//!   SGD;
+//! * [`train`] — the paper's experiment protocols: weight-divergence
+//!   tracking (§V-B), the D/ND training × inference matrix (Table 7);
+//! * [`cost`] — inference runtime models for the H100 and the LPU
+//!   (Table 8), the latter via an actual compiled `fpna-lpu-sim`
+//!   program.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cost;
+pub mod graph;
+pub mod linalg;
+pub mod model;
+pub mod sage;
+pub mod train;
+
+pub use graph::{Graph, NodeClassification};
+pub use model::{GraphSage, TrainConfig};
+pub use sage::SageConv;

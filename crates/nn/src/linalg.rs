@@ -1,0 +1,189 @@
+//! Small deterministic dense kernels: matmul, transpose-matmuls,
+//! row-softmax. Fixed loop order (i-k-j) means fixed addition order —
+//! these never contribute to run-to-run variability, keeping
+//! `index_add` the model's only non-deterministic operation.
+
+use fpna_tensor::Tensor;
+
+/// `C = A · B` for `A: [m, k]`, `B: [k, n]`.
+///
+/// # Panics
+///
+/// Panics on inner-dimension mismatch.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = (a.shape()[0], a.shape()[1]);
+    let (kb, n) = (b.shape()[0], b.shape()[1]);
+    assert_eq!(k, kb, "matmul inner dimension mismatch");
+    let mut out = Tensor::zeros(vec![m, n]);
+    let (ad, bd) = (a.data(), b.data());
+    let od = out.data_mut();
+    for i in 0..m {
+        for kk in 0..k {
+            let aik = ad[i * k + kk];
+            if aik == 0.0 {
+                continue; // sparse features make this a big win
+            }
+            let brow = &bd[kk * n..(kk + 1) * n];
+            let orow = &mut od[i * n..(i + 1) * n];
+            for j in 0..n {
+                orow[j] += aik * brow[j];
+            }
+        }
+    }
+    out
+}
+
+/// `C = Aᵀ · B` for `A: [k, m]`, `B: [k, n]` (gradient of weights).
+pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
+    let (k, m) = (a.shape()[0], a.shape()[1]);
+    let (kb, n) = (b.shape()[0], b.shape()[1]);
+    assert_eq!(k, kb, "matmul_tn inner dimension mismatch");
+    let mut out = Tensor::zeros(vec![m, n]);
+    let (ad, bd) = (a.data(), b.data());
+    let od = out.data_mut();
+    for kk in 0..k {
+        let arow = &ad[kk * m..(kk + 1) * m];
+        let brow = &bd[kk * n..(kk + 1) * n];
+        for i in 0..m {
+            let aki = arow[i];
+            if aki == 0.0 {
+                continue;
+            }
+            let orow = &mut od[i * n..(i + 1) * n];
+            for j in 0..n {
+                orow[j] += aki * brow[j];
+            }
+        }
+    }
+    out
+}
+
+/// `C = A · Bᵀ` for `A: [m, k]`, `B: [n, k]` (gradient of inputs).
+pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = (a.shape()[0], a.shape()[1]);
+    let (n, kb) = (b.shape()[0], b.shape()[1]);
+    assert_eq!(k, kb, "matmul_nt inner dimension mismatch");
+    let mut out = Tensor::zeros(vec![m, n]);
+    let (ad, bd) = (a.data(), b.data());
+    let od = out.data_mut();
+    for i in 0..m {
+        let arow = &ad[i * k..(i + 1) * k];
+        for j in 0..n {
+            let brow = &bd[j * k..(j + 1) * k];
+            let mut acc = 0.0;
+            for kk in 0..k {
+                acc += arow[kk] * brow[kk];
+            }
+            od[i * n + j] = acc;
+        }
+    }
+    out
+}
+
+/// Row-wise softmax.
+pub fn softmax_rows(x: &Tensor) -> Tensor {
+    let cols = x.shape()[1];
+    let mut out = x.clone();
+    for row in out.data_mut().chunks_mut(cols) {
+        let max = row.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mut denom = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            denom += *v;
+        }
+        for v in row.iter_mut() {
+            *v /= denom;
+        }
+    }
+    out
+}
+
+/// Add a bias row to every row, in place.
+pub fn add_bias_rows(x: &mut Tensor, bias: &[f64]) {
+    let cols = x.shape()[1];
+    assert_eq!(bias.len(), cols, "bias width mismatch");
+    for row in x.data_mut().chunks_mut(cols) {
+        for (v, &b) in row.iter_mut().zip(bias) {
+            *v += b;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_known() {
+        let a = Tensor::from_vec(vec![2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Tensor::from_vec(vec![3, 2], vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn transposed_variants_agree() {
+        let a = Tensor::randn(vec![4, 5], 1);
+        let b = Tensor::randn(vec![4, 3], 2);
+        // A^T B  via matmul_tn == manual transpose + matmul
+        let at = {
+            let mut t = Tensor::zeros(vec![5, 4]);
+            for i in 0..4 {
+                for j in 0..5 {
+                    t.data_mut()[j * 4 + i] = a.data()[i * 5 + j];
+                }
+            }
+            t
+        };
+        let want = matmul(&at, &b);
+        let got = matmul_tn(&a, &b);
+        for (x, y) in want.data().iter().zip(got.data()) {
+            assert!((x - y).abs() < 1e-12);
+        }
+        // A B^T via matmul_nt
+        let c = Tensor::randn(vec![6, 5], 3);
+        let ct = {
+            let mut t = Tensor::zeros(vec![5, 6]);
+            for i in 0..6 {
+                for j in 0..5 {
+                    t.data_mut()[j * 6 + i] = c.data()[i * 5 + j];
+                }
+            }
+            t
+        };
+        let want = matmul(&a, &ct);
+        let got = matmul_nt(&a, &c);
+        for (x, y) in want.data().iter().zip(got.data()) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn matmul_is_bitwise_deterministic() {
+        let a = Tensor::randn(vec![20, 30], 4);
+        let b = Tensor::randn(vec![30, 10], 5);
+        assert!(matmul(&a, &b).bitwise_eq(&matmul(&a, &b)));
+    }
+
+    #[test]
+    fn softmax_normalises_and_is_stable() {
+        let x = Tensor::from_vec(vec![1, 3], vec![1000.0, 1001.0, 1002.0]);
+        let s = softmax_rows(&x);
+        let sum: f64 = s.data().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!(s.data().iter().all(|&p| p.is_finite() && p > 0.0));
+    }
+
+    #[test]
+    fn bias_rows() {
+        let mut x = Tensor::zeros(vec![2, 2]);
+        add_bias_rows(&mut x, &[1.0, -1.0]);
+        assert_eq!(x.data(), &[1.0, -1.0, 1.0, -1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension")]
+    fn matmul_mismatch_panics() {
+        matmul(&Tensor::zeros(vec![2, 3]), &Tensor::zeros(vec![4, 2]));
+    }
+}

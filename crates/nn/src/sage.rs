@@ -1,0 +1,355 @@
+//! The GraphSAGE convolution layer, with manual gradients.
+//!
+//! `h'_v = σ( W_self·h_v + W_neigh·AGG({h_u : u ∈ N(v)}) + b )`
+//!
+//! The aggregation `AGG` (mean, or sum for the ablation) is implemented
+//! with `gather_rows` + `index_add` on the simulated GPU — the same
+//! structure as PyTorch Geometric's SAGEConv, and the paper's single
+//! source of non-determinism. `index_add` appears in **both** the
+//! forward aggregation and the backward scatter of gradients to
+//! neighbours, so non-deterministic training compounds the effect
+//! across epochs (§V-B).
+
+use fpna_core::Result;
+use fpna_tensor::context::GpuContext;
+use fpna_tensor::ops::index::{gather_rows, index_add};
+use fpna_tensor::Tensor;
+
+use crate::graph::Graph;
+use crate::linalg::{add_bias_rows, matmul, matmul_nt, matmul_tn};
+
+/// Neighbour aggregation function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Aggregation {
+    /// Mean over neighbours (GraphSAGE default, used in the paper).
+    Mean,
+    /// Sum over neighbours (ablation `ablation_sage_agg`).
+    Sum,
+}
+
+/// One SAGE convolution layer.
+#[derive(Debug, Clone)]
+pub struct SageConv {
+    /// Self weight, `[in, out]`.
+    pub w_self: Tensor,
+    /// Neighbour weight, `[in, out]`.
+    pub w_neigh: Tensor,
+    /// Bias, `[out]`.
+    pub bias: Vec<f64>,
+    /// Aggregation mode.
+    pub aggregation: Aggregation,
+    /// Apply ReLU after the affine map.
+    pub relu: bool,
+}
+
+/// Forward-pass intermediates needed by the backward pass.
+#[derive(Debug, Clone)]
+pub struct SageCache {
+    x: Tensor,
+    agg: Tensor,
+    pre_activation: Tensor,
+}
+
+/// Parameter gradients of one layer.
+#[derive(Debug, Clone)]
+pub struct SageGrads {
+    /// Gradient of `w_self`.
+    pub dw_self: Tensor,
+    /// Gradient of `w_neigh`.
+    pub dw_neigh: Tensor,
+    /// Gradient of `bias`.
+    pub dbias: Vec<f64>,
+}
+
+impl SageConv {
+    /// Glorot-uniform initialised layer, fully determined by the seed.
+    pub fn new(in_dim: usize, out_dim: usize, aggregation: Aggregation, relu: bool, seed: u64) -> Self {
+        let limit = (6.0 / (in_dim + out_dim) as f64).sqrt();
+        let init = |s: u64| {
+            Tensor::rand(vec![in_dim, out_dim], s).map(|u| (2.0 * u - 1.0) * limit)
+        };
+        SageConv {
+            w_self: init(seed),
+            w_neigh: init(seed ^ 0x5eed_cafe),
+            bias: vec![0.0; out_dim],
+            aggregation,
+            relu,
+        }
+    }
+
+    /// Mean/sum-aggregate neighbour features: `index_add` over the edge
+    /// list — the non-deterministic heart of the layer.
+    fn aggregate(&self, ctx: &GpuContext, graph: &Graph, x: &Tensor) -> Result<Tensor> {
+        let d = x.shape()[1];
+        let gathered = gather_rows(x, &graph.edge_src)?;
+        let zeros = Tensor::zeros(vec![graph.num_nodes, d]);
+        let mut summed = index_add(ctx, &zeros, &graph.edge_dst, &gathered)?;
+        if self.aggregation == Aggregation::Mean {
+            for (v, row) in summed.data_mut().chunks_mut(d).enumerate() {
+                let deg = graph.degree[v];
+                if deg > 0 {
+                    let inv = 1.0 / deg as f64;
+                    for val in row.iter_mut() {
+                        *val *= inv;
+                    }
+                }
+            }
+        }
+        Ok(summed)
+    }
+
+    /// Forward pass. Returns the output and the cache for backward.
+    pub fn forward(&self, ctx: &GpuContext, graph: &Graph, x: &Tensor) -> Result<(Tensor, SageCache)> {
+        let agg = self.aggregate(ctx, graph, x)?;
+        let mut pre = matmul(x, &self.w_self);
+        let neigh = matmul(&agg, &self.w_neigh);
+        for (p, &n) in pre.data_mut().iter_mut().zip(neigh.data()) {
+            *p += n;
+        }
+        add_bias_rows(&mut pre, &self.bias);
+        let out = if self.relu { pre.map(|v| v.max(0.0)) } else { pre.clone() };
+        Ok((
+            out,
+            SageCache {
+                x: x.clone(),
+                agg,
+                pre_activation: pre,
+            },
+        ))
+    }
+
+    /// Backward pass: given `dout = ∂L/∂output`, produce parameter
+    /// gradients and `∂L/∂x`. The neighbour-gradient scatter uses
+    /// `index_add` and is therefore non-deterministic in ND mode.
+    pub fn backward(
+        &self,
+        ctx: &GpuContext,
+        graph: &Graph,
+        cache: &SageCache,
+        dout: &Tensor,
+    ) -> Result<(SageGrads, Tensor)> {
+        let out_dim = self.w_self.shape()[1];
+        // ReLU gate.
+        let dpre = if self.relu {
+            dout.zip(&cache.pre_activation, |g, p| if p > 0.0 { g } else { 0.0 })
+        } else {
+            dout.clone()
+        };
+        let dw_self = matmul_tn(&cache.x, &dpre);
+        let dw_neigh = matmul_tn(&cache.agg, &dpre);
+        let mut dbias = vec![0.0f64; out_dim];
+        for row in dpre.data().chunks(out_dim) {
+            for (b, &g) in dbias.iter_mut().zip(row) {
+                *b += g;
+            }
+        }
+        // Gradient through the aggregation.
+        let mut dagg = matmul_nt(&dpre, &self.w_neigh); // [n, in]
+        if self.aggregation == Aggregation::Mean {
+            let d = dagg.shape()[1];
+            for (v, row) in dagg.data_mut().chunks_mut(d).enumerate() {
+                let deg = graph.degree[v];
+                if deg > 0 {
+                    let inv = 1.0 / deg as f64;
+                    for val in row.iter_mut() {
+                        *val *= inv;
+                    }
+                }
+            }
+        }
+        // Scatter back to neighbours: dx[src] += dagg[dst] per edge.
+        let dgathered = gather_rows(&dagg, &graph.edge_dst)?;
+        let zeros = Tensor::zeros(vec![graph.num_nodes, dagg.shape()[1]]);
+        let dx_agg = index_add(ctx, &zeros, &graph.edge_src, &dgathered)?;
+        let mut dx = matmul_nt(&dpre, &self.w_self);
+        for (a, &b) in dx.data_mut().iter_mut().zip(dx_agg.data()) {
+            *a += b;
+        }
+        Ok((
+            SageGrads {
+                dw_self,
+                dw_neigh,
+                dbias,
+            },
+            dx,
+        ))
+    }
+
+    /// SGD step.
+    pub fn apply_grads(&mut self, grads: &SageGrads, lr: f64) {
+        for (w, &g) in self.w_self.data_mut().iter_mut().zip(grads.dw_self.data()) {
+            *w -= lr * g;
+        }
+        for (w, &g) in self
+            .w_neigh
+            .data_mut()
+            .iter_mut()
+            .zip(grads.dw_neigh.data())
+        {
+            *w -= lr * g;
+        }
+        for (b, &g) in self.bias.iter_mut().zip(&grads.dbias) {
+            *b -= lr * g;
+        }
+    }
+
+    /// Flatten all parameters (for weight-divergence metrics).
+    pub fn flat_params(&self) -> Vec<f64> {
+        let mut out = self.w_self.data().to_vec();
+        out.extend_from_slice(self.w_neigh.data());
+        out.extend_from_slice(&self.bias);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+    use fpna_gpu_sim::GpuModel;
+
+    fn ctx_det() -> GpuContext {
+        GpuContext::new(GpuModel::H100, 1).with_determinism(Some(true))
+    }
+
+    fn ctx_nd(seed: u64) -> GpuContext {
+        GpuContext::new(GpuModel::H100, seed).with_determinism(Some(false))
+    }
+
+    fn line_graph() -> Graph {
+        Graph::from_undirected(3, &[(0, 1), (1, 2)])
+    }
+
+    #[test]
+    fn mean_aggregation_semantics() {
+        let g = line_graph();
+        let x = Tensor::from_vec(vec![3, 1], vec![1.0, 10.0, 100.0]);
+        let layer = SageConv::new(1, 1, Aggregation::Mean, false, 1);
+        let agg = layer.aggregate(&ctx_det(), &g, &x).unwrap();
+        // node0 neighbours {1} -> 10; node1 {0,2} -> 50.5; node2 {1} -> 10
+        assert_eq!(agg.data(), &[10.0, 50.5, 10.0]);
+    }
+
+    #[test]
+    fn sum_aggregation_semantics() {
+        let g = line_graph();
+        let x = Tensor::from_vec(vec![3, 1], vec![1.0, 10.0, 100.0]);
+        let layer = SageConv::new(1, 1, Aggregation::Sum, false, 1);
+        let agg = layer.aggregate(&ctx_det(), &g, &x).unwrap();
+        assert_eq!(agg.data(), &[10.0, 101.0, 10.0]);
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let g = line_graph();
+        let x = Tensor::randn(vec![3, 4], 2);
+        let layer = SageConv::new(4, 2, Aggregation::Mean, true, 3);
+        let (out, cache) = layer.forward(&ctx_det(), &g, &x).unwrap();
+        assert_eq!(out.shape(), &[3, 2]);
+        assert!(out.data().iter().all(|&v| v >= 0.0), "relu output");
+        assert_eq!(cache.agg.shape(), &[3, 4]);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let g = line_graph();
+        let x = Tensor::randn(vec![3, 3], 4).map(|v| v * 0.5);
+        let mut layer = SageConv::new(3, 2, Aggregation::Mean, true, 5);
+        let ctx = ctx_det();
+        // Loss = sum(out^2)/2 so dout = out.
+        let loss_of = |l: &SageConv, xt: &Tensor| -> f64 {
+            let (out, _) = l.forward(&ctx, &g, xt).unwrap();
+            0.5 * out.data().iter().map(|v| v * v).sum::<f64>()
+        };
+        let (out, cache) = layer.forward(&ctx, &g, &x).unwrap();
+        let (grads, dx) = layer.backward(&ctx, &g, &cache, &out).unwrap();
+        let eps = 1e-6;
+
+        // check dW_self[0,0]
+        let base = loss_of(&layer, &x);
+        layer.w_self.data_mut()[0] += eps;
+        let bumped = loss_of(&layer, &x);
+        layer.w_self.data_mut()[0] -= eps;
+        let fd = (bumped - base) / eps;
+        assert!(
+            (fd - grads.dw_self.data()[0]).abs() < 1e-4 * fd.abs().max(1.0),
+            "dw_self fd {fd} vs {}",
+            grads.dw_self.data()[0]
+        );
+
+        // check dW_neigh[1,1]
+        layer.w_neigh.data_mut()[3] += eps;
+        let bumped = loss_of(&layer, &x);
+        layer.w_neigh.data_mut()[3] -= eps;
+        let fd = (bumped - base) / eps;
+        assert!(
+            (fd - grads.dw_neigh.data()[3]).abs() < 1e-4 * fd.abs().max(1.0),
+            "dw_neigh fd {fd} vs {}",
+            grads.dw_neigh.data()[3]
+        );
+
+        // check dbias[0]
+        layer.bias[0] += eps;
+        let bumped = loss_of(&layer, &x);
+        layer.bias[0] -= eps;
+        let fd = (bumped - base) / eps;
+        assert!((fd - grads.dbias[0]).abs() < 1e-4 * fd.abs().max(1.0));
+
+        // check dx[2]
+        let mut x2 = x.clone();
+        x2.data_mut()[2] += eps;
+        let bumped = loss_of(&layer, &x2);
+        let fd = (bumped - base) / eps;
+        assert!(
+            (fd - dx.data()[2]).abs() < 1e-4 * fd.abs().max(1.0),
+            "dx fd {fd} vs {}",
+            dx.data()[2]
+        );
+    }
+
+    #[test]
+    fn deterministic_forward_is_bitwise_stable() {
+        let g = line_graph();
+        let x = Tensor::randn(vec![3, 8], 6).map(|v| v * 1e4);
+        let layer = SageConv::new(8, 4, Aggregation::Mean, true, 7);
+        let (a, _) = layer.forward(&ctx_det().for_run(0), &g, &x).unwrap();
+        let (b, _) = layer.forward(&ctx_det().for_run(1), &g, &x).unwrap();
+        assert!(a.bitwise_eq(&b));
+    }
+
+    #[test]
+    fn nd_forward_varies_on_dense_graph() {
+        // A hub node with many neighbours makes the index_add
+        // accumulation long enough for order effects to show.
+        let links: Vec<(u32, u32)> = (1..3000u32).map(|i| (0, i)).collect();
+        let g = Graph::from_undirected(3000, &links);
+        let x = Tensor::randn(vec![3000, 2], 8).map(|v| v * 1e6);
+        let layer = SageConv::new(2, 2, Aggregation::Mean, false, 9);
+        let mut bits = std::collections::HashSet::new();
+        for run in 0..10 {
+            let (out, _) = layer.forward(&ctx_nd(10).for_run(run), &g, &x).unwrap();
+            bits.insert(out.data()[0].to_bits());
+        }
+        assert!(bits.len() > 1, "hub aggregation should be order-sensitive");
+    }
+
+    #[test]
+    fn sgd_reduces_loss() {
+        let g = line_graph();
+        let x = Tensor::randn(vec![3, 3], 11);
+        let target = Tensor::randn(vec![3, 2], 12);
+        let mut layer = SageConv::new(3, 2, Aggregation::Mean, false, 13);
+        let ctx = ctx_det();
+        let mut last = f64::INFINITY;
+        for _ in 0..50 {
+            let (out, cache) = layer.forward(&ctx, &g, &x).unwrap();
+            let dout = out.zip(&target, |o, t| o - t);
+            let loss: f64 = dout.data().iter().map(|d| d * d).sum::<f64>() * 0.5;
+            let (grads, _) = layer.backward(&ctx, &g, &cache, &dout).unwrap();
+            layer.apply_grads(&grads, 0.05);
+            assert!(loss <= last * 1.001, "loss should trend down");
+            last = loss;
+        }
+        assert!(last < 0.5, "final loss {last}");
+    }
+}

@@ -1,0 +1,30 @@
+//! # fpna-solvers
+//!
+//! Iterative solvers with pluggable deterministic / non-deterministic
+//! reductions — the §I/§III "accumulating errors in iterative
+//! algorithms" thread of the paper, which cites conjugate-gradient
+//! divergence reaching ~20% after a handful of iterations on massively
+//! multithreaded machines (Villa et al., CUG 2009).
+//!
+//! * [`csr`] — a compressed-sparse-row matrix substrate with both a
+//!   row-gather (deterministic) and a column-scatter (atomic,
+//!   non-deterministic) SpMV, plus 2-D Poisson and diagonally-dominant
+//!   random generators;
+//! * [`cg`] — unpreconditioned conjugate gradient where every inner
+//!   product flows through a selectable reduction
+//!   ([`cg::ReductionMode`]): serial, the simulated GPU's SPA kernel
+//!   (non-deterministic), or the exact reproducible accumulator;
+//! * [`cg::divergence_experiment`] — run CG twice under different
+//!   schedules and track the relative divergence of the iterates per
+//!   iteration: rounding-level differences in round 1 get amplified by
+//!   the recurrence, which is why FPNA is so much more visible in
+//!   iterative methods than in single reductions.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cg;
+pub mod csr;
+
+pub use cg::{conjugate_gradient, CgConfig, CgTrace, ReductionMode};
+pub use csr::Csr;

@@ -1,0 +1,107 @@
+//! Bootstrap resampling for error bars.
+//!
+//! Figures 4 and 5 of the paper plot per-reduction-ratio variability
+//! with error bars whose sizes are "inconsistent across reduction
+//! ratios". We estimate those error bars by the nonparametric
+//! bootstrap: resample the per-run metric values with replacement and
+//! report the standard deviation of the resampled statistic.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Result of a bootstrap of a statistic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bootstrap {
+    /// The statistic on the original sample.
+    pub estimate: f64,
+    /// Bootstrap standard error.
+    pub std_error: f64,
+    /// Number of resamples used.
+    pub resamples: usize,
+}
+
+/// Bootstrap a statistic of a sample.
+///
+/// `stat` maps a sample to its statistic (mean, median, ...). The
+/// bootstrap is seeded and therefore reproducible.
+///
+/// # Panics
+///
+/// Panics on an empty sample or zero resamples.
+pub fn bootstrap<F>(xs: &[f64], resamples: usize, seed: u64, stat: F) -> Bootstrap
+where
+    F: Fn(&[f64]) -> f64,
+{
+    assert!(!xs.is_empty(), "bootstrap of empty sample");
+    assert!(resamples > 0, "bootstrap needs at least one resample");
+    let estimate = stat(xs);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut buf = vec![0.0f64; xs.len()];
+    let mut values = Vec::with_capacity(resamples);
+    for _ in 0..resamples {
+        for slot in buf.iter_mut() {
+            *slot = xs[rng.gen_range(0..xs.len())];
+        }
+        values.push(stat(&buf));
+    }
+    let mean = values.iter().sum::<f64>() / resamples as f64;
+    let var = if resamples > 1 {
+        values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (resamples - 1) as f64
+    } else {
+        0.0
+    };
+    Bootstrap {
+        estimate,
+        std_error: var.sqrt(),
+        resamples,
+    }
+}
+
+/// Convenience: bootstrap standard error of the mean.
+pub fn bootstrap_mean(xs: &[f64], resamples: usize, seed: u64) -> Bootstrap {
+    bootstrap(xs, resamples, seed, |s| {
+        s.iter().sum::<f64>() / s.len() as f64
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_sample_zero_error() {
+        let b = bootstrap_mean(&[4.0; 50], 200, 1);
+        assert_eq!(b.estimate, 4.0);
+        assert_eq!(b.std_error, 0.0);
+    }
+
+    #[test]
+    fn bootstrap_se_close_to_analytic() {
+        // Analytic SE of the mean = sigma / sqrt(n).
+        let xs: Vec<f64> = (0..400).map(|i| (i % 20) as f64).collect();
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let sigma = (xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n).sqrt();
+        let analytic = sigma / n.sqrt();
+        let b = bootstrap_mean(&xs, 2000, 2);
+        assert!(
+            (b.std_error - analytic).abs() / analytic < 0.15,
+            "bootstrap {} vs analytic {analytic}",
+            b.std_error
+        );
+    }
+
+    #[test]
+    fn reproducible_given_seed() {
+        let xs: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let a = bootstrap_mean(&xs, 100, 7);
+        let b = bootstrap_mean(&xs, 100, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_sample_panics() {
+        bootstrap_mean(&[], 10, 0);
+    }
+}

@@ -1,0 +1,155 @@
+//! Descriptive statistics: central moments and quantiles.
+
+/// Summary moments of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Describe {
+    /// Sample size.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample variance (n − 1 denominator).
+    pub variance: f64,
+    /// Sample standard deviation.
+    pub std_dev: f64,
+    /// Sample skewness (g1, population estimator).
+    pub skewness: f64,
+    /// Excess kurtosis (g2 = m4/m2² − 3, population estimator).
+    pub excess_kurtosis: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Describe {
+    /// Compute all moments in two passes (mean first, then centred
+    /// moments, which is numerically far safer than raw-moment
+    /// accumulation — fitting, in a suite about floating-point error).
+    pub fn of(xs: &[f64]) -> Self {
+        let n = xs.len();
+        if n == 0 {
+            return Describe {
+                n: 0,
+                mean: 0.0,
+                variance: 0.0,
+                std_dev: 0.0,
+                skewness: 0.0,
+                excess_kurtosis: 0.0,
+                min: 0.0,
+                max: 0.0,
+            };
+        }
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let mut m2 = 0.0f64;
+        let mut m3 = 0.0f64;
+        let mut m4 = 0.0f64;
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for &x in xs {
+            let d = x - mean;
+            let d2 = d * d;
+            m2 += d2;
+            m3 += d2 * d;
+            m4 += d2 * d2;
+            min = min.min(x);
+            max = max.max(x);
+        }
+        let nf = n as f64;
+        let variance = if n > 1 { m2 / (nf - 1.0) } else { 0.0 };
+        let pop_m2 = m2 / nf;
+        let (skewness, excess_kurtosis) = if pop_m2 > 0.0 {
+            (
+                (m3 / nf) / pop_m2.powf(1.5),
+                (m4 / nf) / (pop_m2 * pop_m2) - 3.0,
+            )
+        } else {
+            (0.0, 0.0)
+        };
+        Describe {
+            n,
+            mean,
+            variance,
+            std_dev: variance.sqrt(),
+            skewness,
+            excess_kurtosis,
+            min,
+            max,
+        }
+    }
+}
+
+/// Linear-interpolation quantile (type 7, the numpy default). `q` in
+/// `[0, 1]`. The input need not be sorted.
+///
+/// # Panics
+///
+/// Panics on an empty sample or `q` outside `[0, 1]`.
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    assert!(!xs.is_empty(), "quantile of empty sample");
+    assert!((0.0..=1.0).contains(&q), "quantile level outside [0,1]");
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let h = q * (sorted.len() - 1) as f64;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        sorted[lo] + (h - lo as f64) * (sorted[hi] - sorted[lo])
+    }
+}
+
+/// Median (50% quantile).
+pub fn median(xs: &[f64]) -> f64 {
+    quantile(xs, 0.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn moments_of_known_sample() {
+        // 1..=5: mean 3, sample var 2.5
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let d = Describe::of(&xs);
+        assert_eq!(d.mean, 3.0);
+        assert!((d.variance - 2.5).abs() < 1e-15);
+        assert_eq!(d.min, 1.0);
+        assert_eq!(d.max, 5.0);
+        // symmetric sample => zero skewness
+        assert!(d.skewness.abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_constant() {
+        let e = Describe::of(&[]);
+        assert_eq!(e.n, 0);
+        let c = Describe::of(&[7.0; 10]);
+        assert_eq!(c.mean, 7.0);
+        assert_eq!(c.variance, 0.0);
+        assert_eq!(c.skewness, 0.0);
+        assert_eq!(c.excess_kurtosis, 0.0);
+    }
+
+    #[test]
+    fn skewed_sample_has_positive_skewness() {
+        let xs = [0.0, 0.0, 0.0, 0.0, 10.0];
+        assert!(Describe::of(&xs).skewness > 1.0);
+    }
+
+    #[test]
+    fn quantiles() {
+        let xs = [3.0, 1.0, 2.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 4.0);
+        assert_eq!(median(&xs), 2.5);
+        assert_eq!(quantile(&xs, 0.25), 1.75);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn quantile_empty_panics() {
+        quantile(&[], 0.5);
+    }
+}

@@ -1,0 +1,205 @@
+//! Fixed-bin histograms and empirical probability density functions —
+//! the estimator behind Figs 1 and 2.
+
+/// Equal-width histogram over a closed range.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    total: u64,
+    /// Samples outside `[lo, hi]` (tracked, not binned).
+    outliers: u64,
+}
+
+impl Histogram {
+    /// New empty histogram with `bins` equal-width bins on `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or the range is empty/non-finite.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(lo.is_finite() && hi.is_finite() && hi > lo, "bad range");
+        Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            total: 0,
+            outliers: 0,
+        }
+    }
+
+    /// Build a histogram spanning the data range (with a tiny margin so
+    /// the max lands inside the last bin).
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty data or `bins == 0`.
+    pub fn from_data(xs: &[f64], bins: usize) -> Self {
+        assert!(!xs.is_empty(), "histogram of empty data");
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &x in xs {
+            lo = lo.min(x);
+            hi = hi.max(x);
+        }
+        if lo == hi {
+            // degenerate sample: give it a unit-width box
+            lo -= 0.5;
+            hi += 0.5;
+        }
+        let span = hi - lo;
+        let mut h = Histogram::new(lo - 1e-12 * span, hi + 1e-12 * span, bins);
+        h.extend(xs.iter().copied());
+        h
+    }
+
+    /// Add one sample.
+    pub fn add(&mut self, x: f64) {
+        if !x.is_finite() || x < self.lo || x > self.hi {
+            self.outliers += 1;
+            return;
+        }
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        let mut idx = ((x - self.lo) / w) as usize;
+        if idx >= self.counts.len() {
+            idx = self.counts.len() - 1; // x == hi
+        }
+        self.counts[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Add many samples.
+    pub fn extend(&mut self, xs: impl IntoIterator<Item = f64>) {
+        for x in xs {
+            self.add(x);
+        }
+    }
+
+    /// Number of binned samples.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of samples rejected as outside the range.
+    pub fn outliers(&self) -> u64 {
+        self.outliers
+    }
+
+    /// Number of bins.
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Bin width.
+    pub fn bin_width(&self) -> f64 {
+        (self.hi - self.lo) / self.counts.len() as f64
+    }
+
+    /// Centre of bin `i`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        self.lo + (i as f64 + 0.5) * self.bin_width()
+    }
+
+    /// Raw counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Empirical PDF: density per bin (`count / (total · width)`), which
+    /// integrates to 1 over the histogram range. Zero everywhere when
+    /// the histogram is empty.
+    pub fn pdf(&self) -> Vec<f64> {
+        if self.total == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        let norm = 1.0 / (self.total as f64 * self.bin_width());
+        self.counts.iter().map(|&c| c as f64 * norm).collect()
+    }
+
+    /// Per-bin probability mass (`count / total`).
+    pub fn pmf(&self) -> Vec<f64> {
+        if self.total == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / self.total as f64)
+            .collect()
+    }
+
+    /// `(bin_center, density)` series — the plot data for Figs 1 & 2.
+    pub fn density_series(&self) -> Vec<(f64, f64)> {
+        self.pdf()
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| (self.bin_center(i), p))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_and_totals() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.extend([0.5, 1.5, 1.6, 9.99, 10.0, -1.0, 11.0]);
+        assert_eq!(h.total(), 5);
+        assert_eq!(h.outliers(), 2);
+        assert_eq!(h.counts()[0], 1);
+        assert_eq!(h.counts()[1], 2);
+        assert_eq!(h.counts()[9], 2); // 9.99 and the boundary 10.0
+    }
+
+    #[test]
+    fn pdf_integrates_to_one() {
+        let mut h = Histogram::new(-1.0, 1.0, 32);
+        let xs: Vec<f64> = (0..1000).map(|i| -1.0 + 2.0 * (i as f64) / 999.0).collect();
+        h.extend(xs);
+        let integral: f64 = h.pdf().iter().sum::<f64>() * h.bin_width();
+        assert!((integral - 1.0).abs() < 1e-12, "integral {integral}");
+        let mass: f64 = h.pmf().iter().sum();
+        assert!((mass - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_data_covers_everything() {
+        let xs = [3.0, -2.0, 7.5, 0.0];
+        let h = Histogram::from_data(&xs, 8);
+        assert_eq!(h.total(), 4);
+        assert_eq!(h.outliers(), 0);
+    }
+
+    #[test]
+    fn from_data_degenerate_sample() {
+        let h = Histogram::from_data(&[5.0; 20], 4);
+        assert_eq!(h.total(), 20);
+    }
+
+    #[test]
+    fn empty_pdf_is_zero() {
+        let h = Histogram::new(0.0, 1.0, 4);
+        assert!(h.pdf().iter().all(|&p| p == 0.0));
+    }
+
+    #[test]
+    fn density_series_matches_centers() {
+        let mut h = Histogram::new(0.0, 4.0, 4);
+        h.extend([0.5, 1.5, 2.5, 3.5]);
+        let s = h.density_series();
+        assert_eq!(s.len(), 4);
+        assert_eq!(s[0].0, 0.5);
+        assert_eq!(s[3].0, 3.5);
+        // uniform data: equal densities
+        assert!(s.windows(2).all(|w| (w[0].1 - w[1].1).abs() < 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_panics() {
+        Histogram::new(0.0, 1.0, 0);
+    }
+}

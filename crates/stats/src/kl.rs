@@ -1,0 +1,134 @@
+//! Kullback–Leibler divergence estimators.
+//!
+//! §III-C of the paper uses a KL criterion to decide whether the
+//! empirical distribution of the scalar variability `Vs` converges to a
+//! normal. [`kl_vs_fitted_normal`] implements exactly that test: bin
+//! the sample, fit a normal by moments, and compute
+//! `D_KL(empirical ‖ fitted normal)` over the bins. Values near zero
+//! mean the Gaussian-noise assumption holds (as for SPA, Fig 1); large
+//! values flag non-normal distributions (as for AO, Fig 2).
+
+use crate::describe::Describe;
+use crate::histogram::Histogram;
+use crate::special::normal_mass;
+
+/// Discrete KL divergence `Σ p·ln(p/q)` between two probability mass
+/// vectors (nats). Bins where `p == 0` contribute zero; bins where
+/// `p > 0` but `q == 0` are handled by flooring `q` at `q_floor`, the
+/// standard regularisation for empirical comparisons.
+///
+/// # Panics
+///
+/// Panics if lengths differ or `q_floor <= 0`.
+pub fn kl_divergence(p: &[f64], q: &[f64], q_floor: f64) -> f64 {
+    assert_eq!(p.len(), q.len(), "KL needs equal bin counts");
+    assert!(q_floor > 0.0, "q_floor must be positive");
+    let mut d = 0.0;
+    for (&pi, &qi) in p.iter().zip(q) {
+        if pi > 0.0 {
+            d += pi * (pi / qi.max(q_floor)).ln();
+        }
+    }
+    d.max(0.0)
+}
+
+/// KL divergence between two histograms over the same binning, using
+/// their probability mass functions.
+///
+/// # Panics
+///
+/// Panics if the histograms have different bin counts.
+pub fn kl_divergence_histograms(p: &Histogram, q: &Histogram) -> f64 {
+    kl_divergence(&p.pmf(), &q.pmf(), 1e-12)
+}
+
+/// The paper's normality criterion: fit `N(mean, std)` to the sample by
+/// moments, then measure `D_KL(empirical ‖ fitted)` over `bins` bins
+/// spanning the sample range. Returns `(kl, fitted_mean, fitted_std)`.
+///
+/// A degenerate sample (zero variance) returns infinite KL, since no
+/// normal fits a point mass.
+pub fn kl_vs_fitted_normal(xs: &[f64], bins: usize) -> (f64, f64, f64) {
+    assert!(!xs.is_empty(), "KL of empty sample");
+    let d = Describe::of(xs);
+    if d.std_dev == 0.0 {
+        return (f64::INFINITY, d.mean, 0.0);
+    }
+    let h = Histogram::from_data(xs, bins);
+    let p = h.pmf();
+    let w = h.bin_width();
+    let q: Vec<f64> = (0..h.bins())
+        .map(|i| {
+            let c = h.bin_center(i);
+            normal_mass(c - 0.5 * w, c + 0.5 * w, d.mean, d.std_dev)
+        })
+        .collect();
+    (kl_divergence(&p, &q, 1e-12), d.mean, d.std_dev)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::samplers::{Distribution, Sampler};
+
+    #[test]
+    fn kl_of_identical_masses_is_zero() {
+        let p = [0.25, 0.25, 0.25, 0.25];
+        assert_eq!(kl_divergence(&p, &p, 1e-12), 0.0);
+    }
+
+    #[test]
+    fn kl_is_positive_for_different_masses() {
+        let p = [0.7, 0.3];
+        let q = [0.3, 0.7];
+        let d = kl_divergence(&p, &q, 1e-12);
+        // analytic: 0.7 ln(7/3) + 0.3 ln(3/7)
+        let expected = 0.7 * (7.0f64 / 3.0).ln() + 0.3 * (3.0f64 / 7.0).ln();
+        assert!((d - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kl_handles_empty_q_bins() {
+        let p = [0.5, 0.5];
+        let q = [1.0, 0.0];
+        let d = kl_divergence(&p, &q, 1e-12);
+        assert!(d.is_finite() && d > 0.0);
+    }
+
+    #[test]
+    fn normal_sample_has_small_kl() {
+        let mut s = Sampler::new(Distribution::standard_normal(), 42);
+        let xs = s.sample_vec(50_000);
+        let (kl, mean, std) = kl_vs_fitted_normal(&xs, 64);
+        assert!(kl < 0.02, "kl {kl}");
+        assert!(mean.abs() < 0.02);
+        assert!((std - 1.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn exponential_sample_has_large_kl() {
+        let mut s = Sampler::new(Distribution::boltzmann(), 43);
+        let xs = s.sample_vec(50_000);
+        let (kl_exp, _, _) = kl_vs_fitted_normal(&xs, 64);
+        let mut n = Sampler::new(Distribution::standard_normal(), 44);
+        let (kl_norm, _, _) = kl_vs_fitted_normal(&n.sample_vec(50_000), 64);
+        assert!(
+            kl_exp > 5.0 * kl_norm,
+            "exponential ({kl_exp}) should be far less normal than normal ({kl_norm})"
+        );
+    }
+
+    #[test]
+    fn histogram_kl_zero_for_same_data() {
+        let xs: Vec<f64> = (0..1000).map(|i| (i % 37) as f64).collect();
+        let a = Histogram::from_data(&xs, 16);
+        assert_eq!(kl_divergence_histograms(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn degenerate_sample_infinite_kl() {
+        let (kl, _, std) = kl_vs_fitted_normal(&[3.0; 100], 8);
+        assert!(kl.is_infinite());
+        assert_eq!(std, 0.0);
+    }
+}

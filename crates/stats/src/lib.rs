@@ -1,0 +1,40 @@
+//! # fpna-stats
+//!
+//! Statistics substrate for the FPNA reproducibility suite: everything
+//! §III-C of the paper needs to characterise the distribution of the
+//! scalar variability `Vs`.
+//!
+//! * [`samplers`] — seeded samplers for the input distributions used in
+//!   the paper: `U(0, 10)`, `N(0, 1)` and the Boltzmann (exponential)
+//!   distribution;
+//! * [`describe`] — descriptive moments (mean, variance, skewness,
+//!   excess kurtosis) and quantiles;
+//! * [`histogram`] — fixed-bin histograms and empirical PDFs (the Fig 1
+//!   / Fig 2 estimator);
+//! * [`kl`] — Kullback–Leibler divergence of an empirical distribution
+//!   against a fitted normal (the paper's normality criterion) and
+//!   between two empirical distributions;
+//! * [`normality`] — Jarque–Bera test;
+//! * [`powerlaw`] — `max|Vs| ≈ β·n^α` log–log least-squares fits;
+//! * [`bootstrap`] — bootstrap standard errors for the error bars in
+//!   Figs 4–5;
+//! * [`special`] — `erf`, normal PDF/CDF.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod bootstrap;
+pub mod describe;
+pub mod histogram;
+pub mod kl;
+pub mod normality;
+pub mod powerlaw;
+pub mod samplers;
+pub mod special;
+
+pub use describe::Describe;
+pub use histogram::Histogram;
+pub use kl::{kl_divergence_histograms, kl_vs_fitted_normal};
+pub use normality::jarque_bera;
+pub use powerlaw::PowerLawFit;
+pub use samplers::{Distribution, Sampler};

@@ -1,0 +1,199 @@
+//! Seeded samplers for the paper's input distributions.
+//!
+//! The parallel-sum experiments draw inputs from `U(0, 10)` and
+//! `N(0, 1)` (Fig 1), and the paper notes the Boltzmann (exponential)
+//! distribution gives the same qualitative picture — it is the expected
+//! distribution of energies in molecular simulation workloads.
+//!
+//! Samplers are deterministic functions of their seed so every
+//! experiment is replayable; the only nondeterminism in the suite is the
+//! scheduler model under study.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Input distribution for an experiment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Distribution {
+    /// Uniform on `[lo, hi)`.
+    Uniform {
+        /// Inclusive lower bound.
+        lo: f64,
+        /// Exclusive upper bound.
+        hi: f64,
+    },
+    /// Normal with the given mean and standard deviation.
+    Normal {
+        /// Mean.
+        mean: f64,
+        /// Standard deviation (must be positive).
+        std_dev: f64,
+    },
+    /// Exponential (Boltzmann) with the given rate `λ`.
+    Exponential {
+        /// Rate parameter (must be positive).
+        rate: f64,
+    },
+}
+
+impl Distribution {
+    /// The `U(0, 10)` used for Figs 1–2 and Table 4.
+    pub fn paper_uniform() -> Self {
+        Distribution::Uniform { lo: 0.0, hi: 10.0 }
+    }
+
+    /// The standard normal used for Table 1 and Fig 1.
+    pub fn standard_normal() -> Self {
+        Distribution::Normal {
+            mean: 0.0,
+            std_dev: 1.0,
+        }
+    }
+
+    /// Boltzmann distribution at unit temperature.
+    pub fn boltzmann() -> Self {
+        Distribution::Exponential { rate: 1.0 }
+    }
+
+    /// Short label for reports ("U(0,10)", "N(0,1)", "Exp(1)").
+    pub fn label(&self) -> String {
+        match self {
+            Distribution::Uniform { lo, hi } => format!("U({lo},{hi})"),
+            Distribution::Normal { mean, std_dev } => format!("N({mean},{std_dev})"),
+            Distribution::Exponential { rate } => format!("Exp({rate})"),
+        }
+    }
+}
+
+/// Seeded sampler producing `f64` draws from a [`Distribution`].
+///
+/// Normal variates use Marsaglia's polar method with a cached spare;
+/// exponential variates use inversion. Both consume the underlying
+/// generator in a platform-independent way.
+#[derive(Debug, Clone)]
+pub struct Sampler {
+    dist: Distribution,
+    rng: StdRng,
+    spare_normal: Option<f64>,
+}
+
+impl Sampler {
+    /// Create a sampler with an explicit seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the distribution parameters are degenerate
+    /// (`hi <= lo`, `std_dev <= 0`, `rate <= 0`).
+    pub fn new(dist: Distribution, seed: u64) -> Self {
+        match dist {
+            Distribution::Uniform { lo, hi } => assert!(hi > lo, "uniform needs hi > lo"),
+            Distribution::Normal { std_dev, .. } => {
+                assert!(std_dev > 0.0, "normal needs std_dev > 0")
+            }
+            Distribution::Exponential { rate } => assert!(rate > 0.0, "exponential needs rate > 0"),
+        }
+        Sampler {
+            dist,
+            rng: StdRng::seed_from_u64(seed),
+            spare_normal: None,
+        }
+    }
+
+    /// Draw one value.
+    pub fn sample(&mut self) -> f64 {
+        match self.dist {
+            Distribution::Uniform { lo, hi } => {
+                lo + (hi - lo) * self.rng.gen::<f64>()
+            }
+            Distribution::Normal { mean, std_dev } => {
+                mean + std_dev * self.standard_normal_draw()
+            }
+            Distribution::Exponential { rate } => {
+                // Inversion: -ln(1 - u) / λ, with u in [0,1).
+                let u: f64 = self.rng.gen();
+                -(1.0 - u).ln() / rate
+            }
+        }
+    }
+
+    /// Fill a fresh vector with `n` draws.
+    pub fn sample_vec(&mut self, n: usize) -> Vec<f64> {
+        (0..n).map(|_| self.sample()).collect()
+    }
+
+    fn standard_normal_draw(&mut self) -> f64 {
+        if let Some(z) = self.spare_normal.take() {
+            return z;
+        }
+        // Marsaglia polar method.
+        loop {
+            let u: f64 = 2.0 * self.rng.gen::<f64>() - 1.0;
+            let v: f64 = 2.0 * self.rng.gen::<f64>() - 1.0;
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                let factor = (-2.0 * s.ln() / s).sqrt();
+                self.spare_normal = Some(v * factor);
+                return u * factor;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::describe::Describe;
+
+    #[test]
+    fn sampling_is_reproducible() {
+        let mut a = Sampler::new(Distribution::paper_uniform(), 11);
+        let mut b = Sampler::new(Distribution::paper_uniform(), 11);
+        for _ in 0..100 {
+            assert_eq!(a.sample().to_bits(), b.sample().to_bits());
+        }
+    }
+
+    #[test]
+    fn uniform_range_and_mean() {
+        let mut s = Sampler::new(Distribution::Uniform { lo: 2.0, hi: 4.0 }, 1);
+        let xs = s.sample_vec(50_000);
+        assert!(xs.iter().all(|&x| (2.0..4.0).contains(&x)));
+        let d = Describe::of(&xs);
+        assert!((d.mean - 3.0).abs() < 0.02, "mean {}", d.mean);
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut s = Sampler::new(Distribution::standard_normal(), 2);
+        let xs = s.sample_vec(100_000);
+        let d = Describe::of(&xs);
+        assert!(d.mean.abs() < 0.02, "mean {}", d.mean);
+        assert!((d.std_dev - 1.0).abs() < 0.02, "std {}", d.std_dev);
+        assert!(d.skewness.abs() < 0.05, "skew {}", d.skewness);
+        assert!(d.excess_kurtosis.abs() < 0.1, "kurt {}", d.excess_kurtosis);
+    }
+
+    #[test]
+    fn exponential_moments() {
+        let rate = 2.0;
+        let mut s = Sampler::new(Distribution::Exponential { rate }, 3);
+        let xs = s.sample_vec(100_000);
+        let d = Describe::of(&xs);
+        assert!((d.mean - 1.0 / rate).abs() < 0.01, "mean {}", d.mean);
+        assert!((d.std_dev - 1.0 / rate).abs() < 0.01, "std {}", d.std_dev);
+        assert!(xs.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Distribution::paper_uniform().label(), "U(0,10)");
+        assert_eq!(Distribution::standard_normal().label(), "N(0,1)");
+        assert_eq!(Distribution::boltzmann().label(), "Exp(1)");
+    }
+
+    #[test]
+    #[should_panic(expected = "hi > lo")]
+    fn degenerate_uniform_panics() {
+        Sampler::new(Distribution::Uniform { lo: 1.0, hi: 1.0 }, 0);
+    }
+}

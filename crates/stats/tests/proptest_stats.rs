@@ -1,0 +1,91 @@
+//! Property tests for the statistics substrate.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use fpna_stats::describe::{median, quantile, Describe};
+use fpna_stats::histogram::Histogram;
+use fpna_stats::kl::{kl_divergence, kl_vs_fitted_normal};
+use fpna_stats::powerlaw::PowerLawFit;
+
+fn sample_value() -> impl Strategy<Value = f64> {
+    -1e6..1e6f64
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Histogram mass + outliers account for every sample; PDF
+    /// integrates to 1 when any sample binned.
+    #[test]
+    fn histogram_conserves_mass(xs in vec(sample_value(), 1..500), bins in 1usize..64) {
+        let h = Histogram::from_data(&xs, bins);
+        prop_assert_eq!(h.total() + h.outliers(), xs.len() as u64);
+        prop_assert_eq!(h.outliers(), 0, "from_data must cover the sample");
+        let integral: f64 = h.pdf().iter().sum::<f64>() * h.bin_width();
+        prop_assert!((integral - 1.0).abs() < 1e-9);
+    }
+
+    /// Quantiles are monotone in q and bounded by the sample range.
+    #[test]
+    fn quantiles_monotone_and_bounded(xs in vec(sample_value(), 1..300), q in 0.0..1.0f64) {
+        let v = quantile(&xs, q);
+        let lo = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(v >= lo && v <= hi);
+        prop_assert!(quantile(&xs, 0.0) <= median(&xs));
+        prop_assert!(median(&xs) <= quantile(&xs, 1.0));
+    }
+
+    /// Describe invariants: min <= mean <= max; variance >= 0;
+    /// shift-invariance of the variance.
+    #[test]
+    fn describe_invariants(xs in vec(sample_value(), 2..300), shift in -1e3..1e3f64) {
+        let d = Describe::of(&xs);
+        prop_assert!(d.min <= d.mean + 1e-9 && d.mean <= d.max + 1e-9);
+        prop_assert!(d.variance >= 0.0);
+        let shifted: Vec<f64> = xs.iter().map(|x| x + shift).collect();
+        let ds = Describe::of(&shifted);
+        let scale = d.variance.abs().max(1.0);
+        prop_assert!((d.variance - ds.variance).abs() < 1e-6 * scale,
+            "variance must be shift-invariant: {} vs {}", d.variance, ds.variance);
+    }
+
+    /// KL is non-negative and zero on identical distributions.
+    #[test]
+    fn kl_gibbs_inequality(masses in vec(0.01..1.0f64, 2..32)) {
+        let total: f64 = masses.iter().sum();
+        let p: Vec<f64> = masses.iter().map(|m| m / total).collect();
+        prop_assert_eq!(kl_divergence(&p, &p, 1e-12), 0.0);
+        // any permutation of q keeps KL >= 0
+        let mut q = p.clone();
+        q.rotate_left(1);
+        prop_assert!(kl_divergence(&p, &q, 1e-12) >= 0.0);
+    }
+
+    /// KL vs fitted normal is finite for non-degenerate samples.
+    #[test]
+    fn kl_normal_fit_finite(xs in vec(sample_value(), 16..300)) {
+        let d = Describe::of(&xs);
+        prop_assume!(d.std_dev > 0.0);
+        let (kl, mean, std) = kl_vs_fitted_normal(&xs, 16);
+        prop_assert!(kl.is_finite() && kl >= 0.0);
+        prop_assert!((mean - d.mean).abs() < 1e-9 * d.mean.abs().max(1.0));
+        prop_assert!(std > 0.0);
+    }
+
+    /// Power-law fits recover planted exponents.
+    #[test]
+    fn powerlaw_recovers_exponent(alpha in -2.0..2.0f64, beta_log in -3.0..3.0f64) {
+        let beta = 10f64.powf(beta_log);
+        let pts: Vec<(f64, f64)> = (1..=12)
+            .map(|i| {
+                let x = 2f64.powi(i);
+                (x, beta * x.powf(alpha))
+            })
+            .collect();
+        let fit = PowerLawFit::fit(&pts);
+        prop_assert!((fit.alpha - alpha).abs() < 1e-9, "{} vs {}", fit.alpha, alpha);
+        prop_assert!((fit.beta - beta).abs() / beta < 1e-9);
+    }
+}

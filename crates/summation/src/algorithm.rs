@@ -1,0 +1,167 @@
+//! Unified dispatch over every summation algorithm in the crate, for
+//! parameter sweeps and benches.
+
+use crate::compensated::{kahan_sum, klein_sum, neumaier_sum};
+use crate::exact::exact_sum;
+use crate::pairwise::pairwise_sum_with_leaf;
+use crate::parallel::{
+    atomic_cas_sum, ordered_threaded_sum, reproducible_threaded_sum, unordered_threaded_sum,
+};
+use crate::serial::serial_sum;
+
+/// Every summation algorithm in the crate, with its parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SumAlgorithm {
+    /// Left-to-right serial sum.
+    Serial,
+    /// Pairwise/tree sum with the given leaf size.
+    Pairwise {
+        /// Leaf size at which recursion falls back to a serial loop.
+        leaf: usize,
+    },
+    /// Kahan compensated sum.
+    Kahan,
+    /// Neumaier compensated sum.
+    Neumaier,
+    /// Klein second-order compensated sum.
+    Klein,
+    /// Exact long-accumulator sum.
+    Exact,
+    /// Threaded, partials combined in finish order (non-deterministic).
+    UnorderedThreaded {
+        /// Worker thread count.
+        threads: usize,
+    },
+    /// Threaded, partials combined in chunk order (deterministic).
+    OrderedThreaded {
+        /// Worker thread count.
+        threads: usize,
+    },
+    /// Threaded, exact accumulation (deterministic and
+    /// partition-invariant).
+    ReproducibleThreaded {
+        /// Worker thread count.
+        threads: usize,
+    },
+    /// Every element CAS-added to one shared accumulator (the CPU AO).
+    AtomicCas {
+        /// Worker thread count.
+        threads: usize,
+    },
+}
+
+impl SumAlgorithm {
+    /// Run the algorithm.
+    pub fn sum(&self, xs: &[f64]) -> f64 {
+        match *self {
+            SumAlgorithm::Serial => serial_sum(xs),
+            SumAlgorithm::Pairwise { leaf } => pairwise_sum_with_leaf(xs, leaf),
+            SumAlgorithm::Kahan => kahan_sum(xs),
+            SumAlgorithm::Neumaier => neumaier_sum(xs),
+            SumAlgorithm::Klein => klein_sum(xs),
+            SumAlgorithm::Exact => exact_sum(xs),
+            SumAlgorithm::UnorderedThreaded { threads } => unordered_threaded_sum(xs, threads),
+            SumAlgorithm::OrderedThreaded { threads } => ordered_threaded_sum(xs, threads),
+            SumAlgorithm::ReproducibleThreaded { threads } => {
+                reproducible_threaded_sum(xs, threads)
+            }
+            SumAlgorithm::AtomicCas { threads } => atomic_cas_sum(xs, threads),
+        }
+    }
+
+    /// Whether repeated executions on the same input are guaranteed to
+    /// be bitwise identical.
+    pub fn is_deterministic(&self) -> bool {
+        !matches!(
+            self,
+            SumAlgorithm::UnorderedThreaded { .. } | SumAlgorithm::AtomicCas { .. }
+        )
+    }
+
+    /// Short display name for reports.
+    pub fn name(&self) -> String {
+        match *self {
+            SumAlgorithm::Serial => "serial".into(),
+            SumAlgorithm::Pairwise { leaf } => format!("pairwise(leaf={leaf})"),
+            SumAlgorithm::Kahan => "kahan".into(),
+            SumAlgorithm::Neumaier => "neumaier".into(),
+            SumAlgorithm::Klein => "klein".into(),
+            SumAlgorithm::Exact => "exact".into(),
+            SumAlgorithm::UnorderedThreaded { threads } => format!("unordered(t={threads})"),
+            SumAlgorithm::OrderedThreaded { threads } => format!("ordered(t={threads})"),
+            SumAlgorithm::ReproducibleThreaded { threads } => {
+                format!("reproducible(t={threads})")
+            }
+            SumAlgorithm::AtomicCas { threads } => format!("atomic-cas(t={threads})"),
+        }
+    }
+
+    /// The full roster with default parameters, for sweeps.
+    pub fn roster(threads: usize) -> Vec<SumAlgorithm> {
+        vec![
+            SumAlgorithm::Serial,
+            SumAlgorithm::Pairwise { leaf: 128 },
+            SumAlgorithm::Kahan,
+            SumAlgorithm::Neumaier,
+            SumAlgorithm::Klein,
+            SumAlgorithm::Exact,
+            SumAlgorithm::UnorderedThreaded { threads },
+            SumAlgorithm::OrderedThreaded { threads },
+            SumAlgorithm::ReproducibleThreaded { threads },
+            SumAlgorithm::AtomicCas { threads },
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpna_core::rng::SplitMix64;
+
+    #[test]
+    fn roster_agrees_on_value() {
+        let mut rng = SplitMix64::new(1);
+        let xs: Vec<f64> = (0..10_000).map(|_| rng.next_f64() - 0.5).collect();
+        let reference = SumAlgorithm::Exact.sum(&xs);
+        for alg in SumAlgorithm::roster(4) {
+            let v = alg.sum(&xs);
+            assert!(
+                (v - reference).abs() < 1e-9,
+                "{} = {v}, reference {reference}",
+                alg.name()
+            );
+        }
+    }
+
+    #[test]
+    fn determinism_flags() {
+        assert!(SumAlgorithm::Serial.is_deterministic());
+        assert!(SumAlgorithm::Exact.is_deterministic());
+        assert!(SumAlgorithm::OrderedThreaded { threads: 8 }.is_deterministic());
+        assert!(!SumAlgorithm::UnorderedThreaded { threads: 8 }.is_deterministic());
+        assert!(!SumAlgorithm::AtomicCas { threads: 8 }.is_deterministic());
+    }
+
+    #[test]
+    fn deterministic_algorithms_are_bitwise_stable() {
+        let mut rng = SplitMix64::new(2);
+        let xs: Vec<f64> = (0..50_000).map(|_| rng.next_f64() * 100.0).collect();
+        for alg in SumAlgorithm::roster(4)
+            .into_iter()
+            .filter(|a| a.is_deterministic())
+        {
+            let a = alg.sum(&xs);
+            let b = alg.sum(&xs);
+            assert_eq!(a.to_bits(), b.to_bits(), "{}", alg.name());
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let names: Vec<String> = SumAlgorithm::roster(2).iter().map(|a| a.name()).collect();
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+    }
+}

@@ -1,0 +1,133 @@
+//! Compensated summation: Kahan, Neumaier, Klein.
+//!
+//! Compensated sums track the rounding error of every addition with an
+//! error-free transform and re-inject it, reducing the error constant
+//! from `O(ε·n)` to `O(ε)` (Kahan/Neumaier) or `O(ε²·n)` (Klein's
+//! second-order variant). They are *deterministic for a fixed order*
+//! but still order-sensitive at the bit level — the paper's
+//! deterministic kernels rely on fixed ordering, not compensation; we
+//! provide both so benches can compare the two mitigation families.
+
+use fpna_core::fp::two_sum;
+
+/// Kahan's compensated sum. Single running compensation term; loses
+/// the correction when a summand exceeds the running sum in magnitude
+/// (Neumaier fixes that).
+pub fn kahan_sum(xs: &[f64]) -> f64 {
+    let mut sum = 0.0f64;
+    let mut c = 0.0f64;
+    for &x in xs {
+        let y = x - c;
+        let t = sum + y;
+        c = (t - sum) - y;
+        sum = t;
+    }
+    sum
+}
+
+/// Neumaier's improvement: branches on magnitude so the compensation is
+/// captured regardless of which operand is larger, then adds the
+/// accumulated correction once at the end.
+pub fn neumaier_sum(xs: &[f64]) -> f64 {
+    let mut sum = 0.0f64;
+    let mut c = 0.0f64;
+    for &x in xs {
+        let t = sum + x;
+        if sum.abs() >= x.abs() {
+            c += (sum - t) + x;
+        } else {
+            c += (x - t) + sum;
+        }
+        sum = t;
+    }
+    sum + c
+}
+
+/// Klein's second-order ("iterative Kahan–Babuška") sum: two levels of
+/// compensation, error `O(ε²·n)`.
+pub fn klein_sum(xs: &[f64]) -> f64 {
+    let mut s = 0.0f64;
+    let mut cs = 0.0f64;
+    let mut ccs = 0.0f64;
+    for &x in xs {
+        let (t, c) = two_sum(s, x);
+        let (t2, cc) = two_sum(cs, c);
+        s = t;
+        cs = t2;
+        ccs += cc;
+    }
+    s + cs + ccs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::ExactAccumulator;
+    use crate::serial::serial_sum;
+    use fpna_core::rng::SplitMix64;
+
+    fn exact_sum(xs: &[f64]) -> f64 {
+        xs.iter().copied().collect::<ExactAccumulator>().round()
+    }
+
+    fn ill_conditioned(n: usize, seed: u64) -> Vec<f64> {
+        // large cancellations: pairs (big, -big + small)
+        let mut rng = SplitMix64::new(seed);
+        let mut xs = Vec::with_capacity(2 * n);
+        for _ in 0..n {
+            let big = (rng.next_f64() - 0.5) * 1e12;
+            let small = (rng.next_f64() - 0.5) * 1e-3;
+            xs.push(big);
+            xs.push(-big + small);
+        }
+        xs
+    }
+
+    #[test]
+    fn classic_kahan_example() {
+        // 1.0 + 1e-16 repeated: serial drops every tiny term, Kahan keeps them.
+        let mut xs = vec![1.0f64];
+        xs.extend(std::iter::repeat(1e-16).take(10_000));
+        let exact = 1.0 + 1e-12;
+        assert_eq!(serial_sum(&xs), 1.0); // all tiny terms lost
+        assert!((kahan_sum(&xs) - exact).abs() < 1e-18);
+        assert!((neumaier_sum(&xs) - exact).abs() < 1e-18);
+        assert!((klein_sum(&xs) - exact).abs() < 1e-18);
+    }
+
+    #[test]
+    fn neumaier_beats_kahan_on_swamping() {
+        // Kahan's classic failure: [1, huge, 1, -huge] -> Kahan loses the 1s.
+        let xs = [1.0, 1e100, 1.0, -1e100];
+        assert_eq!(neumaier_sum(&xs), 2.0);
+        assert_eq!(klein_sum(&xs), 2.0);
+        assert_eq!(kahan_sum(&xs), 0.0); // documented deficiency
+    }
+
+    #[test]
+    fn compensated_sums_match_exact_on_hard_data() {
+        let xs = ill_conditioned(5000, 1);
+        let exact = exact_sum(&xs);
+        let k = neumaier_sum(&xs);
+        let kl = klein_sum(&xs);
+        let rel = |v: f64| (v - exact).abs() / exact.abs().max(1e-300);
+        assert!(rel(k) < 1e-12, "neumaier rel err {}", rel(k));
+        assert!(rel(kl) < 1e-12, "klein rel err {}", rel(kl));
+    }
+
+    #[test]
+    fn deterministic_for_fixed_order() {
+        let xs = ill_conditioned(1000, 2);
+        assert_eq!(kahan_sum(&xs).to_bits(), kahan_sum(&xs).to_bits());
+        assert_eq!(neumaier_sum(&xs).to_bits(), neumaier_sum(&xs).to_bits());
+        assert_eq!(klein_sum(&xs).to_bits(), klein_sum(&xs).to_bits());
+    }
+
+    #[test]
+    fn empty_and_single() {
+        for f in [kahan_sum, neumaier_sum, klein_sum] {
+            assert_eq!(f(&[]), 0.0);
+            assert_eq!(f(&[3.25]), 3.25);
+        }
+    }
+}

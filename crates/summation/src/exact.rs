@@ -1,0 +1,307 @@
+//! Exact (Kulisch-style) long-accumulator summation.
+//!
+//! The strongest fix for FPNA is to make the sum *exact*: accumulate
+//! every mantissa into a fixed-point register wide enough to cover the
+//! entire `f64` exponent range (~2100 bits), so addition becomes
+//! integer arithmetic — associative, commutative, and therefore
+//! bitwise reproducible under any permutation or parallel schedule.
+//! This is the idea behind reproducible-summation libraries in the
+//! ReproBLAS lineage (Ahrens–Demmel–Nguyen, reference 2 of the paper);
+//! the long-accumulator variant trades memory (a few hundred bytes) for
+//! unconditional exactness.
+//!
+//! The accumulator stores 32 value bits per `i64` limb, leaving 31 bits
+//! of headroom so up to 2²⁸ values can be added between carry
+//! normalisations.
+//!
+//! ```
+//! use fpna_summation::ExactAccumulator;
+//!
+//! let xs = [1e16, 1.0, -1e16, 1.0];
+//! let mut acc = ExactAccumulator::new();
+//! for &x in &xs { acc.add(x); }
+//! assert_eq!(acc.round(), 2.0); // serial f64 summation would return 0.0
+//! ```
+
+/// Number of limbs: bit positions run from 0 (2⁻¹⁰⁷⁴) to
+/// 2045 + 53 = 2098 (top bit of the largest finite double), plus
+/// headroom for carries out of the top.
+const LIMBS: usize = 70;
+
+/// Value bits per limb.
+const LIMB_BITS: u32 = 32;
+
+/// Adds allowed between normalisations: each add contributes < 2³²
+/// per limb and limbs hold i64, so 2²⁸ keeps |limb| < 2⁶⁰.
+const NORMALIZE_EVERY: u32 = 1 << 28;
+
+/// Exact fixed-point accumulator for `f64` values.
+///
+/// `add` is exact; [`ExactAccumulator::round`] converts the canonical
+/// fixed-point value back to the nearest `f64` (faithful to ≤ 1 ulp,
+/// deterministic). Because the internal state after any sequence of
+/// adds depends only on the *multiset* of inputs, two accumulators fed
+/// the same values in different orders are bit-for-bit equal.
+#[derive(Debug, Clone)]
+pub struct ExactAccumulator {
+    limbs: [i64; LIMBS],
+    pending: u32,
+}
+
+impl Default for ExactAccumulator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ExactAccumulator {
+    /// Empty accumulator (value zero).
+    pub fn new() -> Self {
+        ExactAccumulator {
+            limbs: [0; LIMBS],
+            pending: 0,
+        }
+    }
+
+    /// Add a finite `f64` exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics on NaN or infinite input — an exact sum of non-finite
+    /// values is undefined.
+    pub fn add(&mut self, x: f64) {
+        assert!(x.is_finite(), "ExactAccumulator::add requires finite input");
+        if x == 0.0 {
+            return;
+        }
+        let bits = x.to_bits();
+        let negative = bits >> 63 == 1;
+        let biased_exp = ((bits >> 52) & 0x7ff) as i64;
+        let frac = bits & 0x000f_ffff_ffff_ffff;
+        // value = mantissa * 2^(offset - 1074), offset = bit position of
+        // the mantissa's LSB in the accumulator's fixed-point frame.
+        let (mantissa, offset) = if biased_exp == 0 {
+            (frac, 0u32) // subnormal: frac * 2^-1074
+        } else {
+            (frac | (1u64 << 52), (biased_exp - 1) as u32)
+        };
+        let limb = (offset / LIMB_BITS) as usize;
+        let shift = offset % LIMB_BITS;
+        let chunk = (mantissa as u128) << shift; // <= 85 bits
+        let mask = (1u128 << LIMB_BITS) - 1;
+        let parts = [
+            (chunk & mask) as i64,
+            ((chunk >> LIMB_BITS) & mask) as i64,
+            ((chunk >> (2 * LIMB_BITS)) & mask) as i64,
+        ];
+        for (k, &p) in parts.iter().enumerate() {
+            if p != 0 {
+                if negative {
+                    self.limbs[limb + k] -= p;
+                } else {
+                    self.limbs[limb + k] += p;
+                }
+            }
+        }
+        self.pending += 1;
+        if self.pending >= NORMALIZE_EVERY {
+            self.normalize();
+        }
+    }
+
+    /// Merge another accumulator into this one (exact; used by the
+    /// parallel reproducible sum).
+    pub fn merge(&mut self, other: &ExactAccumulator) {
+        // Normalise both sides first so limb magnitudes stay bounded.
+        self.normalize();
+        let mut o = other.clone();
+        o.normalize();
+        for (a, b) in self.limbs.iter_mut().zip(o.limbs.iter()) {
+            *a += *b;
+        }
+        self.pending = 2; // one denormalised add's worth of slack used
+    }
+
+    /// Carry-propagate into the canonical *balanced-digit* form: every
+    /// limb ends in `[−2^31, 2^31)`. Balanced digits keep the index of
+    /// the top nonzero limb aligned with the true magnitude for both
+    /// signs (a two's-complement style form would fill all upper limbs
+    /// for negative totals and overflow the `f64` conversion). The
+    /// canonical form is a pure function of the exact accumulated
+    /// value, which is what makes `round` permutation invariant.
+    fn normalize(&mut self) {
+        let base = 1i64 << LIMB_BITS;
+        let half = base / 2;
+        let mut carry = 0i64;
+        for limb in self.limbs.iter_mut() {
+            let v = *limb + carry;
+            let mut r = v.rem_euclid(base);
+            let mut q = v.div_euclid(base);
+            if r >= half {
+                r -= base;
+                q += 1;
+            }
+            *limb = r;
+            carry = q;
+        }
+        debug_assert_eq!(carry, 0, "accumulator overflow");
+        self.pending = 0;
+    }
+
+    /// `true` when the exact value is zero.
+    pub fn is_zero(&self) -> bool {
+        let mut probe = self.clone();
+        probe.normalize();
+        probe.limbs.iter().all(|&l| l == 0)
+    }
+
+    /// Round the exact value to the nearest `f64` (faithful, ≤ 1 ulp;
+    /// deterministic function of the accumulated multiset).
+    pub fn round(&self) -> f64 {
+        let mut probe = self.clone();
+        probe.normalize();
+        // Compensated top-down conversion: terms decay by 2^-32 per
+        // limb, so the first three nonzero limbs already determine the
+        // result; Neumaier compensation absorbs the tail exactly.
+        let mut sum = 0.0f64;
+        let mut comp = 0.0f64;
+        for i in (0..LIMBS).rev() {
+            let l = probe.limbs[i];
+            if l == 0 {
+                continue;
+            }
+            let term = l as f64 * pow2(32 * i as i32 - 1074);
+            let t = sum + term;
+            if sum.abs() >= term.abs() {
+                comp += (sum - t) + term;
+            } else {
+                comp += (term - t) + sum;
+            }
+            sum = t;
+        }
+        sum + comp
+    }
+}
+
+/// 2^k as f64, valid for the accumulator's exponent range.
+fn pow2(k: i32) -> f64 {
+    // f64::powi(2.0, k) is exact for |k| <= 1023; below that we build
+    // subnormals by halving, which is also exact.
+    if k >= -1022 {
+        2.0f64.powi(k)
+    } else {
+        2.0f64.powi(-1022) * 2.0f64.powi(k + 1022)
+    }
+}
+
+impl FromIterator<f64> for ExactAccumulator {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut acc = ExactAccumulator::new();
+        for x in iter {
+            acc.add(x);
+        }
+        acc
+    }
+}
+
+/// Exact, reproducible sum of a slice: the one-shot API.
+pub fn exact_sum(xs: &[f64]) -> f64 {
+    xs.iter().copied().collect::<ExactAccumulator>().round()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpna_core::rng::{permutation, SplitMix64};
+
+    #[test]
+    fn exact_on_cancelling_data() {
+        assert_eq!(exact_sum(&[1e16, 1.0, -1e16, 1.0]), 2.0);
+        assert_eq!(exact_sum(&[1.0, 1e100, 1.0, -1e100]), 2.0);
+        assert_eq!(exact_sum(&[]), 0.0);
+        assert_eq!(exact_sum(&[-0.5]), -0.5);
+    }
+
+    #[test]
+    fn exact_on_tiny_and_huge() {
+        let tiny = f64::MIN_POSITIVE * 0.5; // subnormal
+        assert_eq!(exact_sum(&[tiny, tiny]), tiny * 2.0);
+        assert_eq!(exact_sum(&[f64::MAX * 0.5, f64::MAX * 0.25]), f64::MAX * 0.75);
+        assert_eq!(exact_sum(&[tiny, -tiny]), 0.0);
+    }
+
+    #[test]
+    fn permutation_invariance_bitwise() {
+        let mut rng = SplitMix64::new(42);
+        let xs: Vec<f64> = (0..20_000)
+            .map(|_| (rng.next_f64() - 0.5) * 10f64.powi((rng.next_below(40) as i32) - 20))
+            .collect();
+        let reference = exact_sum(&xs);
+        for seed in 0..5 {
+            let mut prng = SplitMix64::new(seed);
+            let perm = permutation(xs.len(), &mut prng);
+            let shuffled: Vec<f64> = perm.iter().map(|&i| xs[i as usize]).collect();
+            assert_eq!(
+                exact_sum(&shuffled).to_bits(),
+                reference.to_bits(),
+                "exact sum must be permutation invariant (seed {seed})"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_equals_concatenation() {
+        let mut rng = SplitMix64::new(7);
+        let a: Vec<f64> = (0..1000).map(|_| rng.next_f64() * 1e6 - 5e5).collect();
+        let b: Vec<f64> = (0..1000).map(|_| rng.next_f64() * 1e-6).collect();
+        let mut acc_a: ExactAccumulator = a.iter().copied().collect();
+        let acc_b: ExactAccumulator = b.iter().copied().collect();
+        acc_a.merge(&acc_b);
+        let concat: Vec<f64> = a.iter().chain(b.iter()).copied().collect();
+        assert_eq!(acc_a.round().to_bits(), exact_sum(&concat).to_bits());
+    }
+
+    #[test]
+    fn negative_totals() {
+        assert_eq!(exact_sum(&[1.0, -3.0]), -2.0);
+        assert_eq!(exact_sum(&[-1e300, 1e299]), -9e299);
+        let mut rng = SplitMix64::new(9);
+        let xs: Vec<f64> = (0..1000).map(|_| -rng.next_f64()).collect();
+        let e = exact_sum(&xs);
+        assert!(e < 0.0);
+        assert!((e - xs.iter().sum::<f64>()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn is_zero_detects_exact_cancellation() {
+        let mut acc = ExactAccumulator::new();
+        assert!(acc.is_zero());
+        acc.add(3.5);
+        assert!(!acc.is_zero());
+        acc.add(-3.5);
+        assert!(acc.is_zero());
+    }
+
+    #[test]
+    fn agrees_with_serial_on_benign_data() {
+        let mut rng = SplitMix64::new(11);
+        let xs: Vec<f64> = (0..10_000).map(|_| rng.next_f64()).collect();
+        let e = exact_sum(&xs);
+        let s: f64 = xs.iter().sum();
+        assert!((e - s).abs() / s < 1e-12);
+    }
+
+    #[test]
+    fn round_is_faithful_on_known_values() {
+        // exact value representable: sum of powers of two
+        assert_eq!(exact_sum(&[0.5, 0.25, 0.125]), 0.875);
+        // 0.1 alone must round-trip exactly
+        assert_eq!(exact_sum(&[0.1]).to_bits(), 0.1f64.to_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_panics() {
+        ExactAccumulator::new().add(f64::NAN);
+    }
+}

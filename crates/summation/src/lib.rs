@@ -1,0 +1,53 @@
+//! # fpna-summation
+//!
+//! Summation algorithms for studying (and defeating) floating-point
+//! non-associativity on the CPU — the §III substrate of the paper.
+//!
+//! * [`serial`] — the reference left-to-right sum and permutation
+//!   helpers (Table 1: the same list summed in a different order gives a
+//!   different answer);
+//! * [`pairwise`] — pairwise/tree summation with a configurable leaf
+//!   size, the algorithm underlying the deterministic GPU kernels;
+//! * [`compensated`] — Kahan, Neumaier and Klein compensated sums:
+//!   order-*sensitive* but far more accurate;
+//! * [`exact`] — a Kulisch-style long accumulator: exact, therefore
+//!   bitwise reproducible under **any** permutation of the inputs (the
+//!   strongest answer to FPNA, in the spirit of the reproducible-sums
+//!   work the paper cites);
+//! * [`parallel`] — multi-threaded reductions in both the OpenMP
+//!   "normal" flavour (combine order = thread finish order ⇒
+//!   non-deterministic) and the "ordered" flavour (combine in chunk
+//!   index order ⇒ deterministic), plus a CAS-loop `atomicAdd` sum
+//!   (Table 3);
+//! * [`algorithm`] — an enum unifying all of the above for sweeps and
+//!   benches.
+//!
+//! ```
+//! use fpna_summation::{serial_sum, pairwise_sum, exact::ExactAccumulator};
+//!
+//! let xs: Vec<f64> = (0..1000).map(|i| (i as f64).sin()).collect();
+//! let s = serial_sum(&xs);
+//! let p = pairwise_sum(&xs);
+//! let e: f64 = xs.iter().copied().collect::<ExactAccumulator>().round();
+//! // All three are deterministic; they differ from each other by
+//! // rounding, but each is bitwise stable run to run.
+//! assert!((s - p).abs() < 1e-9);
+//! assert!((s - e).abs() < 1e-9);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod algorithm;
+pub mod compensated;
+pub mod exact;
+pub mod pairwise;
+pub mod parallel;
+pub mod serial;
+
+pub use algorithm::SumAlgorithm;
+pub use compensated::{kahan_sum, klein_sum, neumaier_sum};
+pub use exact::ExactAccumulator;
+pub use pairwise::{pairwise_sum, pairwise_sum_with_leaf};
+pub use parallel::{atomic_cas_sum, ordered_threaded_sum, unordered_threaded_sum};
+pub use serial::{permuted_sum, serial_sum};

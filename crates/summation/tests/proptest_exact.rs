@@ -1,0 +1,108 @@
+//! Property tests for the exact accumulator and the summation family —
+//! the invariants that make "reproducible summation" a meaningful
+//! claim.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use fpna_summation::exact::{exact_sum, ExactAccumulator};
+use fpna_summation::{
+    kahan_sum, klein_sum, neumaier_sum, pairwise_sum, serial_sum, SumAlgorithm,
+};
+
+fn summable() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        -1e15..1e15f64,
+        -1.0..1.0f64,
+        -1e-15..1e-15f64,
+        Just(0.0),
+        Just(-0.0),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The defining property: the exact sum depends only on the
+    /// multiset of inputs, never on order.
+    #[test]
+    fn exact_sum_order_invariant(mut xs in vec(summable(), 0..400), seed in any::<u64>()) {
+        let reference = exact_sum(&xs);
+        let mut rng = fpna_core::rng::SplitMix64::new(seed);
+        fpna_core::rng::shuffle(&mut xs, &mut rng);
+        prop_assert_eq!(exact_sum(&xs).to_bits(), reference.to_bits());
+        xs.reverse();
+        prop_assert_eq!(exact_sum(&xs).to_bits(), reference.to_bits());
+    }
+
+    /// Splitting the input at any point and merging the two exact
+    /// accumulators gives the same bits as one pass.
+    #[test]
+    fn exact_merge_partition_invariant(xs in vec(summable(), 1..300), cut in 0usize..300) {
+        let cut = cut.min(xs.len());
+        let whole = exact_sum(&xs);
+        let mut left: ExactAccumulator = xs[..cut].iter().copied().collect();
+        let right: ExactAccumulator = xs[cut..].iter().copied().collect();
+        left.merge(&right);
+        prop_assert_eq!(left.round().to_bits(), whole.to_bits());
+    }
+
+    /// Adding a value and its negation is an exact no-op.
+    #[test]
+    fn exact_cancellation(xs in vec(summable(), 0..100), y in summable()) {
+        let mut with: ExactAccumulator = xs.iter().copied().collect();
+        with.add(y);
+        with.add(-y);
+        let without: ExactAccumulator = xs.iter().copied().collect();
+        prop_assert_eq!(with.round().to_bits(), without.round().to_bits());
+    }
+
+    /// Every algorithm in the roster computes the same value to a
+    /// conditioning-aware tolerance.
+    #[test]
+    fn roster_agrees(xs in vec(-1e9..1e9f64, 1..500)) {
+        let reference = exact_sum(&xs);
+        let scale: f64 = xs.iter().map(|x| x.abs()).sum::<f64>().max(1.0);
+        for alg in SumAlgorithm::roster(3) {
+            let v = alg.sum(&xs);
+            prop_assert!((v - reference).abs() <= 1e-12 * scale, "{}: {} vs {}", alg.name(), v, reference);
+        }
+    }
+
+    /// Compensated sums never do worse than the plain serial sum
+    /// (measured against the exact value).
+    #[test]
+    fn compensation_is_no_worse(xs in vec(-1e12..1e12f64, 2..300)) {
+        let exact = exact_sum(&xs);
+        let serial_err = (serial_sum(&xs) - exact).abs();
+        for f in [kahan_sum, neumaier_sum, klein_sum] {
+            let err = (f(&xs) - exact).abs();
+            // allow one ulp of slack around equality
+            prop_assert!(err <= serial_err + exact.abs() * f64::EPSILON,
+                "compensated err {} > serial err {}", err, serial_err);
+        }
+    }
+
+    /// Pairwise sums are deterministic and within the Higham bound's
+    /// ballpark of the exact value.
+    #[test]
+    fn pairwise_stable_and_accurate(xs in vec(-1e6..1e6f64, 1..1000)) {
+        let a = pairwise_sum(&xs);
+        prop_assert_eq!(a.to_bits(), pairwise_sum(&xs).to_bits());
+        let scale: f64 = xs.iter().map(|x| x.abs()).sum::<f64>().max(1.0);
+        prop_assert!((a - exact_sum(&xs)).abs() <= 1e-12 * scale);
+    }
+
+    /// Round-tripping a single value through the accumulator is exact.
+    #[test]
+    fn single_value_roundtrip(x in summable()) {
+        let mut acc = ExactAccumulator::new();
+        acc.add(x);
+        // -0.0 rounds to +0.0; compare by value there
+        if x == 0.0 {
+            prop_assert_eq!(acc.round(), 0.0);
+        } else {
+            prop_assert_eq!(acc.round().to_bits(), x.to_bits());
+        }
+    }
+}

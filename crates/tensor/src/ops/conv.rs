@@ -1,0 +1,448 @@
+//! Transposed convolutions (`ConvTranspose1d/2d/3d`) — the top rows of
+//! the paper's Table 5.
+//!
+//! cuDNN's transposed-convolution kernels are non-deterministic because
+//! they are scatter-shaped: each input element multiplies the kernel
+//! and *scatters* into overlapping output windows with `atomicAdd`.
+//! The deterministic alternative is gather-shaped: each output element
+//! sums its contributors in a fixed order. Both are implemented here,
+//! for 1-D, 2-D and 3-D spatial ranks, with stride and padding.
+//!
+//! Shapes follow PyTorch: input `[N, C_in, S…]`, weight
+//! `[C_in, C_out, K…]`, output `[N, C_out, O…]` with
+//! `O_d = (S_d − 1)·stride_d − 2·padding_d + K_d`.
+
+use fpna_core::error::FpnaError;
+use fpna_core::Result;
+
+use crate::context::GpuContext;
+use crate::tensor::Tensor;
+
+/// Stride and padding of a transposed convolution (one entry per
+/// spatial dimension).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConvParams {
+    /// Stride per spatial dim.
+    pub stride: Vec<usize>,
+    /// Zero padding per spatial dim.
+    pub padding: Vec<usize>,
+}
+
+impl ConvParams {
+    /// Uniform stride/padding across `rank` spatial dims.
+    pub fn uniform(rank: usize, stride: usize, padding: usize) -> Self {
+        ConvParams {
+            stride: vec![stride; rank],
+            padding: vec![padding; rank],
+        }
+    }
+}
+
+/// Iterate the cartesian product of `dims` in row-major order.
+fn for_each_index(dims: &[usize], mut f: impl FnMut(&[usize])) {
+    let rank = dims.len();
+    if dims.contains(&0) {
+        return;
+    }
+    let mut idx = vec![0usize; rank];
+    loop {
+        f(&idx);
+        // odometer increment
+        let mut d = rank;
+        loop {
+            if d == 0 {
+                return;
+            }
+            d -= 1;
+            idx[d] += 1;
+            if idx[d] < dims[d] {
+                break;
+            }
+            idx[d] = 0;
+        }
+    }
+}
+
+/// Row-major flatten.
+fn flatten(idx: &[usize], dims: &[usize]) -> usize {
+    let mut f = 0usize;
+    for (i, d) in idx.iter().zip(dims) {
+        f = f * d + i;
+    }
+    f
+}
+
+struct ConvShapes {
+    batch: usize,
+    c_in: usize,
+    c_out: usize,
+    spatial_in: Vec<usize>,
+    kernel: Vec<usize>,
+    spatial_out: Vec<usize>,
+}
+
+fn validate(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&[f64]>,
+    params: &ConvParams,
+    rank: usize,
+) -> Result<ConvShapes> {
+    if input.rank() != rank + 2 || weight.rank() != rank + 2 {
+        return Err(FpnaError::shape(format!(
+            "conv_transpose{rank}d expects rank-{} input and weight, got {} and {}",
+            rank + 2,
+            input.rank(),
+            weight.rank()
+        )));
+    }
+    if params.stride.len() != rank || params.padding.len() != rank {
+        return Err(FpnaError::config(format!(
+            "conv_transpose{rank}d needs {rank} stride/padding entries"
+        )));
+    }
+    if params.stride.contains(&0) {
+        return Err(FpnaError::config("stride must be positive"));
+    }
+    let c_in = input.shape()[1];
+    if weight.shape()[0] != c_in {
+        return Err(FpnaError::shape(format!(
+            "weight C_in {} != input C_in {}",
+            weight.shape()[0],
+            c_in
+        )));
+    }
+    let c_out = weight.shape()[1];
+    if let Some(b) = bias {
+        if b.len() != c_out {
+            return Err(FpnaError::shape(format!(
+                "bias length {} != C_out {c_out}",
+                b.len()
+            )));
+        }
+    }
+    let spatial_in = input.shape()[2..].to_vec();
+    let kernel = weight.shape()[2..].to_vec();
+    let mut spatial_out = Vec::with_capacity(rank);
+    for d in 0..rank {
+        let o = (spatial_in[d].saturating_sub(1)) * params.stride[d] + kernel[d];
+        let o = o as i64 - 2 * params.padding[d] as i64;
+        if o <= 0 {
+            return Err(FpnaError::config(format!(
+                "output dim {d} would be {o}; reduce padding"
+            )));
+        }
+        spatial_out.push(o as usize);
+    }
+    Ok(ConvShapes {
+        batch: input.shape()[0],
+        c_in,
+        c_out,
+        spatial_in,
+        kernel,
+        spatial_out,
+    })
+}
+
+fn conv_transpose_nd(
+    ctx: &GpuContext,
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&[f64]>,
+    params: &ConvParams,
+    rank: usize,
+) -> Result<Tensor> {
+    let s = validate(input, weight, bias, params, rank)?;
+    let mut out_shape = vec![s.batch, s.c_out];
+    out_shape.extend_from_slice(&s.spatial_out);
+    let out_spatial_len: usize = s.spatial_out.iter().product();
+    let in_spatial_len: usize = s.spatial_in.iter().product();
+    let k_len: usize = s.kernel.iter().product();
+
+    // Bias initialisation is deterministic in both kernels.
+    let mut out = Tensor::zeros(out_shape);
+    if let Some(b) = bias {
+        for n in 0..s.batch {
+            for co in 0..s.c_out {
+                let base = (n * s.c_out + co) * out_spatial_len;
+                for x in &mut out.data_mut()[base..base + out_spatial_len] {
+                    *x = b[co];
+                }
+            }
+        }
+    }
+
+    if ctx.deterministic_requested() {
+        // Gather order: each output element accumulates its
+        // contributors in fixed (ci, k) lexicographic order.
+        for_each_index(&s.spatial_out, |o_idx| {
+            for n in 0..s.batch {
+                for co in 0..s.c_out {
+                    let mut acc = 0.0f64;
+                    for ci in 0..s.c_in {
+                        for_each_index(&s.kernel, |k_idx| {
+                            let mut in_idx = vec![0usize; rank];
+                            for d in 0..rank {
+                                let numer =
+                                    o_idx[d] as i64 + params.padding[d] as i64 - k_idx[d] as i64;
+                                if numer < 0 || numer % params.stride[d] as i64 != 0 {
+                                    return;
+                                }
+                                let i = (numer / params.stride[d] as i64) as usize;
+                                if i >= s.spatial_in[d] {
+                                    return;
+                                }
+                                in_idx[d] = i;
+                            }
+                            let iv = input.data()[(n * s.c_in + ci) * in_spatial_len
+                                + flatten(&in_idx, &s.spatial_in)];
+                            let wv = weight.data()
+                                [(ci * s.c_out + co) * k_len + flatten(k_idx, &s.kernel)];
+                            acc += iv * wv;
+                        });
+                    }
+                    let addr = (n * s.c_out + co) * out_spatial_len + flatten(o_idx, &s.spatial_out);
+                    out.data_mut()[addr] += acc;
+                }
+            }
+        });
+    } else {
+        // Scatter order: contributions in input-major program order,
+        // committed in the device's atomic order.
+        let mut contribs: Vec<(u32, f64)> = Vec::new();
+        for n in 0..s.batch {
+            for ci in 0..s.c_in {
+                for_each_index(&s.spatial_in, |i_idx| {
+                    let iv = input.data()
+                        [(n * s.c_in + ci) * in_spatial_len + flatten(i_idx, &s.spatial_in)];
+                    for co in 0..s.c_out {
+                        for_each_index(&s.kernel, |k_idx| {
+                            let mut o_idx = vec![0usize; rank];
+                            for d in 0..rank {
+                                let o = (i_idx[d] * params.stride[d] + k_idx[d]) as i64
+                                    - params.padding[d] as i64;
+                                if o < 0 || o as usize >= s.spatial_out[d] {
+                                    return;
+                                }
+                                o_idx[d] = o as usize;
+                            }
+                            let wv = weight.data()
+                                [(ci * s.c_out + co) * k_len + flatten(k_idx, &s.kernel)];
+                            let addr = (n * s.c_out + co) * out_spatial_len
+                                + flatten(&o_idx, &s.spatial_out);
+                            contribs.push((addr as u32, iv * wv));
+                        });
+                    }
+                });
+            }
+        }
+        ctx.device
+            .atomic_scatter_add(out.data_mut(), &contribs, &ctx.schedule);
+    }
+    Ok(out)
+}
+
+/// 1-D transposed convolution (`torch.nn.ConvTranspose1d`).
+pub fn conv_transpose1d(
+    ctx: &GpuContext,
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&[f64]>,
+    params: &ConvParams,
+) -> Result<Tensor> {
+    conv_transpose_nd(ctx, input, weight, bias, params, 1)
+}
+
+/// 2-D transposed convolution (`torch.nn.ConvTranspose2d`).
+pub fn conv_transpose2d(
+    ctx: &GpuContext,
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&[f64]>,
+    params: &ConvParams,
+) -> Result<Tensor> {
+    conv_transpose_nd(ctx, input, weight, bias, params, 2)
+}
+
+/// 3-D transposed convolution (`torch.nn.ConvTranspose3d`).
+pub fn conv_transpose3d(
+    ctx: &GpuContext,
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&[f64]>,
+    params: &ConvParams,
+) -> Result<Tensor> {
+    conv_transpose_nd(ctx, input, weight, bias, params, 3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpna_gpu_sim::GpuModel;
+
+    fn ctx_det() -> GpuContext {
+        GpuContext::new(GpuModel::H100, 1).with_determinism(Some(true))
+    }
+
+    fn ctx_nd(seed: u64) -> GpuContext {
+        GpuContext::new(GpuModel::H100, seed).with_determinism(Some(false))
+    }
+
+    #[test]
+    fn known_1d_result() {
+        // input [1,1,3] = [1,2,3], kernel [1,1,2] = [1, 10], stride 1, pad 0
+        // out length = (3-1)*1 + 2 = 4: [1, 12, 23, 30]
+        let input = Tensor::from_vec(vec![1, 1, 3], vec![1.0, 2.0, 3.0]);
+        let weight = Tensor::from_vec(vec![1, 1, 2], vec![1.0, 10.0]);
+        let out = conv_transpose1d(
+            &ctx_det(),
+            &input,
+            &weight,
+            None,
+            &ConvParams::uniform(1, 1, 0),
+        )
+        .unwrap();
+        assert_eq!(out.shape(), &[1, 1, 4]);
+        assert_eq!(out.data(), &[1.0, 12.0, 23.0, 30.0]);
+    }
+
+    #[test]
+    fn stride_and_padding_1d() {
+        // stride 2: out length = (3-1)*2 + 2 = 6; padding 1 trims both ends -> 4
+        let input = Tensor::from_vec(vec![1, 1, 3], vec![1.0, 2.0, 3.0]);
+        let weight = Tensor::from_vec(vec![1, 1, 2], vec![1.0, 10.0]);
+        let full = conv_transpose1d(
+            &ctx_det(),
+            &input,
+            &weight,
+            None,
+            &ConvParams::uniform(1, 2, 0),
+        )
+        .unwrap();
+        assert_eq!(full.data(), &[1.0, 10.0, 2.0, 20.0, 3.0, 30.0]);
+        let padded = conv_transpose1d(
+            &ctx_det(),
+            &input,
+            &weight,
+            None,
+            &ConvParams::uniform(1, 2, 1),
+        )
+        .unwrap();
+        assert_eq!(padded.data(), &[10.0, 2.0, 20.0, 3.0]);
+    }
+
+    #[test]
+    fn bias_is_added_everywhere() {
+        let input = Tensor::from_vec(vec![1, 1, 2], vec![0.0, 0.0]);
+        let weight = Tensor::from_vec(vec![1, 2, 2], vec![0.0, 0.0, 0.0, 0.0]);
+        let out = conv_transpose1d(
+            &ctx_det(),
+            &input,
+            &weight,
+            Some(&[5.0, -1.0]),
+            &ConvParams::uniform(1, 1, 0),
+        )
+        .unwrap();
+        assert_eq!(out.shape(), &[1, 2, 3]);
+        assert_eq!(out.data(), &[5.0, 5.0, 5.0, -1.0, -1.0, -1.0]);
+    }
+
+    #[test]
+    fn nd_matches_det_to_rounding_2d() {
+        let input = Tensor::randn(vec![2, 3, 6, 6], 1).map(|x| x * 1e3);
+        let weight = Tensor::randn(vec![3, 4, 3, 3], 2);
+        let det = conv_transpose2d(
+            &ctx_det(),
+            &input,
+            &weight,
+            None,
+            &ConvParams::uniform(2, 2, 1),
+        )
+        .unwrap();
+        let nd = conv_transpose2d(
+            &ctx_nd(3),
+            &input,
+            &weight,
+            None,
+            &ConvParams::uniform(2, 2, 1),
+        )
+        .unwrap();
+        assert_eq!(det.shape(), nd.shape());
+        for (a, b) in det.data().iter().zip(nd.data()) {
+            assert!((a - b).abs() < 1e-9 * a.abs().max(1.0) + 1e-12, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn nd_varies_det_stable_3d() {
+        let input = Tensor::randn(vec![1, 2, 4, 4, 4], 4).map(|x| x * 1e6);
+        let weight = Tensor::randn(vec![2, 2, 3, 3, 3], 5);
+        let params = ConvParams::uniform(3, 1, 0);
+        let det0 = conv_transpose3d(&ctx_det().for_run(0), &input, &weight, None, &params).unwrap();
+        let det1 = conv_transpose3d(&ctx_det().for_run(1), &input, &weight, None, &params).unwrap();
+        assert!(det0.bitwise_eq(&det1));
+        let mut bits = std::collections::HashSet::new();
+        for run in 0..6 {
+            let nd =
+                conv_transpose3d(&ctx_nd(6).for_run(run), &input, &weight, None, &params).unwrap();
+            bits.insert(nd.data().iter().map(|x| x.to_bits()).collect::<Vec<_>>());
+        }
+        assert!(bits.len() > 1, "3-D scatter conv should vary");
+    }
+
+    #[test]
+    fn channel_mixing() {
+        // 2 input channels, 1 output channel, kernel of ones: output
+        // sums both channels.
+        let input = Tensor::from_vec(vec![1, 2, 2], vec![1.0, 2.0, 10.0, 20.0]);
+        let weight = Tensor::from_vec(vec![2, 1, 1], vec![1.0, 1.0]);
+        let out = conv_transpose1d(
+            &ctx_det(),
+            &input,
+            &weight,
+            None,
+            &ConvParams::uniform(1, 1, 0),
+        )
+        .unwrap();
+        assert_eq!(out.data(), &[11.0, 22.0]);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let input = Tensor::zeros(vec![1, 1, 3]);
+        let weight = Tensor::zeros(vec![2, 1, 2]); // C_in mismatch
+        assert!(conv_transpose1d(
+            &ctx_det(),
+            &input,
+            &weight,
+            None,
+            &ConvParams::uniform(1, 1, 0)
+        )
+        .is_err());
+        let weight = Tensor::zeros(vec![1, 1, 2]);
+        assert!(conv_transpose1d(
+            &ctx_det(),
+            &input,
+            &weight,
+            Some(&[1.0, 2.0]), // bias len
+            &ConvParams::uniform(1, 1, 0)
+        )
+        .is_err());
+        assert!(conv_transpose1d(
+            &ctx_det(),
+            &input,
+            &weight,
+            None,
+            &ConvParams::uniform(1, 0, 0) // zero stride
+        )
+        .is_err());
+        assert!(conv_transpose1d(
+            &ctx_det(),
+            &input,
+            &weight,
+            None,
+            &ConvParams::uniform(1, 1, 9) // padding destroys output
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,287 @@
+//! `index_add`, `index_copy`, `index_put` and `gather` along dim 0 —
+//! the indexing family of the paper's Table 5 and Figs 3–5.
+//!
+//! Semantics follow PyTorch: the tensor is viewed as `rows × row_len`
+//! along dimension 0 (the dimension the paper sweeps).
+//!
+//! * `index_add`: `out[index[k], :] += src[k, :]`. Duplicate indices
+//!   make the sum order-sensitive — the non-deterministic kernel
+//!   commits contributions in the device's atomic order.
+//! * `index_copy` / `index_put`: racy *writes*; with duplicate indices
+//!   the winner is the last committed write, which the schedule picks.
+//! * `gather`: reads only — deterministic in both modes (present for
+//!   completeness and for building GNN layers).
+
+use fpna_core::error::FpnaError;
+use fpna_core::Result;
+
+use crate::context::GpuContext;
+use crate::tensor::Tensor;
+
+fn validate_dim0_index(
+    dst: &Tensor,
+    index: &[u32],
+    src: &Tensor,
+    op: &'static str,
+) -> Result<()> {
+    if src.shape().first().copied().unwrap_or(0) != index.len() {
+        return Err(FpnaError::shape(format!(
+            "{op}: index length {} != src rows {}",
+            index.len(),
+            src.shape().first().copied().unwrap_or(0)
+        )));
+    }
+    if dst.row_len() != src.row_len() {
+        return Err(FpnaError::shape(format!(
+            "{op}: dst row length {} != src row length {}",
+            dst.row_len(),
+            src.row_len()
+        )));
+    }
+    let rows = dst.shape().first().copied().unwrap_or(0);
+    for &i in index {
+        if i as usize >= rows {
+            return Err(FpnaError::IndexOutOfBounds {
+                index: i as usize,
+                bound: rows,
+                context: op,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// `out[index[k], :] += src[k, :]` (PyTorch `index_add_`, dim 0).
+///
+/// Deterministic kernel: contributions applied in ascending `k`.
+/// Non-deterministic kernel: contributions committed in the device's
+/// atomic order — bitwise run-to-run variability whenever duplicate
+/// indices carry rounding-sensitive values.
+pub fn index_add(ctx: &GpuContext, dst: &Tensor, index: &[u32], src: &Tensor) -> Result<Tensor> {
+    validate_dim0_index(dst, index, src, "index_add")?;
+    let w = dst.row_len();
+    let mut out = dst.clone();
+    if ctx.deterministic_requested() {
+        for (k, &row) in index.iter().enumerate() {
+            let s = src.row(k);
+            let orow = &mut out.data_mut()[row as usize * w..(row as usize + 1) * w];
+            for (o, &v) in orow.iter_mut().zip(s) {
+                *o += v;
+            }
+        }
+    } else {
+        let mut contribs = Vec::with_capacity(index.len() * w);
+        for (k, &row) in index.iter().enumerate() {
+            let s = src.row(k);
+            for (j, &v) in s.iter().enumerate() {
+                contribs.push(((row as usize * w + j) as u32, v));
+            }
+        }
+        ctx.device
+            .atomic_scatter_add(out.data_mut(), &contribs, &ctx.schedule);
+    }
+    Ok(out)
+}
+
+/// `out[index[k], :] = src[k, :]` (PyTorch `index_copy_`, dim 0).
+///
+/// With duplicate indices the result depends on which write lands last:
+/// ascending `k` for the deterministic kernel, commit order for the
+/// non-deterministic one.
+pub fn index_copy(ctx: &GpuContext, dst: &Tensor, index: &[u32], src: &Tensor) -> Result<Tensor> {
+    validate_dim0_index(dst, index, src, "index_copy")?;
+    let w = dst.row_len();
+    let mut out = dst.clone();
+    let write_order: Vec<u32> = if ctx.deterministic_requested() {
+        (0..index.len() as u32).collect()
+    } else {
+        ctx.device
+            .scatter_commit_order(index.len(), &ctx.schedule)
+    };
+    for &k in &write_order {
+        let row = index[k as usize] as usize;
+        let s = src.row(k as usize);
+        out.data_mut()[row * w..(row + 1) * w].copy_from_slice(s);
+    }
+    Ok(out)
+}
+
+/// Flat-index put: `out.flat[index[k]] = values[k]` (PyTorch
+/// `index_put_` with `accumulate=False`). Racy on duplicates exactly
+/// like [`index_copy`].
+pub fn index_put(ctx: &GpuContext, dst: &Tensor, index: &[u32], values: &[f64]) -> Result<Tensor> {
+    if index.len() != values.len() {
+        return Err(FpnaError::shape(format!(
+            "index_put: {} indices vs {} values",
+            index.len(),
+            values.len()
+        )));
+    }
+    for &i in index {
+        if i as usize >= dst.numel() {
+            return Err(FpnaError::IndexOutOfBounds {
+                index: i as usize,
+                bound: dst.numel(),
+                context: "index_put",
+            });
+        }
+    }
+    let mut out = dst.clone();
+    let write_order: Vec<u32> = if ctx.deterministic_requested() {
+        (0..index.len() as u32).collect()
+    } else {
+        ctx.device
+            .scatter_commit_order(index.len(), &ctx.schedule)
+    };
+    for &k in &write_order {
+        out.data_mut()[index[k as usize] as usize] = values[k as usize];
+    }
+    Ok(out)
+}
+
+/// `out[k, :] = src[index[k], :]` — pure reads, deterministic always.
+pub fn gather_rows(src: &Tensor, index: &[u32]) -> Result<Tensor> {
+    let rows = src.shape().first().copied().unwrap_or(0);
+    for &i in index {
+        if i as usize >= rows {
+            return Err(FpnaError::IndexOutOfBounds {
+                index: i as usize,
+                bound: rows,
+                context: "gather_rows",
+            });
+        }
+    }
+    let w = src.row_len();
+    let mut data = Vec::with_capacity(index.len() * w);
+    for &i in index {
+        data.extend_from_slice(src.row(i as usize));
+    }
+    let mut shape = vec![index.len()];
+    shape.extend_from_slice(&src.shape()[1..]);
+    Ok(Tensor::from_vec(shape, data))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpna_core::rng::SplitMix64;
+    use fpna_gpu_sim::GpuModel;
+
+    fn ctx_det() -> GpuContext {
+        GpuContext::new(GpuModel::H100, 1).with_determinism(Some(true))
+    }
+
+    fn ctx_nd(seed: u64) -> GpuContext {
+        GpuContext::new(GpuModel::H100, seed).with_determinism(Some(false))
+    }
+
+    #[test]
+    fn index_add_basic_semantics() {
+        let dst = Tensor::zeros(vec![3, 2]);
+        let src = Tensor::from_vec(vec![2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let out = index_add(&ctx_det(), &dst, &[2, 0], &src).unwrap();
+        assert_eq!(out.row(0), &[3.0, 4.0]);
+        assert_eq!(out.row(1), &[0.0, 0.0]);
+        assert_eq!(out.row(2), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn index_add_duplicates_accumulate() {
+        let dst = Tensor::full(vec![2], 10.0);
+        let src = Tensor::from_vec(vec![3], vec![1.0, 2.0, 3.0]);
+        let out = index_add(&ctx_det(), &dst, &[0, 0, 1], &src).unwrap();
+        assert_eq!(out.data(), &[13.0, 13.0]);
+    }
+
+    #[test]
+    fn index_add_nd_matches_multiset_sum() {
+        // ND and det differ only in addition order: same value to ~1e-9.
+        let mut rng = SplitMix64::new(3);
+        let n = 10_000usize;
+        let rows = 8usize;
+        let src = Tensor::from_vec(
+            vec![n],
+            (0..n).map(|_| rng.next_f64() * 1e6 - 5e5).collect(),
+        );
+        let index: Vec<u32> = (0..n).map(|_| rng.next_below(rows as u64) as u32).collect();
+        let dst = Tensor::zeros(vec![rows]);
+        let det = index_add(&ctx_det(), &dst, &index, &src).unwrap();
+        let nd = index_add(&ctx_nd(7), &dst, &index, &src).unwrap();
+        for (a, b) in det.data().iter().zip(nd.data()) {
+            assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn index_add_nd_varies_det_does_not() {
+        let mut rng = SplitMix64::new(5);
+        let n = 20_000usize;
+        let src = Tensor::from_vec(
+            vec![n],
+            (0..n).map(|_| rng.next_f64() * 1e8 - 5e7).collect(),
+        );
+        let index: Vec<u32> = (0..n).map(|_| rng.next_below(4) as u32).collect();
+        let dst = Tensor::zeros(vec![4]);
+        let mut det_bits = std::collections::HashSet::new();
+        let mut nd_bits = std::collections::HashSet::new();
+        for run in 0..10 {
+            let d = index_add(&ctx_det().for_run(run), &dst, &index, &src).unwrap();
+            let n_ = index_add(&ctx_nd(9).for_run(run), &dst, &index, &src).unwrap();
+            det_bits.insert(d.data().iter().map(|x| x.to_bits()).collect::<Vec<_>>());
+            nd_bits.insert(n_.data().iter().map(|x| x.to_bits()).collect::<Vec<_>>());
+        }
+        assert_eq!(det_bits.len(), 1, "deterministic kernel must be stable");
+        assert!(nd_bits.len() > 1, "ND kernel should vary across runs");
+    }
+
+    #[test]
+    fn index_copy_last_write_wins() {
+        let dst = Tensor::zeros(vec![2, 1]);
+        let src = Tensor::from_vec(vec![3, 1], vec![1.0, 2.0, 3.0]);
+        // det: ascending k, so k=1 (value 2.0) then k=2 (3.0) -> row0 = 3.0
+        let out = index_copy(&ctx_det(), &dst, &[0, 0, 0], &src).unwrap();
+        assert_eq!(out.data()[0], 3.0);
+    }
+
+    #[test]
+    fn index_copy_nd_winner_varies() {
+        let dst = Tensor::zeros(vec![1]);
+        let n = 4096usize;
+        let src = Tensor::from_fn(vec![n], |i| i as f64);
+        let index = vec![0u32; n];
+        let mut winners = std::collections::HashSet::new();
+        for run in 0..20 {
+            let out = index_copy(&ctx_nd(11).for_run(run), &dst, &index, &src).unwrap();
+            winners.insert(out.data()[0].to_bits());
+        }
+        assert!(winners.len() > 1, "write race winner should vary");
+    }
+
+    #[test]
+    fn index_put_flat_semantics() {
+        let dst = Tensor::zeros(vec![2, 2]);
+        let out = index_put(&ctx_det(), &dst, &[3, 0], &[7.0, 8.0]).unwrap();
+        assert_eq!(out.data(), &[8.0, 0.0, 0.0, 7.0]);
+    }
+
+    #[test]
+    fn gather_rows_reads() {
+        let src = Tensor::from_vec(vec![3, 2], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let out = gather_rows(&src, &[2, 2, 0]).unwrap();
+        assert_eq!(out.shape(), &[3, 2]);
+        assert_eq!(out.data(), &[5.0, 6.0, 5.0, 6.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let dst = Tensor::zeros(vec![2, 2]);
+        let src = Tensor::zeros(vec![2, 2]);
+        assert!(index_add(&ctx_det(), &dst, &[0], &src).is_err()); // wrong index len
+        assert!(index_add(&ctx_det(), &dst, &[0, 5], &src).is_err()); // oob
+        let src3 = Tensor::zeros(vec![2, 3]);
+        assert!(index_add(&ctx_det(), &dst, &[0, 1], &src3).is_err()); // row len
+        assert!(index_put(&ctx_det(), &dst, &[9], &[1.0]).is_err()); // oob flat
+        assert!(index_put(&ctx_det(), &dst, &[0, 1], &[1.0]).is_err()); // len mismatch
+        assert!(gather_rows(&src, &[7]).is_err());
+    }
+}

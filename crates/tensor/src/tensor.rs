@@ -1,0 +1,252 @@
+//! Dense row-major `f64` tensors.
+//!
+//! Deliberately minimal: contiguous row-major storage, explicit shape,
+//! no views or broadcasting tricks — every kernel in this crate indexes
+//! the flat buffer directly, and keeping the layout trivial keeps the
+//! determinism analysis trivial too.
+
+use fpna_core::rng::SplitMix64;
+
+/// A dense, contiguous, row-major tensor of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f64>,
+}
+
+impl Tensor {
+    /// Tensor of zeros.
+    pub fn zeros(shape: Vec<usize>) -> Self {
+        let n = shape.iter().product();
+        Tensor {
+            shape,
+            data: vec![0.0; n],
+        }
+    }
+
+    /// Tensor filled with `value`.
+    pub fn full(shape: Vec<usize>, value: f64) -> Self {
+        let n = shape.iter().product();
+        Tensor {
+            shape,
+            data: vec![value; n],
+        }
+    }
+
+    /// Tensor from explicit data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not match the shape's element count.
+    pub fn from_vec(shape: Vec<usize>, data: Vec<f64>) -> Self {
+        let n: usize = shape.iter().product();
+        assert_eq!(data.len(), n, "data length does not match shape");
+        Tensor { shape, data }
+    }
+
+    /// Tensor built elementwise from the flat index.
+    pub fn from_fn(shape: Vec<usize>, f: impl Fn(usize) -> f64) -> Self {
+        let n: usize = shape.iter().product();
+        Tensor {
+            shape,
+            data: (0..n).map(f).collect(),
+        }
+    }
+
+    /// Seeded uniform random tensor on `[0, 1)`.
+    pub fn rand(shape: Vec<usize>, seed: u64) -> Self {
+        let n: usize = shape.iter().product();
+        let mut g = SplitMix64::new(seed);
+        Tensor {
+            shape,
+            data: (0..n).map(|_| g.next_f64()).collect(),
+        }
+    }
+
+    /// Seeded standard-normal random tensor (Box–Muller).
+    pub fn randn(shape: Vec<usize>, seed: u64) -> Self {
+        let n: usize = shape.iter().product();
+        let mut g = SplitMix64::new(seed);
+        let mut data = Vec::with_capacity(n);
+        while data.len() < n {
+            let u1 = (1.0 - g.next_f64()).max(f64::MIN_POSITIVE);
+            let u2 = g.next_f64();
+            let r = (-2.0 * u1.ln()).sqrt();
+            let theta = 2.0 * std::f64::consts::PI * u2;
+            data.push(r * theta.cos());
+            if data.len() < n {
+                data.push(r * theta.sin());
+            }
+        }
+        Tensor { shape, data }
+    }
+
+    /// The shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Total element count.
+    pub fn numel(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Flat read-only data.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Flat mutable data.
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consume into the flat buffer.
+    pub fn into_data(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Reinterpret with a new shape of identical element count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element counts differ.
+    pub fn reshape(mut self, shape: Vec<usize>) -> Self {
+        let n: usize = shape.iter().product();
+        assert_eq!(n, self.data.len(), "reshape changes element count");
+        self.shape = shape;
+        self
+    }
+
+    /// Size of dimension `d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is out of range.
+    pub fn size(&self, d: usize) -> usize {
+        self.shape[d]
+    }
+
+    /// For a tensor viewed as `[rows, row_len]` along dim 0: the row
+    /// length (product of trailing dims). A 1-D tensor has row length 1.
+    pub fn row_len(&self) -> usize {
+        self.shape.iter().skip(1).product::<usize>().max(1)
+    }
+
+    /// Borrow row `r` of the dim-0 view.
+    pub fn row(&self, r: usize) -> &[f64] {
+        let w = self.row_len();
+        &self.data[r * w..(r + 1) * w]
+    }
+
+    /// Elementwise map into a new tensor.
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> Tensor {
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Elementwise binary zip into a new tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn zip(&self, other: &Tensor, f: impl Fn(f64, f64) -> f64) -> Tensor {
+        assert_eq!(self.shape, other.shape, "zip shape mismatch");
+        Tensor {
+            shape: self.shape.clone(),
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        }
+    }
+
+    /// `true` when both tensors are bitwise identical (shape and data).
+    pub fn bitwise_eq(&self, other: &Tensor) -> bool {
+        self.shape == other.shape
+            && self
+                .data
+                .iter()
+                .zip(&other.data)
+                .all(|(a, b)| a.to_bits() == b.to_bits())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let z = Tensor::zeros(vec![2, 3]);
+        assert_eq!(z.numel(), 6);
+        assert_eq!(z.rank(), 2);
+        assert!(z.data().iter().all(|&x| x == 0.0));
+        let f = Tensor::full(vec![4], 2.5);
+        assert_eq!(f.data(), &[2.5; 4]);
+        let v = Tensor::from_vec(vec![2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(v.row(1), &[3.0, 4.0]);
+        let g = Tensor::from_fn(vec![3], |i| i as f64);
+        assert_eq!(g.data(), &[0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn random_tensors_are_seeded() {
+        let a = Tensor::rand(vec![100], 7);
+        let b = Tensor::rand(vec![100], 7);
+        assert!(a.bitwise_eq(&b));
+        let c = Tensor::rand(vec![100], 8);
+        assert!(!a.bitwise_eq(&c));
+        assert!(a.data().iter().all(|&x| (0.0..1.0).contains(&x)));
+    }
+
+    #[test]
+    fn randn_moments() {
+        let x = Tensor::randn(vec![50_000], 1);
+        let mean = x.data().iter().sum::<f64>() / x.numel() as f64;
+        let var = x.data().iter().map(|&v| (v - mean) * (v - mean)).sum::<f64>()
+            / x.numel() as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn reshape_and_rows() {
+        let t = Tensor::from_fn(vec![6], |i| i as f64).reshape(vec![2, 3]);
+        assert_eq!(t.shape(), &[2, 3]);
+        assert_eq!(t.row_len(), 3);
+        assert_eq!(t.row(1), &[3.0, 4.0, 5.0]);
+        // 1-D row_len is 1
+        assert_eq!(Tensor::zeros(vec![5]).row_len(), 1);
+    }
+
+    #[test]
+    fn map_zip() {
+        let a = Tensor::from_vec(vec![3], vec![1.0, 2.0, 3.0]);
+        let b = a.map(|x| x * 2.0);
+        assert_eq!(b.data(), &[2.0, 4.0, 6.0]);
+        let c = a.zip(&b, |x, y| y - x);
+        assert_eq!(c.data(), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match shape")]
+    fn bad_from_vec_panics() {
+        Tensor::from_vec(vec![2, 2], vec![1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "element count")]
+    fn bad_reshape_panics() {
+        Tensor::zeros(vec![4]).reshape(vec![3]);
+    }
+}

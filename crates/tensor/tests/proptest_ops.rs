@@ -1,0 +1,122 @@
+//! Property tests for the tensor kernels: shape laws, conservation
+//! laws, D/ND value agreement, and order-invariance of the exactly
+//! associative reductions.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use fpna_gpu_sim::GpuModel;
+use fpna_tensor::context::GpuContext;
+use fpna_tensor::ops::conv::{conv_transpose1d, ConvParams};
+use fpna_tensor::ops::cumsum::cumsum;
+use fpna_tensor::ops::index::{gather_rows, index_add};
+use fpna_tensor::ops::scatter::{reference_scatter_reduce, scatter_reduce, ReduceOp};
+use fpna_tensor::Tensor;
+
+fn det_ctx() -> GpuContext {
+    GpuContext::new(GpuModel::H100, 1).with_determinism(Some(true))
+}
+
+fn nd_ctx(seed: u64) -> GpuContext {
+    GpuContext::new(GpuModel::H100, seed).with_determinism(Some(false))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// ConvTranspose1d obeys the PyTorch output-shape law and matches
+    /// between its deterministic and non-deterministic kernels.
+    #[test]
+    fn conv1d_shape_and_agreement(
+        len in 2usize..24,
+        kernel in 1usize..5,
+        stride in 1usize..3,
+        c_in in 1usize..3,
+        c_out in 1usize..3,
+        seed in any::<u64>(),
+    ) {
+        let input = Tensor::rand(vec![1, c_in, len], seed).map(|u| u * 2.0 - 1.0);
+        let weight = Tensor::rand(vec![c_in, c_out, kernel], seed ^ 1).map(|u| u * 2.0 - 1.0);
+        let params = ConvParams::uniform(1, stride, 0);
+        let det = conv_transpose1d(&det_ctx(), &input, &weight, None, &params).unwrap();
+        let expect_len = (len - 1) * stride + kernel;
+        prop_assert_eq!(det.shape(), &[1, c_out, expect_len][..]);
+        let nd = conv_transpose1d(&nd_ctx(seed), &input, &weight, None, &params).unwrap();
+        for (a, b) in det.data().iter().zip(nd.data()) {
+            prop_assert!((a - b).abs() <= 1e-10 * a.abs().max(1.0) + 1e-12);
+        }
+    }
+
+    /// index_add conserves the total sum (up to rounding) and is a
+    /// no-op for an empty source.
+    #[test]
+    fn index_add_conservation(
+        values in vec(-1e6..1e6f64, 0..300),
+        rows in 1usize..16,
+        seed in any::<u64>(),
+    ) {
+        let n = values.len();
+        let mut rng = fpna_core::rng::SplitMix64::new(seed);
+        let index: Vec<u32> = (0..n).map(|_| rng.next_below(rows as u64) as u32).collect();
+        let src = Tensor::from_vec(vec![n], values.clone());
+        let dst = Tensor::zeros(vec![rows]);
+        for ctx in [det_ctx(), nd_ctx(seed)] {
+            let out = index_add(&ctx, &dst, &index, &src).unwrap();
+            let before = fpna_summation::exact::exact_sum(&values);
+            let after = fpna_summation::exact::exact_sum(out.data());
+            let scale: f64 = values.iter().map(|v| v.abs()).sum::<f64>().max(1.0);
+            prop_assert!((before - after).abs() <= 1e-10 * scale);
+        }
+    }
+
+    /// gather(index) then flattening reads exactly the selected rows.
+    #[test]
+    fn gather_selects(rows in 1usize..16, cols in 1usize..8, picks in vec(0usize..16, 0..32), seed in any::<u64>()) {
+        let src = Tensor::rand(vec![rows, cols], seed);
+        let index: Vec<u32> = picks.iter().map(|&p| (p % rows) as u32).collect();
+        let out = gather_rows(&src, &index).unwrap();
+        prop_assert_eq!(out.shape()[0], index.len());
+        for (k, &i) in index.iter().enumerate() {
+            prop_assert_eq!(out.row(k), src.row(i as usize));
+        }
+    }
+
+    /// cumsum's last element equals the serial total; deterministic
+    /// mode is bitwise equal to a plain scan.
+    #[test]
+    fn cumsum_total(values in vec(-1e6..1e6f64, 1..600)) {
+        let x = Tensor::from_vec(vec![values.len()], values.clone());
+        let out = cumsum(&det_ctx(), &x).unwrap();
+        let mut acc = 0.0;
+        for (i, &v) in values.iter().enumerate() {
+            acc += v;
+            prop_assert_eq!(out.data()[i].to_bits(), acc.to_bits());
+        }
+    }
+
+    /// amax/amin scatter reductions are bitwise order-invariant (exact
+    /// associativity), while the ND kernel still matches the reference
+    /// *values* for sum up to rounding.
+    #[test]
+    fn scatter_reduce_order_invariance(
+        values in vec(-1e6..1e6f64, 1..300),
+        rows in 1usize..8,
+        seed in any::<u64>(),
+    ) {
+        let n = values.len();
+        let mut rng = fpna_core::rng::SplitMix64::new(seed);
+        let index: Vec<u32> = (0..n).map(|_| rng.next_below(rows as u64) as u32).collect();
+        let src = Tensor::from_vec(vec![n], values);
+        let dst = Tensor::zeros(vec![rows]);
+        for op in [ReduceOp::Amax, ReduceOp::Amin] {
+            let reference = reference_scatter_reduce(&dst, &index, &src, op).unwrap();
+            let nd = scatter_reduce(&nd_ctx(seed), &dst, &index, &src, op).unwrap();
+            prop_assert!(nd.bitwise_eq(&reference), "{:?} must be order-invariant", op);
+        }
+        let reference = reference_scatter_reduce(&dst, &index, &src, ReduceOp::Sum).unwrap();
+        let nd = scatter_reduce(&nd_ctx(seed), &dst, &index, &src, ReduceOp::Sum).unwrap();
+        for (a, b) in reference.data().iter().zip(nd.data()) {
+            prop_assert!((a - b).abs() <= 1e-9 * a.abs().max(1.0));
+        }
+    }
+}

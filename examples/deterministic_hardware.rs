@@ -1,0 +1,70 @@
+//! The paper's hardware answer (§IV–V): on a statically scheduled
+//! accelerator there is no runtime arbitration, so determinism is free —
+//! and the runtime is a compile-time constant, not a measurement.
+//!
+//! This example compiles a GraphSAGE inference program for the LPU
+//! simulator, runs it repeatedly, and contrasts it with the simulated
+//! GPU's non-deterministic inference.
+//!
+//! ```text
+//! cargo run --release --example deterministic_hardware
+//! ```
+
+use fpna::core::metrics::ArrayComparison;
+use fpna::gpu::GpuModel;
+use fpna::nn::cost::{gpu_inference_time_ms, lpu_inference};
+use fpna::nn::graph::{synthetic_cora, CoraParams};
+use fpna::nn::model::{train_model, TrainConfig};
+use fpna::nn::sage::Aggregation;
+use fpna::tensor::context::GpuContext;
+
+fn main() {
+    let mut params = CoraParams::cora();
+    params.nodes = 600;
+    params.features = 200;
+    params.links = 1_800;
+    let ds = synthetic_cora(params, 5);
+    let cfg = TrainConfig {
+        hidden: 16,
+        lr: 0.5,
+        epochs: 5,
+        init_seed: 7,
+        aggregation: Aggregation::Mean,
+    };
+    let det = GpuContext::new(GpuModel::H100, 1).with_determinism(Some(true));
+    let (model, _) = train_model(&ds, &cfg, &det).unwrap();
+
+    // GPU inference with ND kernels: different bits per run.
+    let nd = GpuContext::new(GpuModel::H100, 2).with_determinism(Some(false));
+    let a = model.predict(&nd.for_run(0), &ds).unwrap();
+    let b = model.predict(&nd.for_run(1), &ds).unwrap();
+    let cmp = ArrayComparison::compare(a.data(), b.data());
+    println!(
+        "GPU ND inference, two runs: bitwise identical = {}, Vc = {:.3}",
+        cmp.bitwise_identical(),
+        cmp.vc
+    );
+
+    // LPU inference: compiled once, bitwise identical forever, fixed time.
+    let (run1, t1) = lpu_inference(&ds, &model).unwrap();
+    let (run2, t2) = lpu_inference(&ds, &model).unwrap();
+    let cmp = ArrayComparison::compare(&run1, &run2);
+    println!(
+        "LPU inference, two runs: bitwise identical = {}, runtime = {t1:.1} us (constant: {})",
+        cmp.bitwise_identical(),
+        t1 == t2
+    );
+    assert!(cmp.bitwise_identical());
+
+    let h100 = fpna::gpu::DeviceProfile::new(GpuModel::H100);
+    println!(
+        "\nmodelled H100 inference: D = {:.2} ms, ND = {:.2} ms; LPU = {:.3} ms",
+        gpu_inference_time_ms(&h100, &ds, cfg.hidden, true),
+        gpu_inference_time_ms(&h100, &ds, cfg.hidden, false),
+        t1 / 1e3
+    );
+    println!(
+        "the deterministic-hardware route gives reproducibility without the \
+         deterministic-kernel slowdown."
+    );
+}

@@ -1,0 +1,65 @@
+//! Distributed data-parallel training, in miniature: the gradient
+//! allreduce. The paper's conclusion points at MPI-style inter-node
+//! communication as the *next* source of run-to-run variation beyond
+//! intra-GPU atomics — and at software-scheduled interconnects (the LPU
+//! multiprocessor) as the hardware fix.
+//!
+//! This example allreduces "gradients" from 32 simulated ranks three
+//! ways and shows: arrival-order trees vary run to run; every fixed
+//! algorithm is internally deterministic but disagrees with the other
+//! algorithms (so runtime algorithm selection still breaks
+//! reproducibility); and exact accumulators are bitwise stable across
+//! all of it.
+//!
+//! ```text
+//! cargo run --release --example distributed_allreduce
+//! ```
+
+use fpna::collectives::{allreduce, Algorithm, Ordering};
+use fpna::core::metrics::ArrayComparison;
+use fpna::core::rng::SplitMix64;
+
+fn main() {
+    let ranks = 32usize;
+    let grad_len = 8_192usize;
+    let mut rng = SplitMix64::new(7);
+    let grads: Vec<Vec<f64>> = (0..ranks)
+        .map(|_| (0..grad_len).map(|_| rng.next_f64() * 2e4 - 1e4).collect())
+        .collect();
+
+    println!("-- arrival-order 8-ary tree (MPI on a busy fabric) -----------");
+    let a = allreduce(&grads, Algorithm::KAryTree { fanout: 8 }, Ordering::ArrivalOrder { seed: 1 });
+    let b = allreduce(&grads, Algorithm::KAryTree { fanout: 8 }, Ordering::ArrivalOrder { seed: 2 });
+    let cmp = ArrayComparison::compare(&a, &b);
+    println!(
+        "two runs: bitwise identical = {}, Vc = {:.3}, Vermv = {:.3e}",
+        cmp.bitwise_identical(),
+        cmp.vc,
+        cmp.vermv
+    );
+
+    println!("\n-- algorithm selection (each deterministic, mutually different) --");
+    let ring = allreduce(&grads, Algorithm::Ring, Ordering::RankOrder);
+    let rd = allreduce(&grads, Algorithm::RecursiveDoubling, Ordering::RankOrder);
+    let cmp = ArrayComparison::compare(&ring, &rd);
+    println!(
+        "ring vs recursive doubling: bitwise identical = {}, Vc = {:.3}",
+        cmp.bitwise_identical(),
+        cmp.vc
+    );
+
+    println!("\n-- reproducible (exact accumulators in the messages) ---------");
+    let e1 = allreduce(&grads, Algorithm::Ring, Ordering::Reproducible);
+    let e2 = allreduce(&grads, Algorithm::KAryTree { fanout: 8 }, Ordering::Reproducible);
+    let cmp = ArrayComparison::compare(&e1, &e2);
+    println!(
+        "different algorithms, exact mode: bitwise identical = {}",
+        cmp.bitwise_identical()
+    );
+    assert!(cmp.bitwise_identical());
+    println!(
+        "\na distributed trainer built on the exact allreduce gets bitwise-\n\
+         reproducible gradients regardless of topology, fabric timing, or\n\
+         the library's per-message-size algorithm heuristics."
+    );
+}

@@ -1,0 +1,59 @@
+//! Quickstart: see floating-point non-associativity break run-to-run
+//! reproducibility, measure it, and fix it.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use fpna::core::metrics::scalar_variability;
+use fpna::gpu::{GpuDevice, GpuModel, KernelParams, ReduceKernel, ScheduleKind};
+use fpna::stats::samplers::{Distribution, Sampler};
+use fpna::summation::{exact::exact_sum, serial::randomly_permuted_sum, serial_sum};
+
+fn main() {
+    // 1. The phenomenon, on the CPU: the same million numbers, summed
+    //    in a different order, give a bitwise different answer.
+    let mut sampler = Sampler::new(Distribution::standard_normal(), 42);
+    let xs = sampler.sample_vec(1_000_000);
+    let in_order = serial_sum(&xs);
+    let shuffled = randomly_permuted_sum(&xs, 7);
+    println!("serial sum          : {in_order:.17e}");
+    println!("permuted sum        : {shuffled:.17e}");
+    println!("difference          : {:+.3e}", shuffled - in_order);
+    println!("Vs                  : {:+.3e}", scalar_variability(shuffled, in_order));
+
+    // 2. The same phenomenon on a (simulated) GPU: the atomic-based SPA
+    //    kernel commits block partials in scheduler order, so every
+    //    "launch" (seed) can give different bits...
+    let device = GpuDevice::new(GpuModel::V100);
+    let params = KernelParams::new(64, 7813);
+    println!("\nSPA (atomicAdd partials) over 5 simulated launches:");
+    for run in 0..5 {
+        let out = device
+            .reduce(ReduceKernel::Spa, &xs, params, &ScheduleKind::Seeded(1).for_run(run))
+            .unwrap();
+        println!("  launch {run}: {:.17e}", out.value);
+    }
+
+    // 3. ...while the deterministic tree kernel (SPTR) is bitwise
+    //    stable under every schedule:
+    println!("SPTR (deterministic tree) over the same launches:");
+    for run in 0..5 {
+        let out = device
+            .reduce(ReduceKernel::Sptr, &xs, params, &ScheduleKind::Seeded(1).for_run(run))
+            .unwrap();
+        println!("  launch {run}: {:.17e}", out.value);
+    }
+
+    // 4. And the strongest fix: the exact (reproducible) accumulator
+    //    gives the same bits for ANY order — even the shuffled one.
+    let exact_in_order = exact_sum(&xs);
+    let mut shuffled_xs = xs.clone();
+    let mut rng = fpna::core::rng::SplitMix64::new(9);
+    fpna::core::rng::shuffle(&mut shuffled_xs, &mut rng);
+    let exact_shuffled = exact_sum(&shuffled_xs);
+    println!("\nexact sum, in order : {exact_in_order:.17e}");
+    println!("exact sum, shuffled : {exact_shuffled:.17e}");
+    assert_eq!(exact_in_order.to_bits(), exact_shuffled.to_bits());
+    println!("bitwise identical   : true");
+}

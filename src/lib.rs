@@ -1,0 +1,51 @@
+//! # fpna — floating-point non-associativity reproducibility suite
+//!
+//! Facade crate re-exporting the whole workspace. A Rust reproduction
+//! of Shanmugavelu et al., *"Impacts of floating-point non-associativity
+//! on reproducibility for HPC and deep learning applications"*
+//! (SC 2024, arXiv:2408.05148).
+//!
+//! The suite contains:
+//!
+//! * [`core`] *(fpna-core)* — the variability metrics `Vs`, `Vermv`,
+//!   `Vc`, the run-to-run variability harness, the determinism context
+//!   and floating-point utilities;
+//! * [`summation`] *(fpna-summation)* — serial, compensated, pairwise,
+//!   reproducible (binned) and multi-threaded ordered/unordered sums;
+//! * [`gpu`] *(fpna-gpu-sim)* — a software GPU with a seeded
+//!   non-deterministic block scheduler, atomics, shared memory and a
+//!   cycle cost model; hosts the six reduction kernels AO, SPA, SPTR,
+//!   SPRG, TPRC and CU from the paper;
+//! * [`lpu`] *(fpna-lpu-sim)* — a deterministic, statically scheduled
+//!   accelerator in the style of the Groq LPU;
+//! * [`stats`] *(fpna-stats)* — histograms, KL divergence, power-law
+//!   fits and seeded samplers;
+//! * [`tensor`] *(fpna-tensor)* — a PyTorch-like tensor library whose
+//!   kernels exist in paired deterministic / non-deterministic variants;
+//! * [`nn`] *(fpna-nn)* — GraphSAGE on a synthetic Cora, with
+//!   deterministic and non-deterministic training and inference;
+//! * [`solvers`] *(fpna-solvers)* — sparse CSR + conjugate gradient
+//!   with pluggable reductions, for the iterative error-accumulation
+//!   study;
+//! * [`collectives`] *(fpna-collectives)* — simulated multi-node
+//!   allreduce with arrival-order nondeterminism and reproducible
+//!   variants (the paper's future-work section).
+//!
+//! ```
+//! use fpna::core::metrics::scalar_variability;
+//! use fpna::summation::serial_sum;
+//!
+//! let xs = vec![0.1, 0.2, 0.3];
+//! let s = serial_sum(&xs);
+//! assert_eq!(scalar_variability(s, s), 0.0);
+//! ```
+
+pub use fpna_collectives as collectives;
+pub use fpna_core as core;
+pub use fpna_gpu_sim as gpu;
+pub use fpna_lpu_sim as lpu;
+pub use fpna_nn as nn;
+pub use fpna_solvers as solvers;
+pub use fpna_stats as stats;
+pub use fpna_summation as summation;
+pub use fpna_tensor as tensor;
