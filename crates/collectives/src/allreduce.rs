@@ -77,7 +77,7 @@ pub fn allreduce(ranks: &[Vec<f64>], algorithm: Algorithm, ordering: Ordering) -
                 Ordering::RankOrder => None,
                 Ordering::Reproducible => unreachable!(),
             };
-            tree(ranks, m, fanout, order_seed)
+            tree(ranks, fanout, order_seed)
         }
         Algorithm::RecursiveDoubling => {
             assert!(
@@ -127,11 +127,10 @@ fn ring(ranks: &[Vec<f64>], m: usize) -> Vec<f64> {
 /// `f·v + 1 ..= f·v + f`. Each node folds its own buffer first (it is
 /// resident), then child results — in rank order or in seeded arrival
 /// order.
-fn tree(ranks: &[Vec<f64>], m: usize, fanout: usize, arrival_seed: Option<u64>) -> Vec<f64> {
+fn tree(ranks: &[Vec<f64>], fanout: usize, arrival_seed: Option<u64>) -> Vec<f64> {
     fn reduce_node(
         v: usize,
         ranks: &[Vec<f64>],
-        m: usize,
         fanout: usize,
         arrival_seed: Option<u64>,
     ) -> Vec<f64> {
@@ -150,14 +149,14 @@ fn tree(ranks: &[Vec<f64>], m: usize, fanout: usize, arrival_seed: Option<u64>) 
             shuffle(&mut children, &mut rng);
         }
         for c in children {
-            let child = reduce_node(c, ranks, m, fanout, arrival_seed);
+            let child = reduce_node(c, ranks, fanout, arrival_seed);
             for (a, b) in acc.iter_mut().zip(&child) {
                 *a += b;
             }
         }
         acc
     }
-    reduce_node(0, ranks, m, fanout, arrival_seed)
+    reduce_node(0, ranks, fanout, arrival_seed)
 }
 
 /// Recursive doubling: in round `d`, partners `r` and `r ^ d` exchange
@@ -169,11 +168,11 @@ fn recursive_doubling(ranks: &[Vec<f64>], m: usize) -> Vec<f64> {
     let mut d = 1;
     while d < p {
         let snapshot = buffers.clone();
-        for r in 0..p {
+        for (r, buffer) in buffers.iter_mut().enumerate() {
             let partner = r ^ d;
             let (lower, upper) = if r < partner { (r, partner) } else { (partner, r) };
             for i in 0..m {
-                buffers[r][i] = snapshot[lower][i] + snapshot[upper][i];
+                buffer[i] = snapshot[lower][i] + snapshot[upper][i];
             }
         }
         d <<= 1;

@@ -123,14 +123,14 @@ impl Drop for DeterminismGuard {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use parking_lot::Mutex;
+    use std::sync::Mutex;
 
     // The mode is process-global; serialise tests touching it.
     static LOCK: Mutex<()> = Mutex::new(());
 
     #[test]
     fn default_is_nondeterministic() {
-        let _l = LOCK.lock();
+        let _l = LOCK.lock().unwrap_or_else(|e| e.into_inner());
         let _g = DeterminismGuard::new(DeterminismMode::NonDeterministic);
         assert_eq!(determinism_mode(), DeterminismMode::NonDeterministic);
         assert!(!deterministic_requested());
@@ -139,7 +139,7 @@ mod tests {
 
     #[test]
     fn deterministic_mode_errors_for_missing_kernels() {
-        let _l = LOCK.lock();
+        let _l = LOCK.lock().unwrap_or_else(|e| e.into_inner());
         let _g = DeterminismGuard::new(DeterminismMode::Deterministic);
         assert!(deterministic_requested());
         let err = report_nondeterministic_only("scatter_reduce").unwrap_err();
@@ -149,7 +149,7 @@ mod tests {
 
     #[test]
     fn warn_only_counts() {
-        let _l = LOCK.lock();
+        let _l = LOCK.lock().unwrap_or_else(|e| e.into_inner());
         let _g = DeterminismGuard::new(DeterminismMode::WarnOnly);
         let before = warning_count();
         report_nondeterministic_only("op").unwrap();
@@ -158,7 +158,7 @@ mod tests {
 
     #[test]
     fn guard_restores_mode() {
-        let _l = LOCK.lock();
+        let _l = LOCK.lock().unwrap_or_else(|e| e.into_inner());
         let _outer = DeterminismGuard::new(DeterminismMode::NonDeterministic);
         {
             let _g = DeterminismGuard::new(DeterminismMode::Deterministic);

@@ -141,7 +141,7 @@ mod tests {
 
     #[test]
     fn formats() {
-        assert_eq!(sci(-1.776356839400250e-15), "-1.776356839400250e-15");
+        assert_eq!(sci(-1.776_356_839_400_25e-15), "-1.776356839400250e-15");
         assert_eq!(mean_std(6.456, 0.008, 3), "6.456(0.008)");
         assert_eq!(percent(-0.198538), "-0.1985");
         assert_eq!(sci_n(1.5, 2), "1.50e0");

@@ -241,7 +241,7 @@ mod tests {
             .into_iter()
             .map(|v| (0u32, v * 1e8 - 5e7))
             .collect();
-        let mut serial = vec![0.0f64];
+        let mut serial = [0.0f64];
         for &(_, v) in &contribs {
             serial[0] += v;
         }

@@ -111,7 +111,7 @@ fn get(slots: &[Option<Tensor2>], id: crate::program::TensorId) -> &Tensor2 {
         .expect("instruction consumed an undefined tensor (compile should prevent this)")
 }
 
-fn exec_inst(inst: &Inst, p: &Program, slots: &mut Vec<Option<Tensor2>>) {
+fn exec_inst(inst: &Inst, p: &Program, slots: &mut [Option<Tensor2>]) {
     match inst {
         Inst::MatMul { a, b, out } => {
             let (ta, tb) = (get(slots, *a).clone(), get(slots, *b).clone());

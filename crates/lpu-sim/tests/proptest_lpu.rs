@@ -81,7 +81,7 @@ proptest! {
         let mut rng = fpna_core::rng::SplitMix64::new(seed);
         let data: Vec<f64> = (0..m * n).map(|_| rng.next_f64() * 2.0 - 1.0).collect();
         let input = Tensor2::new(m, n, data);
-        let a = compiled.run(&[input.clone()]).unwrap();
+        let a = compiled.run(std::slice::from_ref(&input)).unwrap();
         let b = compiled.run(&[input]).unwrap();
         prop_assert_eq!(a[0].data[0].to_bits(), b[0].data[0].to_bits());
         // softmax rows each sum to 1, so the total is m

@@ -147,12 +147,12 @@ impl Csr {
             )));
         }
         let mut y = vec![0.0f64; self.rows];
-        for r in 0..self.rows {
+        for (r, yr) in y.iter_mut().enumerate() {
             let mut acc = 0.0f64;
             for k in self.row_ptr[r]..self.row_ptr[r + 1] {
                 acc += self.values[k] * x[self.col_idx[k] as usize];
             }
-            y[r] = acc;
+            *yr = acc;
         }
         Ok(y)
     }

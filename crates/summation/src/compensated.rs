@@ -87,7 +87,7 @@ mod tests {
     fn classic_kahan_example() {
         // 1.0 + 1e-16 repeated: serial drops every tiny term, Kahan keeps them.
         let mut xs = vec![1.0f64];
-        xs.extend(std::iter::repeat(1e-16).take(10_000));
+        xs.extend(std::iter::repeat_n(1e-16, 10_000));
         let exact = 1.0 + 1e-12;
         assert_eq!(serial_sum(&xs), 1.0); // all tiny terms lost
         assert!((kahan_sum(&xs) - exact).abs() < 1e-18);

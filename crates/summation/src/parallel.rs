@@ -52,10 +52,10 @@ pub fn unordered_threaded_sum(xs: &[f64], threads: usize) -> f64 {
     }
     let total = Mutex::new(0.0f64);
     let ranges = chunk_ranges(xs.len(), threads);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for &(lo, hi) in &ranges {
             let total = &total;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let partial = serial_sum(&xs[lo..hi]);
                 // Combine in completion order: whichever thread gets
                 // here first folds in first. This is where the
@@ -64,8 +64,7 @@ pub fn unordered_threaded_sum(xs: &[f64], threads: usize) -> f64 {
                 *guard += partial;
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
     total.into_inner().unwrap()
 }
 
@@ -81,10 +80,10 @@ pub fn atomic_cas_sum(xs: &[f64], threads: usize) -> f64 {
     }
     let total = AtomicU64::new(0.0f64.to_bits());
     let ranges = chunk_ranges(xs.len(), threads);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for &(lo, hi) in &ranges {
             let total = &total;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for &x in &xs[lo..hi] {
                     let mut current = total.load(Ordering::Relaxed);
                     loop {
@@ -102,8 +101,7 @@ pub fn atomic_cas_sum(xs: &[f64], threads: usize) -> f64 {
                 }
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
     f64::from_bits(total.load(Ordering::Relaxed))
 }
 
@@ -117,14 +115,13 @@ pub fn ordered_threaded_sum(xs: &[f64], threads: usize) -> f64 {
     }
     let ranges = chunk_ranges(xs.len(), threads);
     let mut partials = vec![0.0f64; ranges.len()];
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (slot, &(lo, hi)) in partials.iter_mut().zip(&ranges) {
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 *slot = serial_sum(&xs[lo..hi]);
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
     serial_sum(&partials)
 }
 
@@ -141,16 +138,15 @@ pub fn reproducible_threaded_sum(xs: &[f64], threads: usize) -> f64 {
     let ranges = chunk_ranges(xs.len(), threads);
     let mut partials: Vec<ExactAccumulator> =
         (0..ranges.len()).map(|_| ExactAccumulator::new()).collect();
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (acc, &(lo, hi)) in partials.iter_mut().zip(&ranges) {
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for &x in &xs[lo..hi] {
                     acc.add(x);
                 }
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
     let mut total = ExactAccumulator::new();
     for acc in &partials {
         total.merge(acc);

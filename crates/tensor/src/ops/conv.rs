@@ -163,10 +163,10 @@ fn conv_transpose_nd(
     let mut out = Tensor::zeros(out_shape);
     if let Some(b) = bias {
         for n in 0..s.batch {
-            for co in 0..s.c_out {
+            for (co, &bv) in b.iter().enumerate().take(s.c_out) {
                 let base = (n * s.c_out + co) * out_spatial_len;
                 for x in &mut out.data_mut()[base..base + out_spatial_len] {
-                    *x = b[co];
+                    *x = bv;
                 }
             }
         }

@@ -49,20 +49,20 @@ pub fn cumsum(ctx: &GpuContext, x: &Tensor) -> Result<Tensor> {
         .scheduler()
         .block_finish_order(nb as u32, &ctx.schedule);
     let mut offsets = vec![0.0f64; nb];
-    for b in 1..nb {
+    for (b, offset) in offsets.iter_mut().enumerate().skip(1) {
         let mut acc = 0.0f64;
         for &fb in &finish {
             if (fb as usize) < b {
                 acc += partials[fb as usize];
             }
         }
-        offsets[b] = acc;
+        *offset = acc;
     }
     // Stage 3 (deterministic): intra-block scan on top of the offset.
-    for b in 0..nb {
+    for (b, &offset) in offsets.iter().enumerate() {
         let lo = b * BLOCK;
         let hi = ((b + 1) * BLOCK).min(n);
-        let mut acc = offsets[b];
+        let mut acc = offset;
         for i in lo..hi {
             acc += x.data()[i];
             out.data_mut()[i] = acc;

@@ -140,7 +140,8 @@ pub fn histc(
     min: f64,
     max: f64,
 ) -> Result<Vec<u64>> {
-    if bins == 0 || !(max > min) {
+    // `partial_cmp` keeps the NaN-rejecting behaviour of `!(max > min)`.
+    if bins == 0 || max.partial_cmp(&min) != Some(std::cmp::Ordering::Greater) {
         return Err(FpnaError::config("histc needs bins > 0 and max > min"));
     }
     let width = (max - min) / bins as f64;

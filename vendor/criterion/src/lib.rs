@@ -1,0 +1,278 @@
+//! Offline shim for the subset of the `criterion` crate used by the
+//! `fpna-bench` suites.
+//!
+//! The build environment has no crates.io access. This shim keeps the
+//! five bench suites compiling **and running**: `cargo bench` executes
+//! each registered benchmark with a short warm-up, a fixed number of
+//! timed samples, and prints median / mean wall-clock time per
+//! iteration (plus throughput when set). It does not do criterion's
+//! statistical analysis, HTML reports, or baseline comparison — it is
+//! a stable measurement stub the perf-focused PRs can either build on
+//! or swap for the real crate once a registry is reachable.
+//!
+//! Supported surface: [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_function`],
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkGroup::throughput`],
+//! [`BenchmarkGroup::sample_size`], [`Bencher::iter`], [`BenchmarkId`],
+//! [`Throughput`], [`black_box`], [`criterion_group!`] and
+//! [`criterion_main!`].
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-exported std `black_box`, for parity with criterion's.
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver handed to every `criterion_group!`
+/// target function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Parse criterion-style CLI arguments. The shim accepts and
+    /// ignores them (including the `--bench` flag cargo passes).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: 10,
+        }
+    }
+
+    /// Run a stand-alone benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(id, 10, None, |b| f(b));
+        self
+    }
+}
+
+/// Identifier for one benchmark within a group, usually derived from
+/// the swept parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Identify a benchmark by function name and parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// Identify a benchmark by its swept parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Work-per-iteration declaration used to report throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iteration processes this many logical elements.
+    Elements(u64),
+    /// Iteration processes this many bytes.
+    Bytes(u64),
+}
+
+/// A named set of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare how much work one iteration performs; subsequent
+    /// benchmarks in the group report elements/second.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Number of timed samples per benchmark (default 10).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmark a closure under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_benchmark(&full, self.sample_size, self.throughput, |b| f(b));
+        self
+    }
+
+    /// Benchmark a closure that receives a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_benchmark(&full, self.sample_size, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// End the group. (No-op in the shim; kept for API parity.)
+    pub fn finish(self) {}
+}
+
+/// Timer handle passed to benchmark closures.
+pub struct Bencher {
+    /// Measured per-sample durations, one per `iter` batch.
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Time `routine`, running warm-up first and then `sample_size`
+    /// timed batches. The routine's return value is black-boxed so the
+    /// optimizer cannot delete the work.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm up and estimate per-iteration cost to size batches such
+        // that one batch is long enough to time reliably.
+        let warmup_start = Instant::now();
+        let mut warmup_iters: u64 = 0;
+        while warmup_start.elapsed() < Duration::from_millis(20) {
+            black_box(routine());
+            warmup_iters += 1;
+            if warmup_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = warmup_start.elapsed().as_nanos().max(1) / warmup_iters.max(1) as u128;
+        // Aim for ~2ms per sample batch, clamped to a sane range.
+        let batch = ((2_000_000 / per_iter.max(1)) as u64).clamp(1, 1_000_000);
+
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let dt = t0.elapsed();
+            self.samples.push(Duration::from_nanos(
+                (dt.as_nanos() / batch as u128) as u64,
+            ));
+        }
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    id: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut bencher = Bencher { samples: Vec::new(), sample_size };
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        println!("{id:<48} (no samples recorded)");
+        return;
+    }
+    let mut sorted = bencher.samples.clone();
+    sorted.sort();
+    let median = sorted[sorted.len() / 2];
+    let mean_ns =
+        sorted.iter().map(|d| d.as_nanos()).sum::<u128>() / sorted.len() as u128;
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) | Some(Throughput::Bytes(n)) => {
+            let secs = median.as_secs_f64();
+            if secs > 0.0 {
+                format!("  ({:.3e} /s)", n as f64 / secs)
+            } else {
+                String::new()
+            }
+        }
+        None => String::new(),
+    };
+    println!(
+        "{id:<48} median {:>12} mean {:>10} ns/iter{rate}",
+        format!("{median:?}"),
+        mean_ns
+    );
+}
+
+/// Define a benchmark group function, as in criterion:
+/// `criterion_group!(benches, bench_a, bench_b);`
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Define the benchmark `main` that runs one or more groups:
+/// `criterion_main!(benches);`
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim_smoke");
+        group.throughput(Throughput::Elements(16));
+        group.sample_size(3);
+        group.bench_function("sum", |b| {
+            b.iter(|| (0u64..16).map(black_box).sum::<u64>())
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(8), &8u64, |b, &n| {
+            b.iter(|| (0..n).product::<u64>())
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_runs_to_completion() {
+        benches();
+    }
+
+    #[test]
+    fn bencher_records_requested_samples() {
+        let mut b = Bencher { samples: Vec::new(), sample_size: 4 };
+        b.iter(|| black_box(1 + 1));
+        assert_eq!(b.samples.len(), 4);
+    }
+}

@@ -1,0 +1,644 @@
+//! Offline shim for the subset of the `proptest` crate used by this
+//! workspace.
+//!
+//! The build environment has no crates.io access, so this crate
+//! reimplements the pieces the test suites rely on:
+//!
+//! * the [`Strategy`](strategy::Strategy) trait with implementations
+//!   for numeric ranges, [`Just`](strategy::Just), unions
+//!   ([`prop_oneof!`]) and [`collection::vec`](fn@collection::vec);
+//! * [`any`](arbitrary::any) for `u64`, `bool` and friends;
+//! * the [`proptest!`] runner macro with
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` support;
+//! * the [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`]
+//!   and [`prop_assume!`] assertion macros.
+//!
+//! Differences from upstream: generation is plain seeded pseudo-random
+//! sampling with light edge biasing, and there is **no shrinking** — a
+//! failing case reports its seed and the generated inputs instead.
+//! Every run is deterministic: the per-test seed stream is derived from
+//! the test's module path, so failures reproduce exactly. Set
+//! `PROPTEST_SEED=<u64>` to perturb the stream.
+
+/// Pseudo-random source and test-case plumbing used by the generated
+/// runners.
+pub mod test_runner {
+    /// SplitMix64: the shim's only entropy source. Deterministic,
+    /// seedable, and good enough for test-case generation.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Build the seed stream for a named test. Deterministic per
+        /// test; `PROPTEST_SEED` perturbs it globally.
+        pub fn for_test(name: &str) -> Self {
+            // FNV-1a over the fully qualified test name.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+            if let Ok(s) = std::env::var("PROPTEST_SEED") {
+                if let Ok(extra) = s.trim().parse::<u64>() {
+                    h ^= extra.rotate_left(32);
+                }
+            }
+            TestRng::from_seed(h)
+        }
+
+        /// Create a generator from an explicit seed.
+        pub fn from_seed(seed: u64) -> Self {
+            TestRng { state: seed }
+        }
+
+        /// Next 64 random bits.
+        #[inline]
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        #[inline]
+        pub fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Unbiased uniform draw in `[0, bound)`; `bound` must be > 0.
+        #[inline]
+        pub fn next_below(&mut self, bound: u64) -> u64 {
+            debug_assert!(bound > 0);
+            let mut x = self.next_u64();
+            let mut m = (x as u128) * (bound as u128);
+            let mut l = m as u64;
+            if l < bound {
+                let t = bound.wrapping_neg() % bound;
+                while l < t {
+                    x = self.next_u64();
+                    m = (x as u128) * (bound as u128);
+                    l = m as u64;
+                }
+            }
+            (m >> 64) as u64
+        }
+    }
+
+    /// Why a generated test case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` rejected the inputs; the case is re-drawn.
+        Reject(String),
+        /// A `prop_assert*!` failed; the test fails.
+        Fail(String),
+    }
+
+    /// Runner configuration. Only `cases` is honoured by the shim.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required for the test to pass.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config requiring `cases` successful cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+}
+
+/// Value-generation strategies.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::fmt::Debug;
+
+    /// A recipe for generating values of one type. The shim's
+    /// counterpart of proptest's `Strategy`; generation is direct (no
+    /// value trees, no shrinking).
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value: Debug;
+
+        /// Draw one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Map generated values through `f`.
+        fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Erase the concrete strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A boxed, type-erased strategy.
+    pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+    impl<V: Debug> Strategy for Box<dyn Strategy<Value = V>> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Always produces a clone of the wrapped value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone + Debug>(pub T);
+
+    impl<T: Clone + Debug> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice between boxed strategies; built by
+    /// [`prop_oneof!`](crate::prop_oneof).
+    pub struct Union<V: Debug> {
+        options: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V: Debug> Union<V> {
+        /// Build a union from its options; must be non-empty.
+        pub fn new(options: Vec<BoxedStrategy<V>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+            Union { options }
+        }
+    }
+
+    impl<V: Debug> Strategy for Union<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let i = rng.next_below(self.options.len() as u64) as usize;
+            self.options[i].generate(rng)
+        }
+    }
+
+    /// Helper used by [`prop_oneof!`](crate::prop_oneof) to box each
+    /// branch while letting inference unify their value types.
+    pub fn boxed<S: Strategy + 'static>(s: S) -> BoxedStrategy<S::Value> {
+        Box::new(s)
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    // Light edge biasing: hit the endpoints sometimes so
+                    // boundary bugs surface even at low case counts.
+                    match rng.next_below(16) {
+                        0 => self.start,
+                        1 => self.end - 1,
+                        _ => {
+                            let span = (self.end as u64).wrapping_sub(self.start as u64);
+                            self.start.wrapping_add(rng.next_below(span) as $t)
+                        }
+                    }
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize);
+
+    macro_rules! signed_range_strategy {
+        ($($t:ty => $u:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    match rng.next_below(16) {
+                        0 => self.start,
+                        1 => self.end - 1,
+                        _ => {
+                            let span = ((self.end as $u).wrapping_sub(self.start as $u)) as u64;
+                            self.start.wrapping_add(rng.next_below(span) as $t)
+                        }
+                    }
+                }
+            }
+        )*};
+    }
+
+    signed_range_strategy!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+    impl Strategy for core::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            if rng.next_below(16) == 0 {
+                return self.start;
+            }
+            self.start + (self.end - self.start) * rng.next_f64()
+        }
+    }
+
+    impl Strategy for core::ops::Range<f32> {
+        type Value = f32;
+        fn generate(&self, rng: &mut TestRng) -> f32 {
+            assert!(self.start < self.end, "empty range strategy");
+            if rng.next_below(16) == 0 {
+                return self.start;
+            }
+            self.start + (self.end - self.start) * rng.next_f64() as f32
+        }
+    }
+}
+
+/// `any::<T>()` — whole-domain strategies per type.
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::fmt::Debug;
+    use std::marker::PhantomData;
+
+    /// Types with a default whole-domain generation strategy.
+    pub trait Arbitrary: Debug + Sized {
+        /// Draw an arbitrary value of this type.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! int_arbitrary {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            // Finite values only: exponent-uniform magnitudes over a
+            // wide dynamic range plus sign, avoiding NaN/inf surprises.
+            let mag = (rng.next_f64() * 600.0 - 300.0).exp2();
+            if rng.next_u64() & 1 == 1 {
+                -mag
+            } else {
+                mag
+            }
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    pub struct Any<A>(PhantomData<A>);
+
+    impl<A> Debug for Any<A> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("any")
+        }
+    }
+
+    impl<A: Arbitrary> Strategy for Any<A> {
+        type Value = A;
+        fn generate(&self, rng: &mut TestRng) -> A {
+            A::arbitrary(rng)
+        }
+    }
+
+    /// Strategy generating any value of `A` (the shim generates finite
+    /// values for floats).
+    pub fn any<A: Arbitrary>() -> Any<A> {
+        Any(PhantomData)
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Length specification for [`vec()`]: a fixed size or a half-open /
+    /// inclusive range of sizes.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange { lo: r.start, hi: r.end }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange { lo: *r.start(), hi: *r.end() + 1 }
+        }
+    }
+
+    impl SizeRange {
+        fn sample(self, rng: &mut TestRng) -> usize {
+            let span = (self.hi - self.lo) as u64;
+            self.lo + rng.next_below(span) as usize
+        }
+    }
+
+    /// Strategy for `Vec`s of values from an element strategy.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `Vec` strategy: `size` may be a fixed `usize` or a range.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.sample(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// The usual glob import for tests:
+/// `use proptest::prelude::*;`
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+/// Uniform choice between strategies producing the same value type.
+///
+/// Weighted variants (`3 => strat`) are not supported by the shim.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::boxed($strat)),+])
+    };
+}
+
+/// Assert a condition inside a `proptest!` body, failing the current
+/// case (not panicking directly) on violation.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", ::core::stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            ::core::stringify!($left), ::core::stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "{}\n  left: {:?}\n right: {:?}",
+            ::std::format!($($fmt)+), l, r
+        );
+    }};
+}
+
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: {} != {}\n  both: {:?}",
+            ::core::stringify!($left), ::core::stringify!($right), l
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "{}\n  both: {:?}",
+            ::std::format!($($fmt)+), l
+        );
+    }};
+}
+
+/// Reject the current case (it is re-drawn, not failed) when an input
+/// precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        $crate::prop_assume!($cond, "assumption failed: {}", ::core::stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// The property-test runner macro. Mirrors proptest's surface:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_prop(x in 0usize..10, mut v in vec(-1.0..1.0f64, 1..50)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+///
+/// Each test runs `cases` successful iterations; `prop_assume!`
+/// rejections re-draw. A failure panics with the case seed and the
+/// generated inputs (no shrinking in the shim).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_cases! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_cases! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_cases {
+    ( ($cfg:expr)
+      $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut __seed_stream = $crate::test_runner::TestRng::for_test(
+                    ::core::concat!(::core::module_path!(), "::", ::core::stringify!($name)),
+                );
+                let mut __passed: u32 = 0;
+                let mut __rejected: u32 = 0;
+                while __passed < __config.cases {
+                    let __case_seed = __seed_stream.next_u64();
+                    let mut __rng = $crate::test_runner::TestRng::from_seed(__case_seed);
+                    let __inputs = ( $( $crate::strategy::Strategy::generate(&($strat), &mut __rng), )+ );
+                    let __desc = ::std::format!("{:?}", __inputs);
+                    let ( $($pat,)+ ) = __inputs;
+                    let __outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            { $body }
+                            ::core::result::Result::Ok(())
+                        })();
+                    match __outcome {
+                        ::core::result::Result::Ok(()) => {
+                            __passed += 1;
+                        }
+                        ::core::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Reject(__why),
+                        ) => {
+                            __rejected += 1;
+                            ::std::assert!(
+                                __rejected <= __config.cases.saturating_mul(16).max(1024),
+                                "proptest {}: too many prop_assume! rejections (last: {})",
+                                ::core::stringify!($name),
+                                __why,
+                            );
+                        }
+                        ::core::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Fail(__msg),
+                        ) => {
+                            ::std::panic!(
+                                "proptest case failed: {}\n  test: {}\n  case seed: {:#018x}\n  inputs: {}",
+                                __msg,
+                                ::core::stringify!($name),
+                                __case_seed,
+                                __desc,
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::collection::vec;
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3usize..17, y in -2.0..2.0f64) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&y));
+        }
+
+        #[test]
+        fn vec_lengths_respect_range(mut xs in vec(0u32..5, 2..9)) {
+            prop_assert!(xs.len() >= 2 && xs.len() < 9);
+            xs.push(0);
+            prop_assert!(xs.iter().all(|&v| v < 5));
+        }
+
+        #[test]
+        fn fixed_size_vec(xs in vec(0.0..1.0f64, 7)) {
+            prop_assert_eq!(xs.len(), 7);
+        }
+
+        #[test]
+        fn oneof_and_just(x in prop_oneof![Just(0.5f64), -1.0..1.0f64]) {
+            prop_assert!((-1.0..1.0).contains(&x));
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0usize..10) {
+            prop_assume!(x != 3);
+            prop_assert_ne!(x, 3);
+        }
+    }
+
+    #[test]
+    fn edge_bias_hits_range_start() {
+        let mut rng = TestRng::from_seed(7);
+        let hit_lo = (0..200).any(|_| {
+            use crate::strategy::Strategy;
+            (5usize..50).generate(&mut rng) == 5
+        });
+        assert!(hit_lo, "edge bias should produce the range start");
+    }
+
+    #[test]
+    fn deterministic_per_test_stream() {
+        let mut a = TestRng::for_test("x::y");
+        let mut b = TestRng::for_test("x::y");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

@@ -1,0 +1,12 @@
+//! Offline shim for the subset of `serde` used by this workspace:
+//! the `Serialize` and `Deserialize` derive macros, re-exported as
+//! no-ops from [`serde_derive`].
+//!
+//! The build environment has no crates.io access. The workspace only
+//! *marks* types serializable (no code serializes yet), so empty
+//! derives keep the annotations compiling until the real dependency
+//! can be restored — at which point these vendor crates are deleted
+//! and the `[dependencies]` entries switched back to registry
+//! versions with no source change.
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,22 @@
+//! No-op `Serialize` / `Deserialize` derives for the offline `serde`
+//! shim.
+//!
+//! The workspace marks a handful of config structs
+//! (`fpna-gpu-sim::profile`, `fpna-lpu-sim::spec`) as serializable so
+//! that a future PR can persist hardware profiles; nothing in-tree
+//! serializes yet, so the derives expand to nothing. Swapping the
+//! `vendor/serde*` shims for the real crates requires no source change.
+
+use proc_macro::TokenStream;
+
+/// Accept and discard a `#[derive(Serialize)]` request.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accept and discard a `#[derive(Deserialize)]` request.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
