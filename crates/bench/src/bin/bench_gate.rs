@@ -1,0 +1,258 @@
+//! Performance regression gate over the criterion shim's JSON output.
+//!
+//! `cargo bench -p fpna-bench` makes every suite append per-benchmark
+//! rows (`{"id", "median_ns", …}`) under `<target>/bench-json/`. This
+//! binary compares those rows against the committed baseline and
+//! fails (exit 1) when any benchmark regressed by more than the
+//! threshold.
+//!
+//! Because the baseline is committed from one machine and CI runs on
+//! another, raw nanoseconds are not comparable; the gate therefore
+//! normalises by a **machine factor** — the median of all
+//! current/baseline ratios. A genuine hot-path regression moves its
+//! own ratio far off that median; a uniformly slower machine moves
+//! every ratio together and passes. (The flip side: a change that
+//! slows *every* benchmark by the same factor is invisible — accepted
+//! and documented trade-off for cross-machine stability.)
+//!
+//! ```text
+//! cargo bench -p fpna-bench                      # produce current numbers
+//! cargo run --release -p fpna-bench --bin bench_gate             # gate
+//! cargo run --release -p fpna-bench --bin bench_gate -- --update # re-baseline
+//! ```
+//!
+//! Flags: `--threshold <factor>` (default 1.25 = +25%), `--baseline
+//! <path>`, `--update`.
+
+use fpna_core::report::Table;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let threshold = arg_f64("threshold", 1.25);
+    let update = std::env::args().any(|a| a == "--update");
+    let baseline_path = arg_string("baseline").map(PathBuf::from).unwrap_or_else(default_baseline_path);
+
+    let current = match read_current() {
+        Ok(map) if !map.is_empty() => map,
+        Ok(_) => {
+            eprintln!("bench_gate: no rows under <target>/bench-json/ — run `cargo bench -p fpna-bench` first");
+            return ExitCode::FAILURE;
+        }
+        Err(e) => {
+            eprintln!("bench_gate: cannot read current results: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if update {
+        let mut out = String::new();
+        for (id, ns) in &current {
+            out.push_str(&format!("{{\"id\":\"{}\",\"median_ns\":{ns}}}\n", json_escape(id)));
+        }
+        if let Some(dir) = baseline_path.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        if let Err(e) = std::fs::write(&baseline_path, out) {
+            eprintln!("bench_gate: cannot write baseline {}: {e}", baseline_path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("bench_gate: wrote {} entries to {}", current.len(), baseline_path.display());
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => parse_rows(&text),
+        Err(e) => {
+            eprintln!(
+                "bench_gate: cannot read baseline {}: {e}\n  (run with --update to create it)",
+                baseline_path.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut ratios: Vec<f64> = Vec::new();
+    for (id, &cur) in &current {
+        if let Some(&base) = baseline.get(id) {
+            if base > 0 {
+                ratios.push(cur as f64 / base as f64);
+            }
+        }
+    }
+    if ratios.is_empty() {
+        eprintln!("bench_gate: baseline and current results share no benchmark ids");
+        return ExitCode::FAILURE;
+    }
+    ratios.sort_by(f64::total_cmp);
+    let machine = ratios[ratios.len() / 2];
+
+    let mut table = Table::new(["benchmark", "baseline ns", "current ns", "ratio", "normalized", "status"])
+        .with_title(format!(
+            "bench_gate: machine factor {machine:.3} (median ratio), threshold +{:.0}%",
+            (threshold - 1.0) * 100.0
+        ));
+    let mut regressions = 0usize;
+    for (id, &cur) in &current {
+        let Some(&base) = baseline.get(id) else {
+            table.push_row([id.clone(), "-".into(), cur.to_string(), "-".into(), "-".into(), "new (re-baseline)".into()]);
+            continue;
+        };
+        let ratio = cur as f64 / base as f64;
+        let normalized = ratio / machine;
+        let status = if normalized > threshold {
+            regressions += 1;
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        table.push_row([
+            id.clone(),
+            base.to_string(),
+            cur.to_string(),
+            format!("{ratio:.3}"),
+            format!("{normalized:.3}"),
+            status.to_string(),
+        ]);
+    }
+    let mut missing = 0usize;
+    for id in baseline.keys() {
+        if !current.contains_key(id) {
+            missing += 1;
+            table.push_row([id.clone(), baseline[id].to_string(), "-".into(), "-".into(), "-".into(), "MISSING".into()]);
+        }
+    }
+    println!("{}", table.render());
+
+    if regressions > 0 || missing > 0 {
+        if regressions > 0 {
+            eprintln!("bench_gate: {regressions} benchmark(s) regressed past the normalized +{:.0}% threshold",
+                (threshold - 1.0) * 100.0);
+        }
+        if missing > 0 {
+            eprintln!(
+                "bench_gate: {missing} baseline benchmark(s) produced no result — \
+                 perf coverage was removed; run all suites, or re-baseline with --update \
+                 if the removal is intentional"
+            );
+        }
+        return ExitCode::FAILURE;
+    }
+    println!("bench_gate: no regressions");
+    ExitCode::SUCCESS
+}
+
+/// Minimal JSON string escaping, mirroring the criterion shim's
+/// writer so `--update` round-trips ids losslessly.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// `<manifest>/baselines/bench-baseline.json`; cargo sets
+/// `CARGO_MANIFEST_DIR` for `cargo run`, so the committed baseline
+/// resolves regardless of the working directory.
+fn default_baseline_path() -> PathBuf {
+    let manifest = std::env::var("CARGO_MANIFEST_DIR")
+        .unwrap_or_else(|_| "crates/bench".to_string());
+    Path::new(&manifest).join("baselines/bench-baseline.json")
+}
+
+/// All rows from every `<target>/bench-json/*.json` file.
+fn read_current() -> std::io::Result<BTreeMap<String, u128>> {
+    let Some(dir) = target_dir().map(|t| t.join("bench-json")) else {
+        return Ok(BTreeMap::new());
+    };
+    let mut map = BTreeMap::new();
+    for entry in std::fs::read_dir(&dir)? {
+        let path = entry?.path();
+        if path.extension().is_some_and(|e| e == "json") {
+            map.extend(parse_rows(&std::fs::read_to_string(&path)?));
+        }
+    }
+    Ok(map)
+}
+
+fn target_dir() -> Option<PathBuf> {
+    if let Ok(exe) = std::env::current_exe() {
+        for dir in exe.ancestors() {
+            if dir.file_name().is_some_and(|n| n == "target") {
+                return Some(dir.to_path_buf());
+            }
+        }
+    }
+    std::env::var_os("CARGO_TARGET_DIR").map(PathBuf::from)
+}
+
+/// Parse the shim's fixed-shape JSON lines: extract `"id"` and
+/// `"median_ns"`; rows missing either are skipped.
+fn parse_rows(text: &str) -> BTreeMap<String, u128> {
+    let mut map = BTreeMap::new();
+    for line in text.lines() {
+        let Some(id) = extract_str(line, "id") else { continue };
+        let Some(ns) = extract_u128(line, "median_ns") else { continue };
+        map.insert(id, ns);
+    }
+    map
+}
+
+fn extract_str(line: &str, key: &str) -> Option<String> {
+    let needle = format!("\"{key}\":\"");
+    let start = line.find(&needle)? + needle.len();
+    let rest = &line[start..];
+    let mut out = String::new();
+    let mut chars = rest.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                'u' => {
+                    let hex: String = (&mut chars).take(4).collect();
+                    let code = u32::from_str_radix(&hex, 16).ok()?;
+                    out.push(char::from_u32(code)?);
+                }
+                other => out.push(other),
+            },
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+fn extract_u128(line: &str, key: &str) -> Option<u128> {
+    let needle = format!("\"{key}\":");
+    let start = line.find(&needle)? + needle.len();
+    let digits: String = line[start..].chars().take_while(|c| c.is_ascii_digit()).collect();
+    digits.parse().ok()
+}
+
+fn arg_f64(name: &str, default: f64) -> f64 {
+    arg_string(name)
+        .map(|v| v.parse().unwrap_or_else(|_| panic!("--{name} expects a number, got {v}")))
+        .unwrap_or(default)
+}
+
+fn arg_string(name: &str) -> Option<String> {
+    let flag = format!("--{name}");
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == flag {
+            return args.next();
+        }
+        if let Some(rest) = a.strip_prefix(&format!("{flag}=")) {
+            return Some(rest.to_string());
+        }
+    }
+    None
+}

@@ -162,22 +162,27 @@ fn tree(ranks: &[Vec<f64>], fanout: usize, arrival_seed: Option<u64>) -> Vec<f64
 /// Recursive doubling: in round `d`, partners `r` and `r ^ d` exchange
 /// and both compute `lower + upper` — symmetric, so every rank holds
 /// identical bits at every round.
+///
+/// Double-buffered: round `d` reads generation `cur` and writes
+/// generation `next`, then the two swap — no per-round clone of all
+/// `p` rank buffers.
 fn recursive_doubling(ranks: &[Vec<f64>], m: usize) -> Vec<f64> {
     let p = ranks.len();
-    let mut buffers: Vec<Vec<f64>> = ranks.to_vec();
+    let mut cur: Vec<Vec<f64>> = ranks.to_vec();
+    let mut next: Vec<Vec<f64>> = vec![vec![0.0; m]; p];
     let mut d = 1;
     while d < p {
-        let snapshot = buffers.clone();
-        for (r, buffer) in buffers.iter_mut().enumerate() {
+        for (r, buffer) in next.iter_mut().enumerate() {
             let partner = r ^ d;
             let (lower, upper) = if r < partner { (r, partner) } else { (partner, r) };
             for i in 0..m {
-                buffer[i] = snapshot[lower][i] + snapshot[upper][i];
+                buffer[i] = cur[lower][i] + cur[upper][i];
             }
         }
+        std::mem::swap(&mut cur, &mut next);
         d <<= 1;
     }
-    buffers.swap_remove(0)
+    cur.swap_remove(0)
 }
 
 #[cfg(test)]

@@ -24,10 +24,24 @@
 //! * [`allreduce::Ordering::Reproducible`] — exact accumulators travel
 //!   with the messages, so the result is bitwise identical across
 //!   *every* algorithm, topology and schedule.
+//!
+//! Two execution paths provide those semantics:
+//!
+//! * [`allreduce()`](allreduce::allreduce) — the cheap in-memory fallback; `ArrivalOrder` is
+//!   approximated by a per-node seeded shuffle (no network model);
+//! * [`netsim::allreduce_on`] — the same algorithms run as
+//!   event-driven protocols on an [`fpna_net`] fabric (flat switch,
+//!   fat tree, or hierarchical node/NIC/switch), where arrival order
+//!   *emerges from simulated message timing* and every run also
+//!   reports its simulated cost. Zero jitter models the
+//!   software-scheduled interconnect; the reproducible ordering ships
+//!   exact accumulators and pays a modeled bandwidth overhead.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod allreduce;
+pub mod netsim;
 
 pub use allreduce::{allreduce, Algorithm, Ordering};
+pub use netsim::{allreduce_on, NetAllreduce, NetConfig};

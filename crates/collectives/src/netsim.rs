@@ -1,0 +1,692 @@
+//! Timing-driven allreduce over a simulated interconnect.
+//!
+//! [`allreduce_on`] executes the same three algorithms as
+//! [`crate::allreduce()`](crate::allreduce::allreduce) — ring, k-ary tree, recursive doubling — but
+//! as *event-driven protocols* on an [`fpna_net`] fabric. Combine
+//! order is no longer injected by a seeded shuffle; it **emerges from
+//! message timing**:
+//!
+//! * [`Ordering::ArrivalOrder`] — links carry seeded jitter (the seed
+//!   drives the [`fpna_net::JitterModel`]); each tree node folds child
+//!   contributions in the order their messages actually land. This is
+//!   MPI on a busy fabric. Ring and recursive doubling have a fixed
+//!   combine order by construction, so only their *timing* varies —
+//!   exactly the real-world split the paper describes.
+//! * [`Ordering::RankOrder`] — the software-scheduled interconnect:
+//!   zero jitter and rank-ordered folds. Bit-for-bit replayable,
+//!   including every timestamp.
+//! * [`Ordering::Reproducible`] — exact accumulators travel **in the
+//!   messages** ([`ExactAccumulator::WIRE_BYTES`] per element instead
+//!   of 8), the fabric stays jittered, and one final rounding happens
+//!   at the reduction root (tree/recursive doubling) or segment owner
+//!   (ring). Bits are identical across every topology, algorithm and
+//!   jitter seed; the bandwidth inflation is the network's "cost of
+//!   reproducibility".
+//!
+//! The cheap shuffle-based path in [`crate::allreduce()`](crate::allreduce::allreduce) remains as a
+//! fallback for experiments that don't need a network model.
+
+use crate::allreduce::{Algorithm, Ordering};
+use fpna_net::{JitterModel, NetSim, RunStats, Topology};
+use fpna_summation::exact::ExactAccumulator;
+use std::collections::HashMap;
+
+/// Fabric-behaviour knobs shared by every ordering.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetConfig {
+    /// Per-hop jitter amplitude as a fraction of the hop's
+    /// deterministic service time — serialization plus latency
+    /// (applies to `ArrivalOrder` and `Reproducible`; `RankOrder`
+    /// always runs jitter-free).
+    pub jitter_frac: f64,
+    /// Jitter seed used when the ordering does not carry one
+    /// (`Reproducible`): "what the fabric did this run".
+    pub jitter_seed: u64,
+    /// Deterministic injection skew: rank `r` enters the collective at
+    /// `r · stagger_ns` — ranks never hit a collective simultaneously
+    /// in practice (kernel-completion skew is typically sub-µs to µs
+    /// scale). Arrival order flips only where accumulated path jitter
+    /// beats this spacing, which is how variability comes to grow with
+    /// fabric depth.
+    pub stagger_ns: f64,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            jitter_frac: 0.3,
+            jitter_seed: 0,
+            stagger_ns: 500.0,
+        }
+    }
+}
+
+impl NetConfig {
+    /// This configuration with a different jitter seed — the per-run
+    /// rekeying used by seed sweeps over `Reproducible`.
+    pub fn with_jitter_seed(mut self, seed: u64) -> Self {
+        self.jitter_seed = seed;
+        self
+    }
+}
+
+/// Result of one simulated allreduce.
+#[derive(Debug, Clone)]
+pub struct NetAllreduce {
+    /// The reduced vector (identical on every rank).
+    pub values: Vec<f64>,
+    /// Simulated time until the last rank held the result, in ns.
+    pub elapsed_ns: f64,
+    /// Engine statistics (messages, bytes, hops, makespan).
+    pub stats: RunStats,
+}
+
+/// Reduction state: plain floats, or exact accumulators for the
+/// reproducible ordering.
+#[derive(Debug, Clone)]
+enum Values {
+    Plain(Vec<f64>),
+    Exact(Vec<ExactAccumulator>),
+}
+
+impl Values {
+    fn from_slice(xs: &[f64], exact: bool) -> Self {
+        if exact {
+            Values::Exact(
+                xs.iter()
+                    .map(|&x| {
+                        let mut a = ExactAccumulator::new();
+                        a.add(x);
+                        a
+                    })
+                    .collect(),
+            )
+        } else {
+            Values::Plain(xs.to_vec())
+        }
+    }
+
+    /// Fold `rhs` into `self` as `self[i] = self[i] + rhs[i]` — the
+    /// left operand is the accumulator that has been travelling.
+    fn fold_in(&mut self, rhs: &Values) {
+        match (self, rhs) {
+            (Values::Plain(a), Values::Plain(b)) => {
+                for (x, y) in a.iter_mut().zip(b) {
+                    *x += y;
+                }
+            }
+            (Values::Exact(a), Values::Exact(b)) => {
+                for (x, y) in a.iter_mut().zip(b) {
+                    x.merge(y);
+                }
+            }
+            _ => unreachable!("mixed plain/exact fold"),
+        }
+    }
+
+    /// `lower[i] + upper[i]` without mutating either operand.
+    fn combine(lower: &Values, upper: &Values) -> Values {
+        let mut out = lower.clone();
+        out.fold_in(upper);
+        out
+    }
+
+    fn round(&self) -> Vec<f64> {
+        match self {
+            Values::Plain(v) => v.clone(),
+            Values::Exact(a) => a.iter().map(|x| x.round()).collect(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            Values::Plain(v) => v.len(),
+            Values::Exact(a) => a.len(),
+        }
+    }
+
+    /// On-wire size of a message carrying this state.
+    fn wire_bytes(&self) -> u64 {
+        let per_elem = match self {
+            Values::Plain(_) => std::mem::size_of::<f64>(),
+            Values::Exact(_) => ExactAccumulator::WIRE_BYTES,
+        };
+        (self.len() * per_elem) as u64
+    }
+}
+
+fn jitter_for(ordering: Ordering, config: &NetConfig) -> JitterModel {
+    match ordering {
+        Ordering::ArrivalOrder { seed } => JitterModel::uniform(config.jitter_frac, seed),
+        Ordering::RankOrder => JitterModel::none(),
+        Ordering::Reproducible => JitterModel::uniform(config.jitter_frac, config.jitter_seed),
+    }
+}
+
+/// Allreduce (sum) executed as an event-driven protocol on `topo`.
+/// Returns the reduced vector plus simulated cost. The value
+/// semantics match [`crate::allreduce()`](crate::allreduce::allreduce): with zero jitter and
+/// rank-ordered folds the bits are identical to the in-memory path.
+///
+/// # Panics
+///
+/// Panics on empty input, mismatched vector lengths, a rank count
+/// different from `topo.ranks()`, fanout < 2, or a non-power-of-two
+/// rank count for recursive doubling.
+pub fn allreduce_on(
+    topo: &Topology,
+    ranks: &[Vec<f64>],
+    algorithm: Algorithm,
+    ordering: Ordering,
+    config: &NetConfig,
+) -> NetAllreduce {
+    assert!(!ranks.is_empty(), "allreduce needs at least one rank");
+    assert_eq!(
+        topo.ranks(),
+        ranks.len(),
+        "topology has {} ranks but {} vectors were supplied",
+        topo.ranks(),
+        ranks.len()
+    );
+    let m = ranks[0].len();
+    assert!(
+        ranks.iter().all(|v| v.len() == m),
+        "all ranks must contribute equally-shaped vectors"
+    );
+    let jitter = jitter_for(ordering, config);
+    match algorithm {
+        Algorithm::Ring => ring_on(topo, ranks, ordering, config, jitter),
+        Algorithm::KAryTree { fanout } => {
+            assert!(fanout >= 2, "tree fanout must be at least 2");
+            tree_on(topo, ranks, fanout, ordering, config, jitter)
+        }
+        Algorithm::RecursiveDoubling => {
+            assert!(
+                ranks.len().is_power_of_two(),
+                "recursive doubling needs a power-of-two rank count"
+            );
+            recursive_doubling_on(topo, ranks, ordering, config, jitter)
+        }
+    }
+}
+
+const TAG_UP: u64 = 0;
+const TAG_DOWN: u64 = 1;
+/// Ring allgather tags are `TAG_AG_BASE + segment`.
+const TAG_AG_BASE: u64 = 1 << 32;
+
+/// K-ary reduction tree rooted at rank 0 (children of `v` are
+/// `f·v + 1 ..= f·v + f`), then a broadcast of the rounded result down
+/// the same tree. Fold order at each node: own buffer first, then
+/// children — in simulated-arrival order, or buffered into rank order.
+fn tree_on(
+    topo: &Topology,
+    ranks: &[Vec<f64>],
+    fanout: usize,
+    ordering: Ordering,
+    config: &NetConfig,
+    jitter: JitterModel,
+) -> NetAllreduce {
+    let p = ranks.len();
+    let m = ranks[0].len();
+    let exact = matches!(ordering, Ordering::Reproducible);
+    let rank_order = matches!(ordering, Ordering::RankOrder);
+    let parent = |v: usize| (v - 1) / fanout;
+    let children = |v: usize| (1..=fanout).map(move |k| fanout * v + k).filter(move |&c| c < p);
+
+    struct Node {
+        acc: Values,
+        pending: usize,
+        buffered: Vec<(usize, Values)>,
+    }
+    let mut nodes: Vec<Node> = (0..p)
+        .map(|v| Node {
+            acc: Values::from_slice(&ranks[v], exact),
+            pending: children(v).count(),
+            buffered: Vec::new(),
+        })
+        .collect();
+
+    if p == 1 {
+        return NetAllreduce {
+            values: nodes.remove(0).acc.round(),
+            elapsed_ns: 0.0,
+            stats: RunStats::default(),
+        };
+    }
+
+    let mut sim = NetSim::new(topo, jitter);
+    let mut payloads: HashMap<u64, Values> = HashMap::new();
+    // Leaves inject their contribution at their staggered start time.
+    for (v, node) in nodes.iter().enumerate().skip(1) {
+        if node.pending == 0 {
+            let bytes = node.acc.wire_bytes();
+            let msg = sim.send_at(config.stagger_ns * v as f64, v, parent(v), bytes, TAG_UP);
+            payloads.insert(msg, node.acc.clone());
+        }
+    }
+
+    let mut result: Option<Vec<f64>> = None;
+    let mut elapsed = 0.0f64;
+    let stats = sim.run(|sim, d| match d.tag {
+        TAG_UP => {
+            let v = d.to;
+            let payload = payloads.remove(&d.msg).expect("up message lost its payload");
+            if rank_order {
+                nodes[v].buffered.push((d.from, payload));
+            } else {
+                nodes[v].acc.fold_in(&payload);
+            }
+            nodes[v].pending -= 1;
+            if nodes[v].pending == 0 {
+                if rank_order {
+                    let mut buffered = std::mem::take(&mut nodes[v].buffered);
+                    buffered.sort_by_key(|&(c, _)| c);
+                    for (_, b) in &buffered {
+                        nodes[v].acc.fold_in(b);
+                    }
+                }
+                if v == 0 {
+                    // Root: one final rounding, then broadcast f64s.
+                    result = Some(nodes[0].acc.round());
+                    elapsed = elapsed.max(d.time);
+                    for c in children(0) {
+                        sim.send_at(d.time, 0, c, (m * 8) as u64, TAG_DOWN);
+                    }
+                } else {
+                    let bytes = nodes[v].acc.wire_bytes();
+                    let msg = sim.send_at(d.time, v, parent(v), bytes, TAG_UP);
+                    payloads.insert(msg, nodes[v].acc.clone());
+                }
+            }
+        }
+        TAG_DOWN => {
+            let v = d.to;
+            elapsed = elapsed.max(d.time);
+            for c in children(v) {
+                sim.send_at(d.time, v, c, (m * 8) as u64, TAG_DOWN);
+            }
+        }
+        _ => unreachable!("unknown tree tag"),
+    });
+
+    NetAllreduce {
+        values: result.expect("tree reduction never completed"),
+        elapsed_ns: elapsed,
+        stats,
+    }
+}
+
+/// Ring reduce-scatter + allgather. Segment `s` starts at its owner
+/// rank `s` and walks the ring; each hop computes
+/// `incoming + own_contribution`, so the combine order is fixed by the
+/// rotation and timing only moves the clock, never the bits. The
+/// fully-reduced segment is rounded once (at rank `s − 1 mod p`) and
+/// allgathered as plain `f64`s.
+fn ring_on(
+    topo: &Topology,
+    ranks: &[Vec<f64>],
+    ordering: Ordering,
+    config: &NetConfig,
+    jitter: JitterModel,
+) -> NetAllreduce {
+    let p = ranks.len();
+    let m = ranks[0].len();
+    let exact = matches!(ordering, Ordering::Reproducible);
+    let seg_len = m.div_ceil(p);
+    let bounds = |s: usize| ((s * seg_len).min(m), ((s + 1) * seg_len).min(m));
+
+    let mut out = vec![0.0f64; m];
+    if p == 1 {
+        let own = Values::from_slice(&ranks[0], exact);
+        return NetAllreduce {
+            values: own.round(),
+            elapsed_ns: 0.0,
+            stats: RunStats::default(),
+        };
+    }
+
+    let mut sim = NetSim::new(topo, jitter);
+    let mut payloads: HashMap<u64, Values> = HashMap::new();
+    // Step 0: every rank sends its own copy of its own segment.
+    for (r, own) in ranks.iter().enumerate() {
+        let (lo, hi) = bounds(r);
+        let seg = Values::from_slice(&own[lo..hi], exact);
+        let bytes = seg.wire_bytes();
+        let msg = sim.send_at(config.stagger_ns * r as f64, r, (r + 1) % p, bytes, 0);
+        payloads.insert(msg, seg);
+    }
+
+    let mut elapsed = 0.0f64;
+    let stats = sim.run(|sim, d| {
+        elapsed = elapsed.max(d.time);
+        if d.tag < TAG_AG_BASE {
+            // Reduce-scatter step `s`: fold our contribution under the
+            // travelling partial for segment (from − s) mod p.
+            let s = d.tag as usize;
+            let r = d.to;
+            let z = (d.from + p - s) % p;
+            let (lo, hi) = bounds(z);
+            let mut acc = payloads.remove(&d.msg).expect("ring partial lost");
+            let own = Values::from_slice(&ranks[r][lo..hi], exact);
+            acc.fold_in(&own);
+            if s + 1 < p - 1 {
+                let bytes = acc.wire_bytes();
+                let msg = sim.send_at(d.time, r, (r + 1) % p, bytes, (s + 1) as u64);
+                payloads.insert(msg, acc);
+            } else {
+                // Segment complete: single rounding, then allgather.
+                let rounded = acc.round();
+                out[lo..hi].copy_from_slice(&rounded);
+                let bytes = (rounded.len() * 8) as u64;
+                let msg = sim.send_at(d.time, r, (r + 1) % p, bytes, TAG_AG_BASE + z as u64);
+                payloads.insert(msg, Values::Plain(rounded));
+            }
+        } else {
+            // Allgather: forward the finished segment around the ring
+            // until it is one rank short of its finisher.
+            let z = (d.tag - TAG_AG_BASE) as usize;
+            let finisher = (z + p - 1) % p;
+            let t = d.to;
+            let acc = payloads.remove(&d.msg).expect("allgather segment lost");
+            if (t + 1) % p != finisher {
+                let bytes = acc.wire_bytes();
+                let msg = sim.send_at(d.time, t, (t + 1) % p, bytes, d.tag);
+                payloads.insert(msg, acc);
+            }
+        }
+    });
+
+    NetAllreduce {
+        values: out,
+        elapsed_ns: elapsed,
+        stats,
+    }
+}
+
+/// Recursive doubling: `log₂ p` rounds of symmetric pairwise
+/// exchanges; both partners compute `lower + upper`, so every rank
+/// holds identical bits after every round and timing never leaks into
+/// the values. Messages from a future round are buffered until the
+/// receiving rank finishes the rounds before it.
+fn recursive_doubling_on(
+    topo: &Topology,
+    ranks: &[Vec<f64>],
+    ordering: Ordering,
+    config: &NetConfig,
+    jitter: JitterModel,
+) -> NetAllreduce {
+    let p = ranks.len();
+    let exact = matches!(ordering, Ordering::Reproducible);
+    let rounds = p.trailing_zeros() as usize;
+
+    struct RankState {
+        buf: Values,
+        round: usize,
+        ready: f64,
+        /// Buffered partner payloads by round: `(arrival, payload)`.
+        pending: HashMap<usize, (f64, Values)>,
+    }
+    let mut states: Vec<RankState> = (0..p)
+        .map(|r| RankState {
+            buf: Values::from_slice(&ranks[r], exact),
+            round: 0,
+            ready: config.stagger_ns * r as f64,
+            pending: HashMap::new(),
+        })
+        .collect();
+
+    if p == 1 {
+        return NetAllreduce {
+            values: states.remove(0).buf.round(),
+            elapsed_ns: 0.0,
+            stats: RunStats::default(),
+        };
+    }
+
+    let mut sim = NetSim::new(topo, jitter);
+    let mut payloads: HashMap<u64, Values> = HashMap::new();
+    for (r, state) in states.iter().enumerate() {
+        let bytes = state.buf.wire_bytes();
+        let msg = sim.send_at(state.ready, r, r ^ 1, bytes, 0);
+        payloads.insert(msg, state.buf.clone());
+    }
+
+    let mut final_time = vec![0.0f64; p];
+    let stats = sim.run(|sim, d| {
+        let r = d.to;
+        let payload = payloads.remove(&d.msg).expect("doubling payload lost");
+        states[r].pending.insert(d.tag as usize, (d.time, payload));
+        // Drain every round that is now unblocked, in round order.
+        loop {
+            let current = states[r].round;
+            let Some((arrived, payload)) = states[r].pending.remove(&current) else {
+                break;
+            };
+            let k = states[r].round;
+            let now = states[r].ready.max(arrived);
+            let partner = r ^ (1 << k);
+            states[r].buf = if r < partner {
+                Values::combine(&states[r].buf, &payload)
+            } else {
+                Values::combine(&payload, &states[r].buf)
+            };
+            states[r].round = k + 1;
+            states[r].ready = now;
+            if k + 1 < rounds {
+                let bytes = states[r].buf.wire_bytes();
+                let msg = sim.send_at(now, r, r ^ (1 << (k + 1)), bytes, (k + 1) as u64);
+                payloads.insert(msg, states[r].buf.clone());
+            } else {
+                final_time[r] = now;
+            }
+        }
+    });
+
+    let elapsed = final_time.iter().copied().fold(0.0f64, f64::max);
+    NetAllreduce {
+        values: states.remove(0).buf.round(),
+        elapsed_ns: elapsed,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allreduce::allreduce;
+    use fpna_core::rng::SplitMix64;
+    use fpna_net::LinkSpec;
+
+    fn make_ranks(p: usize, m: usize, seed: u64) -> Vec<Vec<f64>> {
+        let mut rng = SplitMix64::new(seed);
+        (0..p)
+            .map(|_| (0..m).map(|_| rng.next_f64() * 1e8 - 5e7).collect())
+            .collect()
+    }
+
+    fn bits(v: &[f64]) -> Vec<u64> {
+        v.iter().map(|x| x.to_bits()).collect()
+    }
+
+    fn flat(p: usize) -> Topology {
+        Topology::flat_switch(p, LinkSpec::new(500.0, 25.0))
+    }
+
+    fn hier(nodes: usize, rpn: usize) -> Topology {
+        Topology::hierarchical(
+            nodes,
+            rpn,
+            LinkSpec::new(200.0, 100.0),
+            LinkSpec::new(500.0, 50.0),
+            LinkSpec::new(5_000.0, 25.0),
+        )
+    }
+
+    #[test]
+    fn zero_jitter_rank_order_matches_in_memory_bits() {
+        let ranks = make_ranks(16, 64, 1);
+        let topo = flat(16);
+        let cfg = NetConfig::default();
+        for alg in [
+            Algorithm::Ring,
+            Algorithm::KAryTree { fanout: 3 },
+            Algorithm::RecursiveDoubling,
+        ] {
+            let sim = allreduce_on(&topo, &ranks, alg, Ordering::RankOrder, &cfg);
+            let mem = allreduce(&ranks, alg, Ordering::RankOrder);
+            assert_eq!(bits(&sim.values), bits(&mem), "{alg:?}");
+            assert!(sim.elapsed_ns > 0.0);
+        }
+    }
+
+    #[test]
+    fn rank_order_is_replayable_to_the_timestamp() {
+        let ranks = make_ranks(8, 32, 2);
+        let topo = hier(2, 4);
+        let cfg = NetConfig::default();
+        let a = allreduce_on(&topo, &ranks, Algorithm::KAryTree { fanout: 2 }, Ordering::RankOrder, &cfg);
+        let b = allreduce_on(&topo, &ranks, Algorithm::KAryTree { fanout: 2 }, Ordering::RankOrder, &cfg);
+        assert_eq!(bits(&a.values), bits(&b.values));
+        assert_eq!(a.elapsed_ns.to_bits(), b.elapsed_ns.to_bits());
+    }
+
+    #[test]
+    fn jittered_tree_varies_across_seeds() {
+        let ranks = make_ranks(16, 64, 3);
+        let topo = hier(4, 4);
+        let cfg = NetConfig::default();
+        let mut distinct = std::collections::HashSet::new();
+        for seed in 0..8 {
+            let out = allreduce_on(
+                &topo,
+                &ranks,
+                Algorithm::KAryTree { fanout: 8 },
+                Ordering::ArrivalOrder { seed },
+                &cfg,
+            );
+            distinct.insert(bits(&out.values));
+        }
+        assert!(distinct.len() > 1, "timing jitter should leak into the bits");
+    }
+
+    #[test]
+    fn ring_and_doubling_bits_are_timing_invariant() {
+        // Fixed combine order: jitter moves the clock, not the bits.
+        let ranks = make_ranks(8, 48, 4);
+        let topo = hier(2, 4);
+        let cfg = NetConfig::default();
+        for alg in [Algorithm::Ring, Algorithm::RecursiveDoubling] {
+            let a = allreduce_on(&topo, &ranks, alg, Ordering::ArrivalOrder { seed: 1 }, &cfg);
+            let b = allreduce_on(&topo, &ranks, alg, Ordering::ArrivalOrder { seed: 99 }, &cfg);
+            assert_eq!(bits(&a.values), bits(&b.values), "{alg:?}");
+            assert_ne!(
+                a.elapsed_ns.to_bits(),
+                b.elapsed_ns.to_bits(),
+                "{alg:?}: jitter should still move the clock"
+            );
+        }
+    }
+
+    #[test]
+    fn reproducible_is_bitwise_stable_across_everything() {
+        let ranks = make_ranks(16, 32, 5);
+        let reference = allreduce(&ranks, Algorithm::Ring, Ordering::Reproducible);
+        let cfg = NetConfig::default();
+        for topo in [flat(16), hier(4, 4)] {
+            for alg in [
+                Algorithm::Ring,
+                Algorithm::KAryTree { fanout: 4 },
+                Algorithm::RecursiveDoubling,
+            ] {
+                for seed in [0u64, 7, 1234] {
+                    let out = allreduce_on(
+                        &topo,
+                        &ranks,
+                        alg,
+                        Ordering::Reproducible,
+                        &cfg.with_jitter_seed(seed),
+                    );
+                    assert_eq!(
+                        bits(&out.values),
+                        bits(&reference),
+                        "{alg:?} on {} seed {seed}",
+                        topo.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reproducible_pays_a_bandwidth_overhead() {
+        let ranks = make_ranks(8, 256, 6);
+        let topo = flat(8);
+        let cfg = NetConfig {
+            jitter_frac: 0.0,
+            ..NetConfig::default()
+        };
+        let plain = allreduce_on(&topo, &ranks, Algorithm::Ring, Ordering::RankOrder, &cfg);
+        let exact = allreduce_on(&topo, &ranks, Algorithm::Ring, Ordering::Reproducible, &cfg);
+        assert!(
+            exact.elapsed_ns > plain.elapsed_ns,
+            "exact payloads must cost wall-clock: {} vs {}",
+            exact.elapsed_ns,
+            plain.elapsed_ns
+        );
+        assert!(exact.stats.bytes_delivered > plain.stats.bytes_delivered);
+    }
+
+    #[test]
+    fn all_net_variants_compute_the_sum() {
+        use fpna_summation::exact::exact_sum;
+        let ranks = make_ranks(8, 40, 7);
+        let topo = hier(2, 4);
+        let cfg = NetConfig::default();
+        for (alg, ord) in [
+            (Algorithm::Ring, Ordering::RankOrder),
+            (Algorithm::KAryTree { fanout: 2 }, Ordering::ArrivalOrder { seed: 3 }),
+            (Algorithm::RecursiveDoubling, Ordering::ArrivalOrder { seed: 9 }),
+            (Algorithm::KAryTree { fanout: 5 }, Ordering::Reproducible),
+        ] {
+            let out = allreduce_on(&topo, &ranks, alg, ord, &cfg);
+            for i in [0usize, 17, 39] {
+                let want = exact_sum(&ranks.iter().map(|r| r[i]).collect::<Vec<_>>());
+                assert!(
+                    (out.values[i] - want).abs() <= 1e-6,
+                    "{alg:?}/{ord:?} at {i}: {} vs {want}",
+                    out.values[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_rank_is_identity_on_net() {
+        let ranks = make_ranks(1, 8, 8);
+        let topo = flat(1);
+        let cfg = NetConfig::default();
+        for alg in [
+            Algorithm::Ring,
+            Algorithm::KAryTree { fanout: 2 },
+            Algorithm::RecursiveDoubling,
+        ] {
+            let out = allreduce_on(&topo, &ranks, alg, Ordering::RankOrder, &cfg);
+            assert_eq!(bits(&out.values), bits(&ranks[0]), "{alg:?}");
+            assert_eq!(out.elapsed_ns, 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "topology has")]
+    fn rank_count_mismatch_panics() {
+        let ranks = make_ranks(4, 8, 9);
+        allreduce_on(
+            &flat(8),
+            &ranks,
+            Algorithm::Ring,
+            Ordering::RankOrder,
+            &NetConfig::default(),
+        );
+    }
+}

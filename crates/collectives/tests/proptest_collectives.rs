@@ -1,0 +1,182 @@
+//! Property tests for the collectives — the two invariants the ISSUE
+//! pins down:
+//!
+//! 1. every algorithm × ordering × execution path (in-memory shuffle
+//!    fallback and event-driven network simulation) agrees with the
+//!    exact column sums to a conditioning-aware tolerance, for
+//!    arbitrary rank counts, vector lengths and fanouts;
+//! 2. the `Reproducible` ordering is **bitwise** identical across all
+//!    algorithms *and* all net-sim jitter seeds and topologies.
+
+use proptest::prelude::*;
+
+use fpna_collectives::{allreduce, allreduce_on, Algorithm, NetConfig, Ordering};
+use fpna_core::rng::SplitMix64;
+use fpna_net::{LinkSpec, Topology};
+use fpna_summation::exact::exact_sum;
+
+fn make_ranks(p: usize, m: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = SplitMix64::new(seed);
+    (0..p)
+        .map(|_| (0..m).map(|_| rng.next_f64() * 2e6 - 1e6).collect())
+        .collect()
+}
+
+fn column_exact(ranks: &[Vec<f64>], i: usize) -> f64 {
+    exact_sum(&ranks.iter().map(|r| r[i]).collect::<Vec<_>>())
+}
+
+/// |out[i] − exact[i]| must stay within a tolerance scaled by the
+/// column's absolute mass (non-associativity moves low bits, not
+/// magnitudes).
+fn assert_close(
+    out: &[f64],
+    ranks: &[Vec<f64>],
+    label: &str,
+) -> Result<(), proptest::test_runner::TestCaseError> {
+    for i in 0..out.len() {
+        let want = column_exact(ranks, i);
+        let scale: f64 = ranks.iter().map(|r| r[i].abs()).sum::<f64>().max(1.0);
+        prop_assert!(
+            (out[i] - want).abs() <= 1e-12 * scale,
+            "{label} at column {i}: {} vs exact {want}",
+            out[i]
+        );
+    }
+    Ok(())
+}
+
+/// Hierarchical topology shaped to hold exactly `p` ranks.
+fn hier_for(p: usize) -> Topology {
+    // Split p into nodes × ranks-per-node with the largest power-of-two
+    // node count ≤ 4 that divides p.
+    let nodes = [4usize, 2, 1].into_iter().find(|&n| p.is_multiple_of(n)).unwrap();
+    Topology::hierarchical(
+        nodes,
+        p / nodes,
+        LinkSpec::new(200.0, 100.0),
+        LinkSpec::new(500.0, 50.0),
+        LinkSpec::new(5_000.0, 25.0),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Invariant 1, in-memory path: arbitrary p, m, fanout.
+    #[test]
+    fn every_algorithm_agrees_with_exact_sum(
+        p in 1usize..24,
+        m in 1usize..48,
+        fanout in 2usize..6,
+        seed in any::<u64>(),
+    ) {
+        let ranks = make_ranks(p, m, seed);
+        let orderings = [
+            Ordering::RankOrder,
+            Ordering::ArrivalOrder { seed: seed ^ 0x5A },
+            Ordering::Reproducible,
+        ];
+        for ord in orderings {
+            for alg in [Algorithm::Ring, Algorithm::KAryTree { fanout }] {
+                let out = allreduce(&ranks, alg, ord);
+                assert_close(&out, &ranks, &format!("{alg:?}/{ord:?}"))?;
+            }
+        }
+        // recursive doubling needs a power-of-two rank count
+        let p2 = p.next_power_of_two();
+        let ranks2 = make_ranks(p2, m, seed ^ 1);
+        for ord in orderings {
+            let out = allreduce(&ranks2, Algorithm::RecursiveDoubling, ord);
+            assert_close(&out, &ranks2, &format!("RecursiveDoubling/{ord:?}"))?;
+        }
+    }
+
+    /// Invariant 1, network path: the event-driven protocols compute
+    /// the same sums on flat and hierarchical fabrics under jitter.
+    #[test]
+    fn net_sim_agrees_with_exact_sum(
+        p in 1usize..12,
+        m in 1usize..32,
+        fanout in 2usize..6,
+        seed in any::<u64>(),
+    ) {
+        let p = p.next_power_of_two(); // admit recursive doubling too
+        let ranks = make_ranks(p, m, seed);
+        let cfg = NetConfig::default();
+        for topo in [Topology::flat_switch(p, LinkSpec::new(500.0, 25.0)), hier_for(p)] {
+            for alg in [
+                Algorithm::Ring,
+                Algorithm::KAryTree { fanout },
+                Algorithm::RecursiveDoubling,
+            ] {
+                for ord in [
+                    Ordering::RankOrder,
+                    Ordering::ArrivalOrder { seed: seed ^ 0xA5 },
+                    Ordering::Reproducible,
+                ] {
+                    let out = allreduce_on(&topo, &ranks, alg, ord, &cfg);
+                    assert_close(
+                        &out.values,
+                        &ranks,
+                        &format!("{alg:?}/{ord:?} on {}", topo.name()),
+                    )?;
+                }
+            }
+        }
+    }
+
+    /// Invariant 2: `Reproducible` is bitwise identical across every
+    /// algorithm, both execution paths, both topologies, and any
+    /// jitter seed.
+    #[test]
+    fn reproducible_is_bitwise_stable_everywhere(
+        p_exp in 0u32..4,
+        rpn in 1usize..5,
+        m in 1usize..32,
+        seed in any::<u64>(),
+        jitter_seed in any::<u64>(),
+    ) {
+        let p = (1usize << p_exp) * rpn.next_power_of_two();
+        let ranks = make_ranks(p, m, seed);
+        let reference: Vec<u64> = allreduce(&ranks, Algorithm::Ring, Ordering::Reproducible)
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        let algorithms = [
+            Algorithm::Ring,
+            Algorithm::KAryTree { fanout: 3 },
+            Algorithm::RecursiveDoubling,
+        ];
+        for alg in algorithms {
+            let mem: Vec<u64> = allreduce(&ranks, alg, Ordering::Reproducible)
+                .iter()
+                .map(|v| v.to_bits())
+                .collect();
+            prop_assert_eq!(&mem, &reference, "in-memory {:?}", alg);
+        }
+        let cfg = NetConfig::default();
+        for topo in [Topology::flat_switch(p, LinkSpec::new(500.0, 25.0)), hier_for(p)] {
+            for alg in algorithms {
+                for js in [jitter_seed, jitter_seed ^ 0xFFFF_0000] {
+                    let out = allreduce_on(
+                        &topo,
+                        &ranks,
+                        alg,
+                        Ordering::Reproducible,
+                        &cfg.with_jitter_seed(js),
+                    );
+                    let got: Vec<u64> = out.values.iter().map(|v| v.to_bits()).collect();
+                    prop_assert_eq!(
+                        &got,
+                        &reference,
+                        "{:?} on {} with jitter seed {}",
+                        alg,
+                        topo.name(),
+                        js
+                    );
+                }
+            }
+        }
+    }
+}

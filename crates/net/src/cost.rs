@@ -1,0 +1,201 @@
+//! Analytic α–β cost models for allreduce collectives.
+//!
+//! The classic latency–bandwidth ("Hockney") estimates, used two ways:
+//!
+//! * as a sanity anchor for the event engine — the property tests pin
+//!   the per-message physical floor (arrival ≥ Σ(α + β·b) along the
+//!   route), and the `table9` binary prints these serial-chain
+//!   estimates alongside the simulated makespans (the simulation
+//!   overlaps tree levels, so it typically lands below the serial
+//!   estimate and above the single-message floor);
+//! * to extend the paper's "cost of reproducibility" story to the
+//!   network: [`CostModel::reproducible_overhead`] prices the exact
+//!   (reproducible) allreduce, whose wire format is a long accumulator
+//!   per element instead of one `f64`, as a pure bandwidth-term
+//!   inflation.
+//!
+//! `α` is the end-to-end one-way latency between two ranks and `β` the
+//! end-to-end inverse bandwidth; extract both from a [`Topology`] with
+//! [`CostModel::from_topology`] (worst-case rank pair).
+
+use crate::topology::Topology;
+
+/// End-to-end α–β parameters of a fabric, as seen by one rank pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// One-way zero-byte message latency in nanoseconds.
+    pub alpha_ns: f64,
+    /// Inverse bandwidth in nanoseconds per byte.
+    pub beta_ns_per_byte: f64,
+}
+
+impl CostModel {
+    /// Extract worst-case end-to-end parameters from a topology: α is
+    /// the zero-byte cost over the longest rank-to-rank route, β the
+    /// summed per-hop serialization cost over the same route
+    /// (store-and-forward: every hop re-serializes the payload).
+    pub fn from_topology(topo: &Topology) -> Self {
+        let p = topo.ranks();
+        if p < 2 {
+            return CostModel {
+                alpha_ns: 0.0,
+                beta_ns_per_byte: 0.0,
+            };
+        }
+        let (mut alpha, mut beta) = (0.0f64, 0.0f64);
+        for r in 1..p {
+            let route = topo.route(0, r);
+            let a: f64 = route.iter().map(|h| h.link.latency_ns).sum();
+            let b: f64 = route.iter().map(|h| h.link.ns_per_byte).sum();
+            if a + b > alpha + beta {
+                alpha = a;
+                beta = b;
+            }
+        }
+        CostModel {
+            alpha_ns: alpha,
+            beta_ns_per_byte: beta,
+        }
+    }
+
+    /// Ring allreduce (reduce-scatter + allgather):
+    /// `2(p−1)α + 2((p−1)/p)·n·β` for `n` payload bytes.
+    pub fn ring_allreduce_ns(&self, p: usize, bytes: u64) -> f64 {
+        if p < 2 {
+            return 0.0;
+        }
+        let pf = p as f64;
+        2.0 * (pf - 1.0) * self.alpha_ns
+            + 2.0 * ((pf - 1.0) / pf) * bytes as f64 * self.beta_ns_per_byte
+    }
+
+    /// Depth of the rank-0-rooted `fanout`-ary reduction tree over `p`
+    /// ranks: how many levels separate the deepest leaf from the root.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `fanout < 2`.
+    pub fn tree_depth(p: usize, fanout: usize) -> usize {
+        assert!(fanout >= 2, "tree fanout must be at least 2");
+        let mut depth = 0usize;
+        let mut reach = 1usize;
+        while reach < p {
+            reach = reach.saturating_mul(fanout) + 1;
+            depth += 1;
+        }
+        depth
+    }
+
+    /// K-ary reduction tree + broadcast: `d = ⌈log_f p⌉` levels up and
+    /// down; each level costs one latency plus up to `f` serialized
+    /// child payloads at the parent: `2d(α + f·n·β)`.
+    pub fn tree_allreduce_ns(&self, p: usize, fanout: usize, bytes: u64) -> f64 {
+        if p < 2 {
+            assert!(fanout >= 2, "tree fanout must be at least 2");
+            return 0.0;
+        }
+        let depth = Self::tree_depth(p, fanout);
+        2.0 * depth as f64
+            * (self.alpha_ns + fanout as f64 * bytes as f64 * self.beta_ns_per_byte)
+    }
+
+    /// Recursive-doubling allreduce: `log₂ p` full-payload exchange
+    /// rounds: `log₂(p)·(α + n·β)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `p` is a power of two.
+    pub fn recursive_doubling_allreduce_ns(&self, p: usize, bytes: u64) -> f64 {
+        assert!(p.is_power_of_two(), "recursive doubling needs a power-of-two rank count");
+        if p < 2 {
+            return 0.0;
+        }
+        let rounds = p.trailing_zeros() as f64;
+        rounds * (self.alpha_ns + bytes as f64 * self.beta_ns_per_byte)
+    }
+
+    /// Multiplicative bandwidth overhead of shipping `payload_bytes`
+    /// of exact-accumulator state per element instead of one `f64`:
+    /// the bandwidth term inflates by `payload_bytes / 8`, the latency
+    /// term does not.
+    ///
+    /// Returns the modeled cost ratio (reproducible / plain) for an
+    /// allreduce whose plain cost splits into `alpha_part` latency ns
+    /// and `beta_part` bandwidth ns.
+    pub fn reproducible_overhead(alpha_part: f64, beta_part: f64, payload_bytes: usize) -> f64 {
+        let plain = alpha_part + beta_part;
+        if plain == 0.0 {
+            return 1.0;
+        }
+        let factor = payload_bytes as f64 / std::mem::size_of::<f64>() as f64;
+        (alpha_part + beta_part * factor) / plain
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::LinkSpec;
+
+    fn model() -> CostModel {
+        CostModel {
+            alpha_ns: 1000.0,
+            beta_ns_per_byte: 0.1,
+        }
+    }
+
+    #[test]
+    fn ring_cost_formula() {
+        let c = model().ring_allreduce_ns(4, 4000);
+        // 2·3·1000 + 2·(3/4)·4000·0.1 = 6000 + 600
+        assert!((c - 6600.0).abs() < 1e-9);
+        assert_eq!(model().ring_allreduce_ns(1, 4000), 0.0);
+    }
+
+    #[test]
+    fn tree_cost_grows_with_depth() {
+        let m = model();
+        let shallow = m.tree_allreduce_ns(4, 4, 1000);
+        let deep = m.tree_allreduce_ns(64, 2, 1000);
+        assert!(deep > shallow);
+    }
+
+    #[test]
+    fn recursive_doubling_cost_formula() {
+        let c = model().recursive_doubling_allreduce_ns(8, 1000);
+        // 3 rounds × (1000 + 100)
+        assert!((c - 3300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn recursive_doubling_rejects_non_pow2() {
+        model().recursive_doubling_allreduce_ns(6, 8);
+    }
+
+    #[test]
+    fn from_topology_prefers_the_far_pair() {
+        let t = Topology::hierarchical(
+            2,
+            2,
+            LinkSpec::new(100.0, 100.0),
+            LinkSpec::new(200.0, 50.0),
+            LinkSpec::new(1000.0, 10.0),
+        );
+        let m = CostModel::from_topology(&t);
+        // cross-node route: intra + nic + inter + inter + nic + intra
+        assert!((m.alpha_ns - (100.0 + 200.0 + 1000.0 + 1000.0 + 200.0 + 100.0)).abs() < 1e-9);
+        assert!(m.beta_ns_per_byte > 0.0);
+    }
+
+    #[test]
+    fn reproducible_overhead_is_bandwidth_only() {
+        // pure-latency collective: payload inflation is free
+        assert_eq!(CostModel::reproducible_overhead(1000.0, 0.0, 560), 1.0);
+        // pure-bandwidth collective: overhead = payload factor
+        let r = CostModel::reproducible_overhead(0.0, 1000.0, 80);
+        assert!((r - 10.0).abs() < 1e-12);
+        // degenerate zero-cost case
+        assert_eq!(CostModel::reproducible_overhead(0.0, 0.0, 560), 1.0);
+    }
+}

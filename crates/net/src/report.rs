@@ -1,0 +1,101 @@
+//! Per-run cost/variability reporting through `fpna_core`.
+//!
+//! The experiment shape for network collectives is always "fix the
+//! inputs, vary the fabric's jitter seed": [`sweep_seeds`] runs a
+//! closure once per seed, compares the produced vectors against a
+//! reference with the paper's `Vermv`/`Vc` metrics (via
+//! [`fpna_core::harness::VariabilityHarness`]), and summarises the
+//! simulated elapsed times alongside — variability *and* cost from the
+//! same runs, which is the whole point of the table-9 sweep.
+
+use fpna_core::harness::{RunSummary, VariabilityReport};
+use fpna_core::metrics::ArrayComparison;
+
+/// Joint variability/cost summary of a seed sweep.
+#[derive(Debug, Clone)]
+pub struct SeedSweep {
+    /// Bitwise/relative variability of the produced vectors against
+    /// the reference.
+    pub variability: VariabilityReport,
+    /// Simulated elapsed time (ns) across the runs.
+    pub elapsed_ns: RunSummary,
+}
+
+impl SeedSweep {
+    /// `true` when every seed reproduced the reference bitwise.
+    pub fn bitwise_reproducible(&self) -> bool {
+        self.variability.fully_reproducible()
+    }
+}
+
+/// Run `run(seed)` for every seed, comparing each produced vector to
+/// `reference`. `run` returns `(values, elapsed_ns)`.
+///
+/// # Panics
+///
+/// Panics if a run returns a vector shaped differently from the
+/// reference (that is a protocol bug, not a data condition).
+pub fn sweep_seeds<F>(reference: &[f64], seeds: &[u64], mut run: F) -> SeedSweep
+where
+    F: FnMut(u64) -> (Vec<f64>, f64),
+{
+    let mut per_run = Vec::with_capacity(seeds.len());
+    let mut vermv = Vec::with_capacity(seeds.len());
+    let mut vc = Vec::with_capacity(seeds.len());
+    let mut max_abs = Vec::with_capacity(seeds.len());
+    let mut elapsed = Vec::with_capacity(seeds.len());
+    let mut identical = 0usize;
+    for &seed in seeds {
+        let (values, dt) = run(seed);
+        let cmp = ArrayComparison::compare(reference, &values);
+        if cmp.bitwise_identical() {
+            identical += 1;
+        }
+        per_run.push((cmp.vermv, cmp.vc));
+        vermv.push(cmp.vermv);
+        vc.push(cmp.vc);
+        max_abs.push(cmp.max_abs_diff);
+        elapsed.push(dt);
+    }
+    SeedSweep {
+        variability: VariabilityReport {
+            vermv: RunSummary::from_values(&vermv),
+            vc: RunSummary::from_values(&vc),
+            max_abs_diff: RunSummary::from_values(&max_abs),
+            bitwise_identical_runs: identical,
+            per_run,
+        },
+        elapsed_ns: RunSummary::from_values(&elapsed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_runs_report_zero_variability() {
+        let reference = vec![1.0, 2.0, 3.0];
+        let sweep = sweep_seeds(&reference, &[1, 2, 3], |_| (reference.clone(), 100.0));
+        assert!(sweep.bitwise_reproducible());
+        assert_eq!(sweep.variability.vc.max, 0.0);
+        assert_eq!(sweep.elapsed_ns.mean, 100.0);
+        assert_eq!(sweep.elapsed_ns.std_dev, 0.0);
+    }
+
+    #[test]
+    fn seed_dependent_runs_are_caught() {
+        let reference = vec![1.0, 2.0];
+        let sweep = sweep_seeds(&reference, &[0, 1, 2, 3], |s| {
+            let mut v = reference.clone();
+            if s % 2 == 1 {
+                v[0] += 1e-12;
+            }
+            (v, 100.0 + s as f64)
+        });
+        assert!(!sweep.bitwise_reproducible());
+        assert_eq!(sweep.variability.bitwise_identical_runs, 2);
+        assert_eq!(sweep.variability.vc.max, 0.5);
+        assert!(sweep.elapsed_ns.std_dev > 0.0);
+    }
+}

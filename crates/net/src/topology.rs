@@ -1,0 +1,343 @@
+//! Interconnect topology descriptions.
+//!
+//! A [`Topology`] is an undirected graph of [`NodeKind`] vertices
+//! (rank endpoints, NICs, switches) whose edges carry a [`LinkSpec`]
+//! — the `α + β·bytes` cost model of the classic LogP/Hockney family.
+//! Three builders cover the shapes the paper's future-work section
+//! names:
+//!
+//! * [`Topology::flat_switch`] — every rank one hop from a single
+//!   crossbar; the shallowest interesting fabric (depth 1);
+//! * [`Topology::fat_tree`] — ranks under edge switches under one core
+//!   switch (a folded two-level Clos; depth 2);
+//! * [`Topology::hierarchical`] — the cluster reality: ranks share an
+//!   intra-node switch, leave through a NIC, and cross a top-of-rack
+//!   switch, with distinct intra-node vs inter-node latency and
+//!   bandwidth (depth 3).
+//!
+//! Routes are unique shortest paths computed by BFS (every builder
+//! produces a tree-shaped fabric, so shortest paths are unique and no
+//! adaptive-routing nondeterminism sneaks in — all timing variation is
+//! owned by the [`engine`](crate::engine)'s jitter model).
+
+/// Cost model for one link: a message of `b` bytes occupies the link
+/// for `b · ns_per_byte` (serialization, β) and then lands after
+/// `latency_ns` (propagation, α) plus any jitter the engine injects.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkSpec {
+    /// Propagation latency α in nanoseconds.
+    pub latency_ns: f64,
+    /// Inverse bandwidth β in nanoseconds per byte.
+    pub ns_per_byte: f64,
+}
+
+impl LinkSpec {
+    /// A link with `latency_ns` of latency and `gb_per_s` gigabytes per
+    /// second of bandwidth.
+    pub fn new(latency_ns: f64, gb_per_s: f64) -> Self {
+        assert!(latency_ns >= 0.0 && gb_per_s > 0.0, "invalid link spec");
+        LinkSpec {
+            latency_ns,
+            ns_per_byte: 1.0 / gb_per_s,
+        }
+    }
+
+    /// Deterministic traversal cost for `bytes` (no jitter, no queuing).
+    #[inline]
+    pub fn cost_ns(&self, bytes: u64) -> f64 {
+        self.latency_ns + self.ns_per_byte * bytes as f64
+    }
+}
+
+/// What a vertex in the fabric is. Only [`NodeKind::Rank`] vertices
+/// source or sink traffic; NICs and switches forward.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeKind {
+    /// A compute endpoint holding the given MPI-style rank id.
+    Rank(usize),
+    /// A network interface between a node-local fabric and the
+    /// inter-node fabric.
+    Nic,
+    /// A crossbar switch.
+    Switch,
+}
+
+/// One hop of a route: the directed link `(from, to)` and its spec.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Hop {
+    /// Source vertex index.
+    pub from: usize,
+    /// Destination vertex index.
+    pub to: usize,
+    /// Cost model of the traversed link.
+    pub link: LinkSpec,
+}
+
+/// An interconnect: vertices, links, and the rank→vertex mapping.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    name: String,
+    nodes: Vec<NodeKind>,
+    /// Adjacency: `adj[v]` lists `(neighbour, link spec)`.
+    adj: Vec<Vec<(usize, LinkSpec)>>,
+    /// `rank_vertex[r]` is the vertex index of rank `r`.
+    rank_vertex: Vec<usize>,
+}
+
+impl Topology {
+    fn empty(name: impl Into<String>) -> Self {
+        Topology {
+            name: name.into(),
+            nodes: Vec::new(),
+            adj: Vec::new(),
+            rank_vertex: Vec::new(),
+        }
+    }
+
+    fn add_node(&mut self, kind: NodeKind) -> usize {
+        let id = self.nodes.len();
+        self.nodes.push(kind);
+        self.adj.push(Vec::new());
+        if let NodeKind::Rank(r) = kind {
+            assert_eq!(r, self.rank_vertex.len(), "ranks must be added in order");
+            self.rank_vertex.push(id);
+        }
+        id
+    }
+
+    fn link(&mut self, a: usize, b: usize, spec: LinkSpec) {
+        self.adj[a].push((b, spec));
+        self.adj[b].push((a, spec));
+    }
+
+    /// `p` ranks hanging off one crossbar switch — depth 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `p == 0`.
+    pub fn flat_switch(p: usize, link: LinkSpec) -> Self {
+        assert!(p > 0, "flat_switch needs at least one rank");
+        let mut t = Topology::empty(format!("flat-switch(p={p})"));
+        let sw = t.add_node(NodeKind::Switch);
+        for r in 0..p {
+            let v = t.add_node(NodeKind::Rank(r));
+            t.link(v, sw, link);
+        }
+        t
+    }
+
+    /// Two-level folded-Clos fat tree — depth 2: `radix` ranks per edge
+    /// switch over `edge` links; edge switches meet at one core switch
+    /// over `core` links.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `p == 0` or `radix < 2`.
+    pub fn fat_tree(p: usize, radix: usize, edge: LinkSpec, core: LinkSpec) -> Self {
+        assert!(p > 0, "fat_tree needs at least one rank");
+        assert!(radix >= 2, "fat_tree radix must be at least 2");
+        let mut t = Topology::empty(format!("fat-tree(p={p},radix={radix})"));
+        let core_sw = t.add_node(NodeKind::Switch);
+        let groups = p.div_ceil(radix);
+        for g in 0..groups {
+            let edge_sw = t.add_node(NodeKind::Switch);
+            t.link(edge_sw, core_sw, core);
+            for r in (g * radix)..(((g + 1) * radix).min(p)) {
+                let v = t.add_node(NodeKind::Rank(r));
+                t.link(v, edge_sw, edge);
+            }
+        }
+        t
+    }
+
+    /// Cluster-shaped fabric — depth 3: `nodes` compute nodes of
+    /// `ranks_per_node` ranks each. Ranks attach to a node-local switch
+    /// over `intra` links; each node switch reaches its NIC over `nic`
+    /// links; NICs meet at a top switch over `inter` links.
+    ///
+    /// Rank ids are node-major: node `n` hosts ranks
+    /// `n·ranks_per_node .. (n+1)·ranks_per_node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either dimension is zero.
+    pub fn hierarchical(
+        nodes: usize,
+        ranks_per_node: usize,
+        intra: LinkSpec,
+        nic: LinkSpec,
+        inter: LinkSpec,
+    ) -> Self {
+        assert!(nodes > 0 && ranks_per_node > 0, "empty hierarchy");
+        let mut t = Topology::empty(format!("hierarchical(nodes={nodes},rpn={ranks_per_node})"));
+        let top = t.add_node(NodeKind::Switch);
+        for _ in 0..nodes {
+            let node_sw = t.add_node(NodeKind::Switch);
+            let node_nic = t.add_node(NodeKind::Nic);
+            t.link(node_sw, node_nic, nic);
+            t.link(node_nic, top, inter);
+            for _ in 0..ranks_per_node {
+                let r = t.rank_vertex.len();
+                let v = t.add_node(NodeKind::Rank(r));
+                t.link(v, node_sw, intra);
+            }
+        }
+        t
+    }
+
+    /// Human-readable topology name (embeds the key parameters).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of rank endpoints.
+    pub fn ranks(&self) -> usize {
+        self.rank_vertex.len()
+    }
+
+    /// Number of vertices (ranks + NICs + switches).
+    pub fn vertices(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Kind of vertex `v`.
+    pub fn kind(&self, v: usize) -> NodeKind {
+        self.nodes[v]
+    }
+
+    /// Vertex index of rank `r`.
+    pub fn rank_vertex(&self, r: usize) -> usize {
+        self.rank_vertex[r]
+    }
+
+    /// Unique shortest path from rank `from` to rank `to` as a hop
+    /// list. Empty when `from == to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either rank is out of range or no path exists.
+    pub fn route(&self, from: usize, to: usize) -> Vec<Hop> {
+        let src = self.rank_vertex[from];
+        let dst = self.rank_vertex[to];
+        if src == dst {
+            return Vec::new();
+        }
+        // BFS from src; every builder yields a tree, so the first path
+        // found is the unique shortest one.
+        let mut prev: Vec<Option<(usize, LinkSpec)>> = vec![None; self.nodes.len()];
+        let mut queue = std::collections::VecDeque::from([src]);
+        let mut seen = vec![false; self.nodes.len()];
+        seen[src] = true;
+        'bfs: while let Some(v) = queue.pop_front() {
+            for &(w, spec) in &self.adj[v] {
+                if !seen[w] {
+                    seen[w] = true;
+                    prev[w] = Some((v, spec));
+                    if w == dst {
+                        break 'bfs;
+                    }
+                    queue.push_back(w);
+                }
+            }
+        }
+        let mut hops = Vec::new();
+        let mut v = dst;
+        while let Some((u, spec)) = prev[v] {
+            hops.push(Hop { from: u, to: v, link: spec });
+            v = u;
+        }
+        assert!(v == src, "no route between ranks {from} and {to}");
+        hops.reverse();
+        hops
+    }
+
+    /// Maximum rank-to-rank hop count — the fabric depth measure the
+    /// variability tables sweep (flat: 2, fat tree: 4, hierarchical: 6).
+    pub fn diameter_hops(&self) -> usize {
+        let p = self.ranks();
+        if p < 2 {
+            return 0;
+        }
+        // All builders are symmetric enough that rank 0 vs the farthest
+        // rank realises the diameter; scan rank 0 against all others.
+        (1..p).map(|r| self.route(0, r).len()).max().unwrap_or(0)
+    }
+
+    /// Deterministic (jitter-free, contention-free) one-way cost of a
+    /// `bytes`-byte message between two ranks.
+    pub fn path_cost_ns(&self, from: usize, to: usize, bytes: u64) -> f64 {
+        self.route(from, to)
+            .iter()
+            .map(|h| h.link.cost_ns(bytes))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn link() -> LinkSpec {
+        LinkSpec::new(500.0, 10.0)
+    }
+
+    #[test]
+    fn link_cost_is_alpha_plus_beta_bytes() {
+        let l = LinkSpec::new(100.0, 2.0); // 2 GB/s => 0.5 ns/byte
+        assert_eq!(l.cost_ns(0), 100.0);
+        assert!((l.cost_ns(1000) - 600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn flat_switch_routes_are_two_hops() {
+        let t = Topology::flat_switch(8, link());
+        assert_eq!(t.ranks(), 8);
+        assert_eq!(t.diameter_hops(), 2);
+        let r = t.route(3, 5);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r[0].from, t.rank_vertex(3));
+        assert_eq!(r[1].to, t.rank_vertex(5));
+        assert!(matches!(t.kind(r[0].to), NodeKind::Switch));
+    }
+
+    #[test]
+    fn fat_tree_depth_and_locality() {
+        let t = Topology::fat_tree(16, 4, link(), link());
+        assert_eq!(t.ranks(), 16);
+        // same edge switch: 2 hops; across the core: 4 hops
+        assert_eq!(t.route(0, 1).len(), 2);
+        assert_eq!(t.route(0, 5).len(), 4);
+        assert_eq!(t.diameter_hops(), 4);
+    }
+
+    #[test]
+    fn hierarchical_depth_and_rank_layout() {
+        let t = Topology::hierarchical(4, 4, link(), link(), link());
+        assert_eq!(t.ranks(), 16);
+        // same node: rank -> node switch -> rank
+        assert_eq!(t.route(0, 3).len(), 2);
+        // across nodes: rank -> sw -> nic -> top -> nic -> sw -> rank
+        assert_eq!(t.route(0, 4).len(), 6);
+        assert_eq!(t.diameter_hops(), 6);
+    }
+
+    #[test]
+    fn route_to_self_is_empty_and_costs_nothing() {
+        let t = Topology::flat_switch(4, link());
+        assert!(t.route(2, 2).is_empty());
+        assert_eq!(t.path_cost_ns(2, 2, 1 << 20), 0.0);
+    }
+
+    #[test]
+    fn path_cost_accumulates_per_hop() {
+        let t = Topology::flat_switch(4, LinkSpec::new(100.0, 1.0));
+        // 2 hops, each 100 + 8 ns for 8 bytes
+        assert!((t.path_cost_ns(0, 1, 8) - 216.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn empty_flat_switch_panics() {
+        Topology::flat_switch(0, link());
+    }
+}

@@ -1,0 +1,132 @@
+//! Property tests for the interconnect simulator: route sanity, the
+//! determinism contract of the zero-jitter engine, and the physical
+//! lower bound on every delivery.
+
+use proptest::prelude::*;
+
+use fpna_net::{JitterModel, LinkSpec, NetSim, Topology};
+
+/// Build a topology from one of the three builder families; `kind`
+/// selects the family, `n1`/`n2` shape it.
+fn make_topo(kind: usize, n1: usize, n2: usize) -> Topology {
+    match kind % 3 {
+        0 => Topology::flat_switch(n1, LinkSpec::new(500.0, 25.0)),
+        1 => Topology::fat_tree(
+            n1,
+            n2.max(2),
+            LinkSpec::new(500.0, 25.0),
+            LinkSpec::new(1_500.0, 50.0),
+        ),
+        _ => Topology::hierarchical(
+            (n1 - 1) % 4 + 1,
+            n2.max(1),
+            LinkSpec::new(200.0, 100.0),
+            LinkSpec::new(500.0, 50.0),
+            LinkSpec::new(5_000.0, 25.0),
+        ),
+    }
+}
+
+/// `(from, to, bytes, inject_ns)` message plans over `p` ranks.
+fn messages(p: usize, rng_seed: u64, count: usize) -> Vec<(usize, usize, u64, f64)> {
+    let mut rng = fpna_core::rng::SplitMix64::new(rng_seed);
+    (0..count)
+        .map(|_| {
+            let from = rng.next_below(p as u64) as usize;
+            let to = rng.next_below(p as u64) as usize;
+            let bytes = rng.next_below(1 << 16);
+            let at = (rng.next_below(10_000)) as f64;
+            (from, to, bytes, at)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Routes connect the right endpoints, chain hop to hop, and never
+    /// exceed the fabric diameter.
+    #[test]
+    fn routes_are_wellformed(
+        kind in 0usize..3,
+        n1 in 1usize..20,
+        n2 in 1usize..7,
+        pair in any::<u64>(),
+    ) {
+        let topo = make_topo(kind, n1, n2);
+        let p = topo.ranks();
+        let a = (pair % p as u64) as usize;
+        let b = ((pair >> 32) % p as u64) as usize;
+        let route = topo.route(a, b);
+        if a == b {
+            prop_assert!(route.is_empty());
+        } else {
+            prop_assert_eq!(route[0].from, topo.rank_vertex(a));
+            prop_assert_eq!(route[route.len() - 1].to, topo.rank_vertex(b));
+            for w in route.windows(2) {
+                prop_assert_eq!(w[0].to, w[1].from, "hops must chain");
+            }
+            prop_assert!(route.len() <= topo.diameter_hops());
+        }
+    }
+
+    /// The zero-jitter engine is a pure function of its inputs: same
+    /// sends, bitwise-identical deliveries and stats — the property
+    /// that makes "software-scheduled interconnect" a meaningful model.
+    #[test]
+    fn zero_jitter_is_deterministic(
+        kind in 0usize..3,
+        n1 in 1usize..20,
+        n2 in 1usize..7,
+        seed in any::<u64>(),
+    ) {
+        let topo = make_topo(kind, n1, n2);
+        let plan = messages(topo.ranks(), seed, 24);
+        let run = || {
+            let mut sim = NetSim::new(&topo, JitterModel::none());
+            for (i, &(from, to, bytes, at)) in plan.iter().enumerate() {
+                sim.send_at(at, from, to, bytes, i as u64);
+            }
+            let mut log = Vec::new();
+            let stats = sim.run(|_, d| log.push((d.tag, d.time.to_bits())));
+            (log, stats.makespan_ns.to_bits(), stats.hops_traversed)
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Jitter may delay and reorder, but never loses or invents
+    /// messages, and no message beats the jitter-free uncontended
+    /// physics: arrival ≥ injection + Σ(α + β·bytes) along its route.
+    #[test]
+    fn jitter_preserves_messages_and_respects_lower_bound(
+        kind in 0usize..3,
+        n1 in 1usize..20,
+        n2 in 1usize..7,
+        seed in any::<u64>(),
+        frac in 0.0..1.5f64,
+    ) {
+        let topo = make_topo(kind, n1, n2);
+        let plan = messages(topo.ranks(), seed ^ 0xABCD, 24);
+        let mut sim = NetSim::new(&topo, JitterModel::uniform(frac, seed));
+        for (i, &(from, to, bytes, at)) in plan.iter().enumerate() {
+            sim.send_at(at, from, to, bytes, i as u64);
+        }
+        let mut seen = Vec::new();
+        let stats = sim.run(|_, d| seen.push(d));
+        prop_assert_eq!(seen.len(), plan.len());
+        prop_assert_eq!(stats.deliveries as usize, plan.len());
+        let mut max_time = 0.0f64;
+        for d in &seen {
+            let (from, to, bytes, at) = plan[d.tag as usize];
+            prop_assert_eq!((d.from, d.to, d.bytes), (from, to, bytes));
+            let floor = at + topo.path_cost_ns(from, to, bytes);
+            prop_assert!(
+                d.time >= floor - 1e-9,
+                "message {} arrived at {} before its physical floor {}",
+                d.tag, d.time, floor
+            );
+            max_time = max_time.max(d.time);
+        }
+        prop_assert_eq!(stats.makespan_ns.to_bits(), max_time.to_bits());
+    }
+}

@@ -55,6 +55,13 @@ impl Default for ExactAccumulator {
 }
 
 impl ExactAccumulator {
+    /// Serialized size of the accumulator state — what a message
+    /// carrying one exact per-element accumulator occupies on a wire.
+    /// The network cost models (`fpna-net`, `fpna-collectives`) use
+    /// this to price reproducible collectives: `WIRE_BYTES / 8` is the
+    /// bandwidth inflation over shipping a plain `f64`.
+    pub const WIRE_BYTES: usize = LIMBS * std::mem::size_of::<i64>();
+
     /// Empty accumulator (value zero).
     pub fn new() -> Self {
         ExactAccumulator {

@@ -27,9 +27,13 @@
 //! * [`solvers`] *(fpna-solvers)* — sparse CSR + conjugate gradient
 //!   with pluggable reductions, for the iterative error-accumulation
 //!   study;
+//! * [`net`] *(fpna-net)* — a seeded discrete-event interconnect
+//!   simulator: flat/fat-tree/hierarchical topologies, `α + β·bytes`
+//!   link costs with seeded jitter, and collective cost models;
 //! * [`collectives`] *(fpna-collectives)* — simulated multi-node
 //!   allreduce with arrival-order nondeterminism and reproducible
-//!   variants (the paper's future-work section).
+//!   variants (the paper's future-work section), including
+//!   timing-driven arrival order on top of [`net`].
 //!
 //! ```
 //! use fpna::core::metrics::scalar_variability;
@@ -42,6 +46,7 @@
 
 pub use fpna_collectives as collectives;
 pub use fpna_core as core;
+pub use fpna_net as net;
 pub use fpna_gpu_sim as gpu;
 pub use fpna_lpu_sim as lpu;
 pub use fpna_nn as nn;

@@ -1,5 +1,5 @@
 //! Facade smoke test: exercise one public item from **each** of the
-//! nine sub-crates through their `fpna::` re-export paths.
+//! ten sub-crates through their `fpna::` re-export paths.
 //!
 //! This pins the workspace wiring — if a member crate is dropped from
 //! the facade's dependencies, renamed, or its re-export alias changes,
@@ -10,6 +10,7 @@ use fpna::collectives::{allreduce, Algorithm, Ordering};
 use fpna::core::metrics::scalar_variability;
 use fpna::gpu::{GpuDevice, GpuModel, KernelParams, ReduceKernel, ScheduleKind};
 use fpna::lpu::{Lpu, LpuSpec, Program, Tensor2, TensorShape};
+use fpna::net::{JitterModel, LinkSpec, NetSim, Topology};
 use fpna::nn::Graph;
 use fpna::solvers::{conjugate_gradient, CgConfig, Csr};
 use fpna::stats::Describe;
@@ -91,4 +92,13 @@ fn facade_reexports_collectives() {
     let ranks = vec![vec![1.0, 2.0], vec![3.0, 4.0]];
     let out = allreduce(&ranks, Algorithm::Ring, Ordering::RankOrder);
     assert_eq!(out, vec![4.0, 6.0]);
+}
+
+#[test]
+fn facade_reexports_net() {
+    let topo = Topology::flat_switch(2, LinkSpec::new(100.0, 10.0));
+    let mut sim = NetSim::new(&topo, JitterModel::none());
+    sim.send_at(0.0, 0, 1, 8, 0);
+    let stats = sim.run(|_, _| {});
+    assert_eq!(stats.deliveries, 1);
 }

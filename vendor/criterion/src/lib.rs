@@ -16,8 +16,21 @@
 //! [`BenchmarkGroup::sample_size`], [`Bencher::iter`], [`BenchmarkId`],
 //! [`Throughput`], [`black_box`], [`criterion_group!`] and
 //! [`criterion_main!`].
+//!
+//! ## JSON output
+//!
+//! Beyond printing, every benchmark appends one JSON line
+//! (`{"id": …, "median_ns": …, "mean_ns": …, "samples": …}`) to
+//! `<target>/bench-json/<suite>.json`, truncated at the first write of
+//! each process so reruns never accumulate stale rows. The
+//! `bench_gate` binary in `fpna-bench` diffs those files against a
+//! committed baseline and fails CI on regressions — the shim's
+//! replacement for criterion's own baseline machinery.
 
 use std::fmt::Display;
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Re-exported std `black_box`, for parity with criterion's.
@@ -187,6 +200,80 @@ impl Bencher {
     }
 }
 
+/// Locate the cargo target directory by walking up from the bench
+/// executable (which lives in `<target>/release/deps/…`), falling back
+/// to `CARGO_TARGET_DIR`. `None` when neither resolves.
+fn target_dir() -> Option<PathBuf> {
+    if let Ok(exe) = std::env::current_exe() {
+        for dir in exe.ancestors() {
+            if dir.file_name().is_some_and(|n| n == "target") {
+                return Some(dir.to_path_buf());
+            }
+        }
+    }
+    std::env::var_os("CARGO_TARGET_DIR").map(PathBuf::from)
+}
+
+/// Suite name for the JSON file: the executable stem minus cargo's
+/// trailing `-<16 hex>` disambiguation hash.
+fn suite_name() -> String {
+    let stem = std::env::current_exe()
+        .ok()
+        .and_then(|p| p.file_stem().map(|s| s.to_string_lossy().into_owned()))
+        .unwrap_or_else(|| "bench".to_string());
+    match stem.rsplit_once('-') {
+        Some((name, hash))
+            if hash.len() == 16 && hash.bytes().all(|b| b.is_ascii_hexdigit()) =>
+        {
+            name.to_string()
+        }
+        _ => stem,
+    }
+}
+
+/// The process-wide JSON sink: created (and truncated) on first use so
+/// each `cargo bench` run of a suite starts from a clean file. Only
+/// active when cargo invoked the binary as a bench target (it then
+/// passes `--bench`) — unit-test runs of bench code never write.
+fn json_sink() -> &'static Mutex<Option<std::fs::File>> {
+    static SINK: OnceLock<Mutex<Option<std::fs::File>>> = OnceLock::new();
+    SINK.get_or_init(|| {
+        let is_bench_run = std::env::args().any(|a| a == "--bench");
+        let file = is_bench_run
+            .then(target_dir)
+            .flatten()
+            .and_then(|t| {
+                let dir = t.join("bench-json");
+                std::fs::create_dir_all(&dir).ok()?;
+                std::fs::File::create(dir.join(format!("{}.json", suite_name()))).ok()
+            });
+        Mutex::new(file)
+    })
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+fn record_json(id: &str, median_ns: u128, mean_ns: u128, samples: usize) {
+    if let Ok(mut guard) = json_sink().lock() {
+        if let Some(file) = guard.as_mut() {
+            let _ = writeln!(
+                file,
+                "{{\"id\":\"{}\",\"median_ns\":{median_ns},\"mean_ns\":{mean_ns},\"samples\":{samples}}}",
+                json_escape(id)
+            );
+        }
+    }
+}
+
 fn run_benchmark<F: FnMut(&mut Bencher)>(
     id: &str,
     sample_size: usize,
@@ -204,6 +291,7 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(
     let median = sorted[sorted.len() / 2];
     let mean_ns =
         sorted.iter().map(|d| d.as_nanos()).sum::<u128>() / sorted.len() as u128;
+    record_json(id, median.as_nanos(), mean_ns, sorted.len());
     let rate = match throughput {
         Some(Throughput::Elements(n)) | Some(Throughput::Bytes(n)) => {
             let secs = median.as_secs_f64();
