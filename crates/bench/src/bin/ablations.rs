@@ -11,7 +11,7 @@
 //! 4. **SAGE aggregation (mean vs sum)** — effect on ND-training
 //!    weight divergence.
 //!
-//! `cargo run --release -p fpna-bench --bin ablations [--runs 200]`
+//! `cargo run --release -p fpna-bench --bin ablations [--runs 200] [--threads N] [--paper-scale]`
 
 use fpna_core::metrics::scalar_variability;
 use fpna_gpu_sim::{GpuDevice, GpuModel, KernelParams, ReduceKernel, ScheduleKind};
@@ -25,7 +25,9 @@ use fpna_summation::exact::exact_sum;
 use fpna_summation::{kahan_sum, neumaier_sum, pairwise_sum_with_leaf, serial_sum};
 
 fn main() {
-    let runs = fpna_bench::arg_usize("runs", 200);
+    let args = fpna_bench::ExperimentArgs::parse();
+    let executor = args.executor();
+    let runs = args.size("runs", 200, 2_000);
     let seed = fpna_bench::arg_u64("seed", 123);
 
     fpna_bench::banner("Ablation 1", "scheduler model: wave-biased vs uniform random", "");
@@ -41,14 +43,11 @@ fn main() {
         ("wave-biased", ScheduleKind::Seeded(seed)),
         ("uniform    ", ScheduleKind::UniformRandom(seed)),
     ] {
-        let vs: Vec<f64> = (0..runs)
-            .map(|r| {
-                let nd = device
-                    .reduce(ReduceKernel::Spa, &xs, params, &base.for_run(r as u64))
-                    .unwrap()
-                    .value;
-                scalar_variability(nd, det) * 1e16
-            })
+        let vs: Vec<f64> = device
+            .reduce_runs(ReduceKernel::Spa, &xs, params, &base, runs, &executor)
+            .unwrap()
+            .iter()
+            .map(|out| scalar_variability(out.value, det) * 1e16)
             .collect();
         let d = Describe::of(&vs);
         println!(
@@ -111,7 +110,8 @@ fn main() {
             init_seed: seed,
             aggregation: agg,
         };
-        let wd = weight_divergence_experiment(&ds, &cfg, GpuModel::H100, 3, seed).unwrap();
+        let wd =
+            weight_divergence_experiment(&ds, &cfg, GpuModel::H100, 3, seed, &executor).unwrap();
         let last = wd.per_epoch_vermv.last().unwrap();
         println!(
             "{agg:?}: final weight Vermv mean = {:.3e}, Vc = {:.3}, unique = {}/{}",

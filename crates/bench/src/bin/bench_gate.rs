@@ -21,16 +21,84 @@
 //! cargo run --release -p fpna-bench --bin bench_gate -- --update # re-baseline
 //! ```
 //!
-//! Flags: `--threshold <factor>` (default 1.25 = +25%), `--baseline
-//! <path>`, `--update`.
+//! **Per-suite thresholds.** A benchmark's suite is its id prefix
+//! before the first `/`. Suites dominated by the event-driven network
+//! simulator (`allreduce_net`) or by whole training epochs (`gnn`)
+//! are intrinsically noisier than the tight summation kernels, so
+//! they gate at a looser factor ([`SUITE_THRESHOLDS`], applied as a
+//! minimum on top of `--threshold` — raising the global threshold
+//! raises every gate); everything else uses the default.
+//! `--suite-threshold suite=factor` (repeatable) overrides either
+//! exactly from the command line.
+//!
+//! Flags: `--threshold <factor>` (default 1.25 = +25%),
+//! `--suite-threshold <suite>=<factor>`, `--baseline <path>`,
+//! `--update`.
 
 use fpna_core::report::Table;
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+/// Default per-suite regression thresholds for suites that are known
+/// to be noisier than the microbenchmark kernels. Everything not
+/// listed gates at `--threshold`.
+const SUITE_THRESHOLDS: &[(&str, f64)] = &[
+    // Event-driven interconnect simulation: run time depends on a
+    // binary-heap event order, allocator behaviour and topology size —
+    // medians move much more than the flat summation loops.
+    ("allreduce_net", 1.6),
+    ("allreduce_mem", 1.4),
+    // Whole GNN training epochs / inference passes per iteration.
+    ("gnn", 1.4),
+];
+
+/// The gating threshold for a benchmark id: an explicit
+/// `--suite-threshold` override wins outright; otherwise the built-in
+/// suite values act as *looser minimums* on top of `--threshold`
+/// (`max`), so raising the global threshold raises every gate and
+/// never silently tightens a noisy suite below its floor.
+fn threshold_for(id: &str, default: f64, overrides: &[(String, f64)]) -> f64 {
+    let suite = id.split('/').next().unwrap_or(id);
+    if let Some(&(_, t)) = overrides.iter().find(|(s, _)| s == suite) {
+        return t;
+    }
+    SUITE_THRESHOLDS
+        .iter()
+        .find(|&&(s, _)| s == suite)
+        .map(|&(_, t)| t.max(default))
+        .unwrap_or(default)
+}
+
+/// Parse every `--suite-threshold name=factor` occurrence.
+fn suite_threshold_overrides() -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        let value = if a == "--suite-threshold" {
+            Some(
+                args.next()
+                    .expect("--suite-threshold expects suite=factor, got nothing"),
+            )
+        } else {
+            a.strip_prefix("--suite-threshold=").map(str::to_string)
+        };
+        if let Some(v) = value {
+            let Some((suite, factor)) = v.split_once('=') else {
+                panic!("--suite-threshold expects suite=factor, got {v}");
+            };
+            let factor: f64 = factor
+                .parse()
+                .unwrap_or_else(|_| panic!("--suite-threshold factor must be a number, got {factor}"));
+            out.push((suite.to_string(), factor));
+        }
+    }
+    out
+}
+
 fn main() -> ExitCode {
     let threshold = arg_f64("threshold", 1.25);
+    let overrides = suite_threshold_overrides();
     let update = std::env::args().any(|a| a == "--update");
     let baseline_path = arg_string("baseline").map(PathBuf::from).unwrap_or_else(default_baseline_path);
 
@@ -88,20 +156,21 @@ fn main() -> ExitCode {
     ratios.sort_by(f64::total_cmp);
     let machine = ratios[ratios.len() / 2];
 
-    let mut table = Table::new(["benchmark", "baseline ns", "current ns", "ratio", "normalized", "status"])
+    let mut table = Table::new(["benchmark", "baseline ns", "current ns", "ratio", "normalized", "limit", "status"])
         .with_title(format!(
-            "bench_gate: machine factor {machine:.3} (median ratio), threshold +{:.0}%",
+            "bench_gate: machine factor {machine:.3} (median ratio), default threshold +{:.0}% (per-suite overrides apply)",
             (threshold - 1.0) * 100.0
         ));
     let mut regressions = 0usize;
     for (id, &cur) in &current {
         let Some(&base) = baseline.get(id) else {
-            table.push_row([id.clone(), "-".into(), cur.to_string(), "-".into(), "-".into(), "new (re-baseline)".into()]);
+            table.push_row([id.clone(), "-".into(), cur.to_string(), "-".into(), "-".into(), "-".into(), "new (re-baseline)".into()]);
             continue;
         };
         let ratio = cur as f64 / base as f64;
         let normalized = ratio / machine;
-        let status = if normalized > threshold {
+        let limit = threshold_for(id, threshold, &overrides);
+        let status = if normalized > limit {
             regressions += 1;
             "REGRESSED"
         } else {
@@ -113,6 +182,7 @@ fn main() -> ExitCode {
             cur.to_string(),
             format!("{ratio:.3}"),
             format!("{normalized:.3}"),
+            format!("{limit:.2}"),
             status.to_string(),
         ]);
     }
@@ -120,15 +190,14 @@ fn main() -> ExitCode {
     for id in baseline.keys() {
         if !current.contains_key(id) {
             missing += 1;
-            table.push_row([id.clone(), baseline[id].to_string(), "-".into(), "-".into(), "-".into(), "MISSING".into()]);
+            table.push_row([id.clone(), baseline[id].to_string(), "-".into(), "-".into(), "-".into(), "-".into(), "MISSING".into()]);
         }
     }
     println!("{}", table.render());
 
     if regressions > 0 || missing > 0 {
         if regressions > 0 {
-            eprintln!("bench_gate: {regressions} benchmark(s) regressed past the normalized +{:.0}% threshold",
-                (threshold - 1.0) * 100.0);
+            eprintln!("bench_gate: {regressions} benchmark(s) regressed past their normalized per-suite threshold");
         }
         if missing > 0 {
             eprintln!(

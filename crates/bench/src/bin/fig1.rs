@@ -7,7 +7,8 @@
 //! Paper scale: 100 arrays × 10 000 SPA runs. Default here: 20 arrays
 //! × 200 runs (override with `--arrays` / `--runs`).
 //!
-//! `cargo run --release -p fpna-bench --bin fig1 [--arrays 20] [--runs 200] [--bins 41]`
+//! `cargo run --release -p fpna-bench --bin fig1 [--arrays 20] [--runs 200] [--bins 41]
+//!  [--threads N] [--paper-scale]`
 
 use fpna_gpu_sim::{GpuDevice, GpuModel, KernelParams, ReduceKernel, ScheduleKind};
 use fpna_stats::histogram::Histogram;
@@ -18,8 +19,9 @@ use fpna_stats::samplers::{Distribution, Sampler};
 const N: usize = 1_000_000;
 
 fn main() {
-    let arrays = fpna_bench::arg_usize("arrays", 20);
-    let runs = fpna_bench::arg_usize("runs", 200);
+    let args = fpna_bench::ExperimentArgs::parse();
+    let arrays = args.size("arrays", 20, 100);
+    let runs = args.size("runs", 200, 10_000);
     let bins = fpna_bench::arg_usize("bins", 41);
     let seed = fpna_bench::arg_u64("seed", 10);
     fpna_bench::banner(
@@ -29,6 +31,7 @@ fn main() {
     );
     let device = GpuDevice::new(GpuModel::V100);
     let params = KernelParams::fig1();
+    let executor = args.executor();
 
     for dist in [Distribution::standard_normal(), Distribution::paper_uniform()] {
         let mut vs_samples = Vec::with_capacity(arrays * runs);
@@ -39,18 +42,21 @@ fn main() {
                 .reduce(ReduceKernel::Sptr, &xs, params, &ScheduleKind::InOrder)
                 .unwrap()
                 .value;
-            for r in 0..runs {
-                let nd = device
-                    .reduce(
-                        ReduceKernel::Spa,
-                        &xs,
-                        params,
-                        &ScheduleKind::Seeded(seed ^ (a as u64)).for_run(r as u64),
-                    )
-                    .unwrap()
-                    .value;
-                vs_samples.push(fpna_core::metrics::scalar_variability(nd, det));
-            }
+            let outcomes = device
+                .reduce_runs(
+                    ReduceKernel::Spa,
+                    &xs,
+                    params,
+                    &ScheduleKind::Seeded(seed ^ (a as u64)),
+                    runs,
+                    &executor,
+                )
+                .unwrap();
+            vs_samples.extend(
+                outcomes
+                    .iter()
+                    .map(|out| fpna_core::metrics::scalar_variability(out.value, det)),
+            );
         }
         let scaled: Vec<f64> = vs_samples.iter().map(|v| v * 1e16).collect();
         let h = Histogram::from_data(&scaled, bins);

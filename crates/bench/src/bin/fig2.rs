@@ -7,7 +7,8 @@
 //! Paper scale: 500 000 sums. Default: 300 runs on one array
 //! (`--runs`, `--arrays`).
 //!
-//! `cargo run --release -p fpna-bench --bin fig2 [--runs 300] [--arrays 4] [--bins 41]`
+//! `cargo run --release -p fpna-bench --bin fig2 [--runs 300] [--arrays 4] [--bins 41]
+//!  [--threads N] [--paper-scale]`
 
 use fpna_gpu_sim::{GpuDevice, GpuModel, KernelParams, ReduceKernel, ScheduleKind};
 use fpna_stats::histogram::Histogram;
@@ -18,8 +19,9 @@ use fpna_stats::samplers::{Distribution, Sampler};
 const N: usize = 1_000_000;
 
 fn main() {
+    let args = fpna_bench::ExperimentArgs::parse();
     let arrays = fpna_bench::arg_usize("arrays", 4);
-    let runs = fpna_bench::arg_usize("runs", 300);
+    let runs = args.size("runs", 300, 125_000);
     let bins = fpna_bench::arg_usize("bins", 41);
     let seed = fpna_bench::arg_u64("seed", 20);
     fpna_bench::banner(
@@ -29,6 +31,7 @@ fn main() {
     );
     let device = GpuDevice::new(GpuModel::V100);
     let params = KernelParams::fig1();
+    let executor = args.executor();
     let mut vs_samples = Vec::with_capacity(arrays * runs);
     for a in 0..arrays {
         let mut sampler = Sampler::new(Distribution::paper_uniform(), seed ^ ((a as u64) << 24));
@@ -37,18 +40,21 @@ fn main() {
             .reduce(ReduceKernel::Sptr, &xs, params, &ScheduleKind::InOrder)
             .unwrap()
             .value;
-        for r in 0..runs {
-            let nd = device
-                .reduce(
-                    ReduceKernel::Ao,
-                    &xs,
-                    params,
-                    &ScheduleKind::Seeded(seed ^ (a as u64)).for_run(r as u64),
-                )
-                .unwrap()
-                .value;
-            vs_samples.push(fpna_core::metrics::scalar_variability(nd, det));
-        }
+        let outcomes = device
+            .reduce_runs(
+                ReduceKernel::Ao,
+                &xs,
+                params,
+                &ScheduleKind::Seeded(seed ^ (a as u64)),
+                runs,
+                &executor,
+            )
+            .unwrap();
+        vs_samples.extend(
+            outcomes
+                .iter()
+                .map(|out| fpna_core::metrics::scalar_variability(out.value, det)),
+        );
     }
     let scaled: Vec<f64> = vs_samples.iter().map(|v| v * 1e16).collect();
     let h = Histogram::from_data(&scaled, bins);

@@ -6,13 +6,15 @@
 //! Paper scale: 1000 runs per cell. Default: 12 runs per cell and a
 //! thinned dimension grid (`--runs`).
 //!
-//! `cargo run --release -p fpna-bench --bin fig3 [--runs 12]`
+//! `cargo run --release -p fpna-bench --bin fig3 [--runs 12] [--threads N] [--paper-scale]`
 
 use fpna_gpu_sim::GpuModel;
 use fpna_tensor::sweep::{ratio_experiment, RatioOp};
 
 fn main() {
-    let runs = fpna_bench::arg_usize("runs", 12);
+    let args = fpna_bench::ExperimentArgs::parse();
+    let executor = args.executor();
+    let runs = args.size("runs", 12, 1_000);
     let seed = fpna_bench::arg_u64("seed", 33);
     fpna_bench::banner(
         "Fig 3",
@@ -35,6 +37,7 @@ fn main() {
                 r,
                 runs,
                 seed ^ dim as u64,
+                &executor,
             );
             row.push(report.vc.mean);
         }
@@ -56,6 +59,7 @@ fn main() {
                 r,
                 runs,
                 seed ^ (dim as u64) << 8,
+                &executor,
             );
             row.push(report.vc.mean);
         }

@@ -3,14 +3,16 @@
 //! arrays) and `index_add` (100 × 100 arrays), with bootstrap error
 //! bars.
 //!
-//! `cargo run --release -p fpna-bench --bin fig4 [--runs 40]`
+//! `cargo run --release -p fpna-bench --bin fig4 [--runs 40] [--threads N] [--paper-scale]`
 
 use fpna_gpu_sim::GpuModel;
 use fpna_stats::bootstrap::bootstrap_mean;
 use fpna_tensor::sweep::{ratio_experiment, RatioOp};
 
 fn main() {
-    let runs = fpna_bench::arg_usize("runs", 40);
+    let args = fpna_bench::ExperimentArgs::parse();
+    let executor = args.executor();
+    let runs = args.size("runs", 40, 1_000);
     let seed = fpna_bench::arg_u64("seed", 44);
     fpna_bench::banner(
         "Fig 4",
@@ -32,7 +34,7 @@ fn main() {
             (RatioOp::ScatterReduceMean, 2000),
             (RatioOp::IndexAdd, 100),
         ] {
-            let report = ratio_experiment(GpuModel::H100, op, dim, r, runs, seed ^ r10);
+            let report = ratio_experiment(GpuModel::H100, op, dim, r, runs, seed ^ r10, &executor);
             let vcs: Vec<f64> = report.per_run.iter().map(|&(_, vc)| vc).collect();
             let b = bootstrap_mean(&vcs, 200, seed ^ 0xB007);
             cells.push(format!("{:.5} +- {:.5}", b.estimate, b.std_error));

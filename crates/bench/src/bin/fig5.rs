@@ -3,14 +3,16 @@
 //! and `index_add` (100 × 100), with bootstrap error bars. The paper
 //! plots `Vermv × 1e7`.
 //!
-//! `cargo run --release -p fpna-bench --bin fig5 [--runs 40]`
+//! `cargo run --release -p fpna-bench --bin fig5 [--runs 40] [--threads N] [--paper-scale]`
 
 use fpna_gpu_sim::GpuModel;
 use fpna_stats::bootstrap::bootstrap_mean;
 use fpna_tensor::sweep::{ratio_experiment, RatioOp};
 
 fn main() {
-    let runs = fpna_bench::arg_usize("runs", 40);
+    let args = fpna_bench::ExperimentArgs::parse();
+    let executor = args.executor();
+    let runs = args.size("runs", 40, 1_000);
     let seed = fpna_bench::arg_u64("seed", 45);
     fpna_bench::banner(
         "Fig 5",
@@ -32,7 +34,7 @@ fn main() {
             (RatioOp::ScatterReduceMean, 2000),
             (RatioOp::IndexAdd, 100),
         ] {
-            let report = ratio_experiment(GpuModel::H100, op, dim, r, runs, seed ^ r10);
+            let report = ratio_experiment(GpuModel::H100, op, dim, r, runs, seed ^ r10, &executor);
             let vermvs: Vec<f64> = report.per_run.iter().map(|&(v, _)| v * 1e7).collect();
             let b = bootstrap_mean(&vermvs, 200, seed ^ 0xF16);
             cells.push(format!("{:.4} +- {:.4}", b.estimate, b.std_error));

@@ -4,7 +4,8 @@
 //! cross-algorithm inconsistency that runtime algorithm selection
 //! introduces, and the exact (reproducible) fix.
 //!
-//! `cargo run --release -p fpna-bench --bin fig_allreduce [--ranks 64] [--len 4096] [--runs 50]`
+//! `cargo run --release -p fpna-bench --bin fig_allreduce [--ranks 64] [--len 4096] [--runs 50]
+//!  [--threads N] [--paper-scale]`
 
 use fpna_collectives::{allreduce, Algorithm, Ordering};
 use fpna_core::metrics::ArrayComparison;
@@ -12,9 +13,10 @@ use fpna_core::report::Table;
 use fpna_core::rng::SplitMix64;
 
 fn main() {
+    let args = fpna_bench::ExperimentArgs::parse();
     let p = fpna_bench::arg_usize("ranks", 64);
     let len = fpna_bench::arg_usize("len", 4_096);
-    let runs = fpna_bench::arg_usize("runs", 50);
+    let runs = args.size("runs", 50, 1_000);
     let seed = fpna_bench::arg_u64("seed", 12);
     fpna_bench::banner(
         "Fig (allreduce)",
@@ -37,18 +39,13 @@ fn main() {
     ];
     for (alg, ord, alg_name, ord_name) in cases {
         let reference = allreduce(&ranks, alg, rekey(ord, 0));
-        let mut differing = 0usize;
-        let mut vc_sum = 0.0;
-        let mut vermv_sum = 0.0;
-        for run in 1..=runs {
-            let out = allreduce(&ranks, alg, rekey(ord, run as u64));
-            let cmp = ArrayComparison::compare(&reference, &out);
-            if !cmp.bitwise_identical() {
-                differing += 1;
-            }
-            vc_sum += cmp.vc;
-            vermv_sum += cmp.vermv;
-        }
+        let comparisons = args.executor().map_runs(runs, |run| {
+            let out = allreduce(&ranks, alg, rekey(ord, run as u64 + 1));
+            ArrayComparison::compare(&reference, &out)
+        });
+        let differing = comparisons.iter().filter(|c| !c.bitwise_identical()).count();
+        let vc_sum: f64 = comparisons.iter().map(|c| c.vc).sum();
+        let vermv_sum: f64 = comparisons.iter().map(|c| c.vermv).sum();
         table.push_row([
             alg_name.to_string(),
             ord_name.to_string(),

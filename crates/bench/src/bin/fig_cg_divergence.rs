@@ -19,7 +19,11 @@ use fpna_solvers::cg::{divergence_experiment, CgConfig, ReductionMode};
 use fpna_solvers::Csr;
 
 fn main() {
-    let grid = fpna_bench::arg_usize("grid", 24);
+    // The experiment is two *coupled* CG trajectories (compared per
+    // iteration), so there is no independent-run loop to fan out;
+    // parsed for the uniform `--threads`/`--paper-scale` flag surface.
+    let args = fpna_bench::ExperimentArgs::parse();
+    let grid = args.size("grid", 24, 64);
     let seed = fpna_bench::arg_u64("seed", 11);
     fpna_bench::banner(
         "Fig (CG divergence)",

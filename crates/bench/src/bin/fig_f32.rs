@@ -6,7 +6,7 @@
 //! landing in exactly that range — while the f64 kernels show the same
 //! phenomenon scaled down by the eps ratio (~1e-9).
 //!
-//! `cargo run --release -p fpna-bench --bin fig_f32 [--runs 100]`
+//! `cargo run --release -p fpna-bench --bin fig_f32 [--runs 100] [--threads N] [--paper-scale]`
 
 use fpna_core::metrics::ArrayComparison;
 use fpna_core::rng::SplitMix64;
@@ -17,7 +17,9 @@ use fpna_tensor::ops::lowp::{index_add_f32, scatter_reduce_f32};
 use fpna_tensor::Tensor;
 
 fn main() {
-    let runs = fpna_bench::arg_usize("runs", 100);
+    let args = fpna_bench::ExperimentArgs::parse();
+    let executor = args.executor();
+    let runs = args.size("runs", 100, 1_000);
     let seed = fpna_bench::arg_u64("seed", 66);
     let n = 20_000usize;
     let rows = 1_000usize;
@@ -41,24 +43,22 @@ fn main() {
         .iter()
         .map(|&x| x as f64)
         .collect();
-    let mut vermv32 = Vec::with_capacity(runs);
-    for r in 0..runs {
+    let vermv32 = executor.map_runs(runs, |r| {
         let out: Vec<f64> = index_add_f32(&nd.for_run(r as u64), &dst32, &index, &src32)
             .unwrap()
             .iter()
             .map(|&x| x as f64)
             .collect();
-        vermv32.push(ArrayComparison::compare(&ref32, &out).vermv);
-    }
+        ArrayComparison::compare(&ref32, &out).vermv
+    });
     // fp64 index_add (same problem)
     let ref64 = index_add(&det, &dst64, &index, &src64).unwrap().into_data();
-    let mut vermv64 = Vec::with_capacity(runs);
-    for r in 0..runs {
+    let vermv64 = executor.map_runs(runs, |r| {
         let out = index_add(&nd.for_run(r as u64), &dst64, &index, &src64)
             .unwrap()
             .into_data();
-        vermv64.push(ArrayComparison::compare(&ref64, &out).vermv);
-    }
+        ArrayComparison::compare(&ref64, &out).vermv
+    });
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
     let m32 = mean(&vermv32);
     let m64 = mean(&vermv64);
@@ -71,16 +71,15 @@ fn main() {
             .iter()
             .map(|&x| x as f64)
             .collect();
-        let mut vs = Vec::with_capacity(runs);
-        for r in 0..runs {
+        let vs = executor.map_runs(runs, |r| {
             let out: Vec<f64> =
                 scatter_reduce_f32(&nd.for_run(2_000 + r as u64), &dst32, &index, &src32, mean_mode)
                     .unwrap()
                     .iter()
                     .map(|&x| x as f64)
                     .collect();
-            vs.push(ArrayComparison::compare(&first, &out).vermv);
-        }
+            ArrayComparison::compare(&first, &out).vermv
+        });
         println!(
             "scatter_reduce({}) Vermv fp32 = {:.3e}",
             if mean_mode { "mean" } else { "sum" },

@@ -3,7 +3,7 @@
 //! paper finds `α ≈ 0.5` for the uniform distribution and a larger
 //! exponent for the normal.
 //!
-//! `cargo run --release -p fpna-bench --bin fig_powerlaw [--runs 200]`
+//! `cargo run --release -p fpna-bench --bin fig_powerlaw [--runs 200] [--threads N] [--paper-scale]`
 
 use fpna_core::metrics::scalar_variability;
 use fpna_gpu_sim::{GpuDevice, GpuModel, KernelParams, ReduceKernel, ScheduleKind};
@@ -11,8 +11,10 @@ use fpna_stats::powerlaw::PowerLawFit;
 use fpna_stats::samplers::{Distribution, Sampler};
 
 fn main() {
-    let runs = fpna_bench::arg_usize("runs", 200);
-    let arrays = fpna_bench::arg_usize("arrays", 7);
+    let args = fpna_bench::ExperimentArgs::parse();
+    let executor = args.executor();
+    let runs = args.size("runs", 200, 2_000);
+    let arrays = args.size("arrays", 7, 15);
     let seed = fpna_bench::arg_u64("seed", 30);
     fpna_bench::banner(
         "Fig (power law)",
@@ -39,19 +41,20 @@ fn main() {
                     .reduce(ReduceKernel::Sptr, &xs, params, &ScheduleKind::InOrder)
                     .unwrap()
                     .value;
-                let mut max_vs = 0.0f64;
-                for r in 0..runs {
-                    let nd = device
-                        .reduce(
-                            ReduceKernel::Spa,
-                            &xs,
-                            params,
-                            &ScheduleKind::Seeded(seed ^ a as u64).for_run(r as u64),
-                        )
-                        .unwrap()
-                        .value;
-                    max_vs = max_vs.max(scalar_variability(nd, det).abs());
-                }
+                let outcomes = device
+                    .reduce_runs(
+                        ReduceKernel::Spa,
+                        &xs,
+                        params,
+                        &ScheduleKind::Seeded(seed ^ a as u64),
+                        runs,
+                        &executor,
+                    )
+                    .unwrap();
+                let max_vs = outcomes
+                    .iter()
+                    .map(|out| scalar_variability(out.value, det).abs())
+                    .fold(0.0f64, f64::max);
                 per_array_max.push(max_vs);
             }
             let med = fpna_stats::describe::median(&per_array_max);

@@ -5,7 +5,8 @@
 //! and spread grow with epochs, final weight sets are unique per run,
 //! and losses still cluster.
 //!
-//! `cargo run --release -p fpna-bench --bin fig_weight_divergence [--runs 5] [--epochs 10]`
+//! `cargo run --release -p fpna-bench --bin fig_weight_divergence [--runs 5] [--epochs 10]
+//!  [--threads N] [--paper-scale]`
 
 use fpna_core::report::{mean_std, Table};
 use fpna_gpu_sim::GpuModel;
@@ -15,7 +16,8 @@ use fpna_nn::sage::Aggregation;
 use fpna_nn::train::weight_divergence_experiment;
 
 fn main() {
-    let runs = fpna_bench::arg_usize("runs", 5);
+    let args = fpna_bench::ExperimentArgs::parse();
+    let runs = args.size("runs", 5, 1_000);
     let epochs = fpna_bench::arg_usize("epochs", 10);
     let seed = fpna_bench::arg_u64("seed", 99);
     fpna_bench::banner(
@@ -31,7 +33,8 @@ fn main() {
         init_seed: seed ^ 0x9999,
         aggregation: Aggregation::Mean,
     };
-    let wd = weight_divergence_experiment(&ds, &cfg, GpuModel::H100, runs, seed).unwrap();
+    let wd = weight_divergence_experiment(&ds, &cfg, GpuModel::H100, runs, seed, &args.executor())
+        .unwrap();
     let mut table = Table::new(["epoch", "weight Vermv mean(std)", "weight Vc mean(std)"]);
     for (e, (s, c)) in wd
         .per_epoch_vermv

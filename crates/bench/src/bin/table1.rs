@@ -1,13 +1,14 @@
 //! Table 1: effects of random permutations on serial sums of FP64
 //! numbers drawn from N(0, 1).
 //!
-//! `cargo run --release -p fpna-bench --bin table1 [--seed S]`
+//! `cargo run --release -p fpna-bench --bin table1 [--seed S] [--threads N]`
 
 use fpna_core::report::{sci, Table};
 use fpna_stats::samplers::{Distribution, Sampler};
 use fpna_summation::serial::{randomly_permuted_sum, serial_sum};
 
 fn main() {
+    let args = fpna_bench::ExperimentArgs::parse();
     let seed = fpna_bench::arg_u64("seed", 2024);
     fpna_bench::banner(
         "Table 1",
@@ -19,7 +20,10 @@ fn main() {
     let sizes = [
         100usize, 1_000, 1_000, 10_000, 10_000, 100_000, 100_000, 1_000_000, 1_000_000,
     ];
-    for (row, &n) in sizes.iter().enumerate() {
+    // Each row is independent (sampling and permutation are keyed by
+    // the row), so rows fan out across the executor's workers.
+    let rows = args.executor().map_runs(sizes.len(), |row| {
+        let n = sizes[row];
         let mut sampler = Sampler::new(
             Distribution::standard_normal(),
             seed ^ (n as u64).rotate_left(17),
@@ -28,7 +32,10 @@ fn main() {
         let sd = serial_sum(&xs);
         let snd = randomly_permuted_sum(&xs, seed.wrapping_add(row as u64));
         let vs = fpna_core::metrics::scalar_variability(snd, sd);
-        table.push_row([n.to_string(), sci(snd - sd), sci(vs)]);
+        [n.to_string(), sci(snd - sd), sci(vs)]
+    });
+    for row in rows {
+        table.push_row(row);
     }
     println!("{}", table.render());
 }

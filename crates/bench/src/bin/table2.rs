@@ -6,6 +6,9 @@ use fpna_core::report::Table;
 use fpna_gpu_sim::ReduceKernel;
 
 fn main() {
+    // No run loop here — parsed for the uniform flag surface
+    // (`--threads`/`--paper-scale` are accepted by every binary).
+    let _ = fpna_bench::ExperimentArgs::parse();
     fpna_bench::banner(
         "Table 2",
         "different implementations of the parallel sum in CUDA",

@@ -4,6 +4,13 @@
 //! column is bitwise constant.
 //!
 //! `cargo run --release -p fpna-bench --bin table3 [--trials 10] [--n 1000000] [--threads 8]`
+//!
+//! Note: `--threads` here is the *experiment variable* — the number of
+//! OS threads inside each reduction, whose scheduling produces the
+//! genuine run-to-run variability this table demonstrates. The trial
+//! loop itself stays serial on purpose: unlike every other binary,
+//! this experiment's output is *not* expected to be reproducible
+//! across invocations (that is its point).
 
 use fpna_core::report::Table;
 use fpna_stats::samplers::{Distribution, Sampler};

@@ -6,7 +6,7 @@
 //! profile's measurement jitter, reported as `mean(std)`; penalty
 //! `Ps = 100·(1 − t/min t)`.
 //!
-//! `cargo run --release -p fpna-bench --bin table4 [--repeats 10]`
+//! `cargo run --release -p fpna-bench --bin table4 [--repeats 10] [--threads N] [--paper-scale]`
 
 use fpna_core::report::{mean_std, percent, Table};
 use fpna_gpu_sim::cost::performance_penalty;
@@ -17,7 +17,8 @@ const N: usize = 4_194_304;
 const SUMS: usize = 100;
 
 fn main() {
-    let repeats = fpna_bench::arg_usize("repeats", 10);
+    let args = fpna_bench::ExperimentArgs::parse();
+    let repeats = args.size("repeats", 10, 100);
     let seed = fpna_bench::arg_u64("seed", 4);
     fpna_bench::banner(
         "Table 4",
@@ -55,15 +56,21 @@ fn main() {
         };
         let mut rows = Vec::new();
         for &(kernel, params, geom) in &geometry {
-            let mut times_ms = Vec::with_capacity(repeats);
-            let mut value = f64::NAN;
-            for r in 0..repeats {
-                let out = device
-                    .reduce(kernel, &xs, params, &ScheduleKind::Seeded(seed).for_run(r as u64))
-                    .expect("kernel supported on this device");
-                times_ms.push(out.time_ns * SUMS as f64 / 1e6);
-                value = out.value;
-            }
+            let outcomes = device
+                .reduce_runs(
+                    kernel,
+                    &xs,
+                    params,
+                    &ScheduleKind::Seeded(seed),
+                    repeats,
+                    &args.executor(),
+                )
+                .expect("kernel supported on this device");
+            let times_ms: Vec<f64> = outcomes
+                .iter()
+                .map(|out| out.time_ns * SUMS as f64 / 1e6)
+                .collect();
+            let value = outcomes.last().map(|out| out.value).unwrap_or(f64::NAN);
             let mean = times_ms.iter().sum::<f64>() / repeats as f64;
             let var = times_ms
                 .iter()

@@ -4,21 +4,22 @@
 //! Paper scale: 10 000 runs per configuration on an H100. Default: 40
 //! runs per configuration (`--runs`).
 //!
-//! `cargo run --release -p fpna-bench --bin table5 [--runs 40]`
+//! `cargo run --release -p fpna-bench --bin table5 [--runs 40] [--threads N] [--paper-scale]`
 
 use fpna_core::report::Table;
 use fpna_gpu_sim::GpuModel;
 use fpna_tensor::sweep::table5_sweep;
 
 fn main() {
-    let runs = fpna_bench::arg_usize("runs", 40);
+    let args = fpna_bench::ExperimentArgs::parse();
+    let runs = args.size("runs", 40, 10_000);
     let seed = fpna_bench::arg_u64("seed", 55);
     fpna_bench::banner(
         "Table 5",
         "max and min variability for non-deterministic PyTorch operations",
         &format!("{runs} runs per configuration (paper: 10000), simulated H100"),
     );
-    let rows = table5_sweep(GpuModel::H100, runs, seed);
+    let rows = table5_sweep(GpuModel::H100, runs, seed, &args.executor());
     let mut table = Table::new(["Operation", "min(Vermv)", "max(Vermv)", "configs"]);
     for row in rows {
         table.push_row([

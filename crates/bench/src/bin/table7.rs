@@ -4,7 +4,8 @@
 //!
 //! Paper scale: 1000 models per condition. Default: 6 (`--models`).
 //!
-//! `cargo run --release -p fpna-bench --bin table7 [--models 6] [--epochs 10]`
+//! `cargo run --release -p fpna-bench --bin table7 [--models 6] [--epochs 10]
+//!  [--threads N] [--paper-scale]`
 
 use fpna_core::report::{mean_std, Table};
 use fpna_gpu_sim::GpuModel;
@@ -14,7 +15,8 @@ use fpna_nn::sage::Aggregation;
 use fpna_nn::train::train_inference_matrix;
 
 fn main() {
-    let models = fpna_bench::arg_usize("models", 6);
+    let args = fpna_bench::ExperimentArgs::parse();
+    let models = args.size("models", 6, 1_000);
     let epochs = fpna_bench::arg_usize("epochs", 10);
     let seed = fpna_bench::arg_u64("seed", 77);
     fpna_bench::banner(
@@ -32,7 +34,8 @@ fn main() {
         init_seed: seed ^ 0x1717,
         aggregation: Aggregation::Mean,
     };
-    let rows = train_inference_matrix(&ds, &cfg, GpuModel::H100, models, seed).unwrap();
+    let rows =
+        train_inference_matrix(&ds, &cfg, GpuModel::H100, models, seed, &args.executor()).unwrap();
     let mut table = Table::new(["Training", "Inference", "Vermv", "Vc"]);
     for row in rows {
         table.push_row([

@@ -17,6 +17,10 @@ use fpna_nn::sage::Aggregation;
 use fpna_tensor::context::GpuContext;
 
 fn main() {
+    // The run loop here is a two-sided wall-clock measurement (D vs ND
+    // training), which is inherently sequential; parsed for the
+    // uniform `--threads`/`--paper-scale` flag surface.
+    let _ = fpna_bench::ExperimentArgs::parse();
     let epochs = fpna_bench::arg_usize("epochs", 10);
     let seed = fpna_bench::arg_u64("seed", 88);
     fpna_bench::banner(

@@ -16,13 +16,14 @@
 //!   bandwidth overhead (70× payload for fp64) that the simulated
 //!   elapsed time and the analytic α–β model both price.
 //!
-//! `cargo run --release -p fpna-bench --bin table9 [--len 4096] [--runs 25] [--fanout 4] [--seed 9]`
+//! `cargo run --release -p fpna-bench --bin table9 [--len 4096] [--runs 25] [--fanout 4] [--seed 9]
+//!  [--threads N] [--paper-scale]`
 
 use fpna_collectives::{allreduce_on, Algorithm, NetConfig, Ordering};
 use fpna_core::metrics::scalar_variability;
 use fpna_core::report::{mean_std, Table};
 use fpna_core::rng::{derive_seed, SplitMix64};
-use fpna_net::{sweep_seeds, CostModel, LinkSpec, Topology};
+use fpna_net::{sweep_seeds, CostModel, LinkSpec, SeedSweep, Topology};
 use fpna_summation::exact::ExactAccumulator;
 
 fn topologies(p: usize) -> Vec<Topology> {
@@ -41,8 +42,10 @@ fn topologies(p: usize) -> Vec<Topology> {
 }
 
 fn main() {
+    let args = fpna_bench::ExperimentArgs::parse();
+    let executor = args.executor();
     let len = fpna_bench::arg_usize("len", 4_096);
-    let runs = fpna_bench::arg_usize("runs", 25);
+    let runs = args.size("runs", 25, 500);
     let fanout = fpna_bench::arg_usize("fanout", 4);
     let seed = fpna_bench::arg_u64("seed", 9);
     fpna_bench::banner(
@@ -87,6 +90,7 @@ fn main() {
             // -- software-scheduled: zero jitter, rank-ordered folds --
             let base_cfg = NetConfig::default();
             let sched = sweep_seeds(
+                &executor,
                 &allreduce_on(&topo, &ranks, alg, Ordering::RankOrder, &base_cfg).values,
                 &(0..runs as u64).collect::<Vec<_>>(),
                 |_| {
@@ -133,12 +137,15 @@ fn main() {
                 };
                 let (reference, _) = run(0);
                 let seeds: Vec<u64> = (1..=runs as u64).collect();
-                let mut vs_max = 0.0f64;
-                let sweep = sweep_seeds(&reference, &seeds, |s| {
-                    let (v, dt) = run(s);
-                    vs_max = vs_max.max(scalar_variability(v[0], reference[0]).abs());
-                    (v, dt)
-                });
+                // Collect the raw outputs (in seed order) so the extra
+                // first-element |Vs| statistic comes from the same runs
+                // the report summarises.
+                let outputs = executor.map_runs(seeds.len(), |i| run(seeds[i]));
+                let vs_max = outputs
+                    .iter()
+                    .map(|(v, _)| scalar_variability(v[0], reference[0]).abs())
+                    .fold(0.0f64, f64::max);
+                let sweep = SeedSweep::from_outputs(&reference, &outputs);
                 growth[j].push(sweep.variability.vc.mean);
                 table.push_row([
                     topo.name().to_string(),
@@ -160,7 +167,7 @@ fn main() {
             // -- reproducible: exact accumulators on a jittered fabric --
             let cfg = NetConfig::default();
             let seeds: Vec<u64> = (0..runs as u64).map(|s| derive_seed(seed ^ 0xE4A7, s)).collect();
-            let repro = sweep_seeds(&exact_reference, &seeds, |s| {
+            let repro = sweep_seeds(&executor, &exact_reference, &seeds, |s| {
                 let out = allreduce_on(
                     &topo,
                     &ranks,

@@ -10,11 +10,88 @@
 //! runs → hundreds) so a full regeneration finishes in minutes on a
 //! laptop. Scaling factors are documented per experiment in
 //! `EXPERIMENTS.md`.
+//!
+//! Two flags are shared by every binary (see [`ExperimentArgs`]):
+//!
+//! * `--threads N` — fan repeated runs across `N` OS threads through
+//!   [`fpna_core::executor::RunExecutor`]. Defaults to the
+//!   `FPNA_THREADS` environment variable, then 1. Any value produces
+//!   **bitwise-identical output**: run seeding and result collection
+//!   are order-invariant by construction, so `--threads` only changes
+//!   wall-clock time.
+//! * `--paper-scale` — switch run counts / array counts to the paper's
+//!   full experiment sizes (e.g. Table 5's 10 000 runs per
+//!   configuration) instead of the seconds-scale defaults. Explicit
+//!   size flags (`--runs`, `--arrays`, …) still win.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 use std::fmt::Write as _;
+
+use fpna_core::executor::RunExecutor;
+
+/// Shared per-binary experiment arguments: worker threads and the
+/// paper-scale preset switch.
+#[derive(Debug, Clone, Copy)]
+pub struct ExperimentArgs {
+    /// Worker thread count for repeated-run loops (`--threads`,
+    /// default `FPNA_THREADS`, default 1).
+    pub threads: usize,
+    /// `--paper-scale`: use the paper's full experiment sizes.
+    pub paper_scale: bool,
+}
+
+impl ExperimentArgs {
+    /// Parse `--threads` / `--paper-scale` from the process arguments.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `--threads` is given a non-positive or unparsable
+    /// value.
+    pub fn parse() -> Self {
+        let threads = arg_usize("threads", RunExecutor::from_env().threads);
+        assert!(threads > 0, "--threads expects a positive integer");
+        ExperimentArgs {
+            threads,
+            paper_scale: arg_flag("paper-scale"),
+        }
+    }
+
+    /// The executor running this binary's repeated-run loops.
+    pub fn executor(&self) -> RunExecutor {
+        RunExecutor::new(self.threads)
+    }
+
+    /// An experiment size: the explicit `--name` flag when present,
+    /// else the paper's size under `--paper-scale`, else the
+    /// seconds-scale default.
+    pub fn size(&self, name: &str, default: usize, paper: usize) -> usize {
+        match arg_value(name) {
+            Some(v) => v
+                .parse()
+                .unwrap_or_else(|_| panic!("--{name} expects an integer, got {v}")),
+            None if self.paper_scale => paper,
+            None => default,
+        }
+    }
+
+    /// The scale label for banners: which preset is active.
+    pub fn scale_label(&self) -> &'static str {
+        if self.paper_scale {
+            "paper-scale"
+        } else {
+            "scaled-down default"
+        }
+    }
+}
+
+/// `true` when `--name` appears as a bare flag in the process
+/// arguments.
+pub fn arg_flag(name: &str) -> bool {
+    let flag = format!("--{name}");
+    std::env::args().any(|a| a == flag)
+}
 
 /// Parse `--name value` from the process arguments, with a default.
 pub fn arg_usize(name: &str, default: usize) -> usize {
@@ -106,5 +183,23 @@ mod tests {
     fn args_fall_back_to_defaults() {
         assert_eq!(arg_usize("definitely-not-passed", 42), 42);
         assert_eq!(arg_u64("also-not-passed", 7), 7);
+        assert!(!arg_flag("definitely-not-passed"));
+    }
+
+    #[test]
+    fn experiment_args_pick_preset_sizes() {
+        let scaled = ExperimentArgs {
+            threads: 1,
+            paper_scale: false,
+        };
+        assert_eq!(scaled.size("not-a-flag", 40, 10_000), 40);
+        assert_eq!(scaled.scale_label(), "scaled-down default");
+        let paper = ExperimentArgs {
+            threads: 4,
+            paper_scale: true,
+        };
+        assert_eq!(paper.size("not-a-flag", 40, 10_000), 10_000);
+        assert_eq!(paper.executor().threads, 4);
+        assert_eq!(paper.scale_label(), "paper-scale");
     }
 }

@@ -97,6 +97,11 @@ impl Values {
                     .map(|&x| {
                         let mut a = ExactAccumulator::new();
                         a.add(x);
+                        // Canonical from birth: every accumulator that
+                        // travels (or is folded into) is in normalized
+                        // wire form, so each per-message merge takes
+                        // the no-clone fast path.
+                        a.normalize();
                         a
                     })
                     .collect(),
@@ -118,6 +123,9 @@ impl Values {
             (Values::Exact(a), Values::Exact(b)) => {
                 for (x, y) in a.iter_mut().zip(b) {
                     x.merge(y);
+                    // Restore canonical wire form so the next hop's
+                    // merge stays on the fast path.
+                    x.normalize();
                 }
             }
             _ => unreachable!("mixed plain/exact fold"),

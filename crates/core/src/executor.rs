@@ -1,0 +1,185 @@
+//! Order-invariant parallel execution of repeated runs.
+//!
+//! Every experiment in the suite has the same outer shape: execute the
+//! same kernel `N` times with per-run seeds and aggregate the results.
+//! [`RunExecutor`] fans those runs out across OS threads while keeping
+//! the aggregate **bitwise identical** to a serial execution at any
+//! thread count — a working demonstration of the paper's thesis that
+//! parallelism and reproducibility are compatible when the algorithm is
+//! made order-invariant *by construction*:
+//!
+//! 1. each run's seed is a pure function of `(base_seed, run_index)`
+//!    (SplitMix64 derivation via [`crate::rng::derive_seed`]), never of
+//!    which worker picks the run up or when;
+//! 2. results are collected into run-index order before any
+//!    floating-point aggregation happens, so downstream summaries see
+//!    the exact sequence a serial loop would have produced.
+//!
+//! Workers pull run indices from a shared atomic counter (dynamic load
+//! balancing — runs of a sweep can have very different costs), stash
+//! `(index, result)` pairs locally, and the pairs are sorted by index
+//! at the end. The same pattern `fpna_summation::parallel` uses: scoped
+//! `std` threads, no extra dependencies.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Environment variable providing the default worker count when no
+/// explicit `--threads` flag is given (see
+/// [`RunExecutor::from_env`]).
+pub const THREADS_ENV: &str = "FPNA_THREADS";
+
+/// Executes repeated runs across a fixed number of worker threads,
+/// collecting results in run-index order.
+///
+/// `threads == 1` is the serial path: a plain loop, no threads spawned.
+/// For any thread count the returned vector is identical — parallelism
+/// changes wall-clock time only, never results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunExecutor {
+    /// Number of worker threads (≥ 1).
+    pub threads: usize,
+}
+
+impl Default for RunExecutor {
+    fn default() -> Self {
+        RunExecutor::serial()
+    }
+}
+
+impl RunExecutor {
+    /// Executor with an explicit worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn new(threads: usize) -> Self {
+        assert!(threads > 0, "need at least one worker thread");
+        RunExecutor { threads }
+    }
+
+    /// The serial executor (one worker, no threads spawned).
+    pub fn serial() -> Self {
+        RunExecutor { threads: 1 }
+    }
+
+    /// Executor configured from the `FPNA_THREADS` environment
+    /// variable; unset, empty, or unparsable values mean serial.
+    pub fn from_env() -> Self {
+        let threads = std::env::var(THREADS_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&t| t > 0)
+            .unwrap_or(1);
+        RunExecutor { threads }
+    }
+
+    /// The per-run RNG seed for run `run` of an experiment keyed by
+    /// `base_seed` — a pure function of its arguments (SplitMix64
+    /// derivation), so the seed a run sees never depends on the thread
+    /// count or on scheduling.
+    #[inline]
+    pub fn run_seed(base_seed: u64, run: usize) -> u64 {
+        crate::rng::derive_seed(base_seed, run as u64)
+    }
+
+    /// Execute `run(0), run(1), …, run(runs − 1)` and return the
+    /// results in run-index order.
+    ///
+    /// The closure must be pure in its index argument (it receives
+    /// shared references only); any per-run randomness should flow from
+    /// [`RunExecutor::run_seed`] or an equivalent index-keyed
+    /// derivation. Under that contract the output is bitwise identical
+    /// for every thread count.
+    pub fn map_runs<T, F>(&self, runs: usize, run: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        if self.threads == 1 || runs <= 1 {
+            return (0..runs).map(run).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let collected: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(runs));
+        let workers = self.threads.min(runs);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    let mut local: Vec<(usize, T)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= runs {
+                            break;
+                        }
+                        local.push((i, run(i)));
+                    }
+                    collected.lock().unwrap().extend(local);
+                });
+            }
+        });
+        let mut pairs = collected.into_inner().unwrap();
+        debug_assert_eq!(pairs.len(), runs, "every run must report exactly once");
+        // Completion order is scheduler-dependent; run-index order is
+        // not. This sort is what makes the executor order-invariant.
+        pairs.sort_unstable_by_key(|&(i, _)| i);
+        pairs.into_iter().map(|(_, v)| v).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let work = |i: usize| (i as f64).sqrt() * 1e3 + i as f64;
+        let reference: Vec<f64> = RunExecutor::serial().map_runs(100, work);
+        for threads in [2, 3, 4, 7, 16] {
+            let got = RunExecutor::new(threads).map_runs(100, work);
+            let same = reference
+                .iter()
+                .zip(&got)
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(same, "threads={threads} must match serial bitwise");
+        }
+    }
+
+    #[test]
+    fn results_are_in_run_order() {
+        let out = RunExecutor::new(4).map_runs(1000, |i| i);
+        assert_eq!(out, (0..1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn more_threads_than_runs() {
+        let out = RunExecutor::new(64).map_runs(3, |i| i * 2);
+        assert_eq!(out, vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn zero_runs() {
+        let out: Vec<u8> = RunExecutor::new(4).map_runs(0, |_| 1);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn run_seed_is_pure_and_distinct() {
+        let s0 = RunExecutor::run_seed(42, 0);
+        assert_eq!(s0, RunExecutor::run_seed(42, 0));
+        assert_ne!(s0, RunExecutor::run_seed(42, 1));
+        assert_ne!(s0, RunExecutor::run_seed(43, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_threads_panics() {
+        RunExecutor::new(0);
+    }
+
+    #[test]
+    fn from_env_defaults_to_serial() {
+        // The test environment does not set FPNA_THREADS; and even if a
+        // caller does, the executor must hold a positive thread count.
+        assert!(RunExecutor::from_env().threads >= 1);
+    }
+}

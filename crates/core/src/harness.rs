@@ -14,7 +14,14 @@
 //! the run index, which experiments use to reseed the simulated
 //! scheduler — the analogue of "launch the kernel again and let the
 //! hardware pick a new interleaving".
+//!
+//! Runs execute through a [`RunExecutor`]: serial by default, fanned
+//! out across OS threads via [`VariabilityHarness::with_executor`].
+//! Because per-run seeds are index-keyed and comparisons are collected
+//! in run-index order, every [`VariabilityReport`] is bit-for-bit
+//! identical at any thread count.
 
+use crate::executor::RunExecutor;
 use crate::metrics::ArrayComparison;
 
 /// Descriptive statistics over the per-run metric values.
@@ -91,6 +98,23 @@ impl VariabilityReport {
     pub fn fully_reproducible(&self) -> bool {
         self.bitwise_identical_runs == self.per_run.len()
     }
+
+    /// Assemble a report from per-run comparisons in run-index order.
+    pub fn from_comparisons(comparisons: &[ArrayComparison]) -> Self {
+        let vermv: Vec<f64> = comparisons.iter().map(|c| c.vermv).collect();
+        let vc: Vec<f64> = comparisons.iter().map(|c| c.vc).collect();
+        let max_abs: Vec<f64> = comparisons.iter().map(|c| c.max_abs_diff).collect();
+        VariabilityReport {
+            vermv: RunSummary::from_values(&vermv),
+            vc: RunSummary::from_values(&vc),
+            max_abs_diff: RunSummary::from_values(&max_abs),
+            bitwise_identical_runs: comparisons
+                .iter()
+                .filter(|c| c.bitwise_identical())
+                .count(),
+            per_run: comparisons.iter().map(|c| (c.vermv, c.vc)).collect(),
+        }
+    }
 }
 
 /// Harness executing the paper's repeated-run experimental template.
@@ -98,67 +122,64 @@ impl VariabilityReport {
 pub struct VariabilityHarness {
     /// Number of non-deterministic runs.
     pub runs: usize,
+    /// How runs execute (serial by default). Any thread count produces
+    /// the identical report.
+    pub executor: RunExecutor,
 }
 
 impl VariabilityHarness {
-    /// A harness performing `runs` non-deterministic executions.
+    /// A harness performing `runs` non-deterministic executions
+    /// serially.
     pub fn new(runs: usize) -> Self {
-        VariabilityHarness { runs }
+        VariabilityHarness {
+            runs,
+            executor: RunExecutor::serial(),
+        }
+    }
+
+    /// Execute the runs through `executor` instead of serially.
+    pub fn with_executor(mut self, executor: RunExecutor) -> Self {
+        self.executor = executor;
+        self
     }
 
     /// Scalar experiment: `reference` is the deterministic output,
     /// `run(i)` the i-th non-deterministic output. Returns the per-run
     /// `Vs` values.
-    pub fn scalar<F>(&self, reference: f64, mut run: F) -> Vec<f64>
+    pub fn scalar<F>(&self, reference: f64, run: F) -> Vec<f64>
     where
-        F: FnMut(usize) -> f64,
+        F: Fn(usize) -> f64 + Sync,
     {
-        (0..self.runs)
-            .map(|i| crate::metrics::scalar_variability(run(i), reference))
-            .collect()
+        self.executor
+            .map_runs(self.runs, |i| {
+                crate::metrics::scalar_variability(run(i), reference)
+            })
     }
 
     /// Array experiment with a deterministic reference output.
-    pub fn array<F>(&self, reference: &[f64], mut run: F) -> VariabilityReport
+    pub fn array<F>(&self, reference: &[f64], run: F) -> VariabilityReport
     where
-        F: FnMut(usize) -> Vec<f64>,
+        F: Fn(usize) -> Vec<f64> + Sync,
     {
-        let mut per_run = Vec::with_capacity(self.runs);
-        let mut vermv = Vec::with_capacity(self.runs);
-        let mut vc = Vec::with_capacity(self.runs);
-        let mut max_abs = Vec::with_capacity(self.runs);
-        let mut identical = 0usize;
-        for i in 0..self.runs {
+        let comparisons = self.executor.map_runs(self.runs, |i| {
             let out = run(i);
-            let cmp = ArrayComparison::compare(reference, &out);
-            if cmp.bitwise_identical() {
-                identical += 1;
-            }
-            per_run.push((cmp.vermv, cmp.vc));
-            vermv.push(cmp.vermv);
-            vc.push(cmp.vc);
-            max_abs.push(cmp.max_abs_diff);
-        }
-        VariabilityReport {
-            vermv: RunSummary::from_values(&vermv),
-            vc: RunSummary::from_values(&vc),
-            max_abs_diff: RunSummary::from_values(&max_abs),
-            bitwise_identical_runs: identical,
-            per_run,
-        }
+            ArrayComparison::compare(reference, &out)
+        });
+        VariabilityReport::from_comparisons(&comparisons)
     }
 
     /// Array experiment for ops *without* a deterministic kernel: the
     /// first run becomes the reference (`A = B_0`, paper §IV), and the
     /// remaining `runs − 1` executions are compared against it.
-    pub fn array_self_referenced<F>(&self, mut run: F) -> VariabilityReport
+    pub fn array_self_referenced<F>(&self, run: F) -> VariabilityReport
     where
-        F: FnMut(usize) -> Vec<f64>,
+        F: Fn(usize) -> Vec<f64> + Sync,
     {
         assert!(self.runs >= 1, "self-referenced experiment needs >= 1 run");
         let reference = run(0);
         let remaining = VariabilityHarness {
             runs: self.runs - 1,
+            executor: self.executor,
         };
         remaining.array(&reference, |i| run(i + 1))
     }

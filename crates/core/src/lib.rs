@@ -43,6 +43,7 @@
 
 pub mod determinism;
 pub mod error;
+pub mod executor;
 pub mod fp;
 pub mod harness;
 pub mod metrics;
@@ -51,5 +52,6 @@ pub mod rng;
 
 pub use determinism::{DeterminismGuard, DeterminismMode};
 pub use error::{FpnaError, Result};
+pub use executor::RunExecutor;
 pub use harness::{RunSummary, VariabilityHarness, VariabilityReport};
 pub use metrics::{count_variability, ermv, scalar_variability, ArrayComparison};

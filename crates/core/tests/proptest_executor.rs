@@ -1,0 +1,142 @@
+//! Property tests for the parallel run executor: the harness's
+//! reports must be **bitwise identical** to the serial (`threads = 1`)
+//! execution at every thread count, for all three experiment entry
+//! points — the invariant that lets every fig/table binary accept
+//! `--threads N` without changing a single printed digit.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use fpna_core::executor::RunExecutor;
+use fpna_core::harness::{VariabilityHarness, VariabilityReport};
+use fpna_core::rng::SplitMix64;
+
+/// A deterministic, run-index-keyed stand-in for a non-deterministic
+/// kernel: perturbs a base vector by an amount drawn from the per-run
+/// seed, exactly the shape real experiments have.
+fn fake_kernel(base: &[f64], experiment_seed: u64, run: usize) -> Vec<f64> {
+    let mut rng = SplitMix64::new(RunExecutor::run_seed(experiment_seed, run));
+    base.iter()
+        .map(|&x| {
+            // roughly half the elements get a tiny seed-dependent nudge
+            if rng.next_u64().is_multiple_of(2) {
+                x + (rng.next_f64() - 0.5) * 1e-12
+            } else {
+                x
+            }
+        })
+        .collect()
+}
+
+fn summaries_identical(a: &VariabilityReport, b: &VariabilityReport) -> bool {
+    let eq = |x: f64, y: f64| x.to_bits() == y.to_bits();
+    a.per_run.len() == b.per_run.len()
+        && a.bitwise_identical_runs == b.bitwise_identical_runs
+        && a.per_run
+            .iter()
+            .zip(&b.per_run)
+            .all(|(p, q)| eq(p.0, q.0) && eq(p.1, q.1))
+        && eq(a.vermv.mean, b.vermv.mean)
+        && eq(a.vermv.std_dev, b.vermv.std_dev)
+        && eq(a.vc.mean, b.vc.mean)
+        && eq(a.vc.std_dev, b.vc.std_dev)
+        && eq(a.max_abs_diff.min, b.max_abs_diff.min)
+        && eq(a.max_abs_diff.max, b.max_abs_diff.max)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// `array`: parallel report == serial report, bit for bit.
+    #[test]
+    fn array_reports_thread_invariant(
+        base in vec(-1e6..1e6f64, 1..64),
+        runs in 1usize..25,
+        seed in any::<u64>(),
+    ) {
+        let serial = VariabilityHarness::new(runs)
+            .array(&base, |i| fake_kernel(&base, seed, i));
+        for threads in [2usize, 4, 7] {
+            let parallel = VariabilityHarness::new(runs)
+                .with_executor(RunExecutor::new(threads))
+                .array(&base, |i| fake_kernel(&base, seed, i));
+            prop_assert!(
+                summaries_identical(&serial, &parallel),
+                "array diverged at threads={}", threads
+            );
+        }
+    }
+
+    /// `array_self_referenced`: the first run is the reference in both
+    /// modes, and everything downstream matches bitwise.
+    #[test]
+    fn self_referenced_reports_thread_invariant(
+        base in vec(-1e3..1e3f64, 1..64),
+        runs in 1usize..25,
+        seed in any::<u64>(),
+    ) {
+        let serial = VariabilityHarness::new(runs)
+            .array_self_referenced(|i| fake_kernel(&base, seed, i));
+        for threads in [2usize, 4, 7] {
+            let parallel = VariabilityHarness::new(runs)
+                .with_executor(RunExecutor::new(threads))
+                .array_self_referenced(|i| fake_kernel(&base, seed, i));
+            prop_assert!(
+                summaries_identical(&serial, &parallel),
+                "self-referenced diverged at threads={}", threads
+            );
+        }
+    }
+
+    /// `scalar`: per-run Vs sequences match bitwise, in order.
+    #[test]
+    fn scalar_vs_thread_invariant(
+        reference in -1e6..1e6f64,
+        runs in 1usize..40,
+        seed in any::<u64>(),
+    ) {
+        let kernel = |i: usize| {
+            let mut rng = SplitMix64::new(RunExecutor::run_seed(seed, i));
+            reference + (rng.next_f64() - 0.5) * 1e-10
+        };
+        let serial = VariabilityHarness::new(runs).scalar(reference, kernel);
+        for threads in [2usize, 4, 7] {
+            let parallel = VariabilityHarness::new(runs)
+                .with_executor(RunExecutor::new(threads))
+                .scalar(reference, kernel);
+            prop_assert_eq!(serial.len(), parallel.len());
+            for (a, b) in serial.iter().zip(&parallel) {
+                prop_assert_eq!(a.to_bits(), b.to_bits(), "threads={}", threads);
+            }
+        }
+    }
+
+    /// `map_runs` returns results in run-index order regardless of
+    /// which worker computed what.
+    #[test]
+    fn map_runs_order_invariant(runs in 0usize..200, threads in 1usize..9) {
+        let out = RunExecutor::new(threads).map_runs(runs, |i| i * 3 + 1);
+        prop_assert_eq!(out, (0..runs).map(|i| i * 3 + 1).collect::<Vec<_>>());
+    }
+}
+
+/// Per-run seeds are a pure function of `(base_seed, run_index)` —
+/// they cannot shift when the worker count changes, which is the other
+/// half of the order-invariance argument.
+#[test]
+fn run_seeds_stable_under_thread_count_changes() {
+    let base_seed = 0xFEED_F00Du64;
+    let expected: Vec<u64> = (0..64).map(|i| RunExecutor::run_seed(base_seed, i)).collect();
+    for threads in [1usize, 2, 4, 7, 16] {
+        let observed =
+            RunExecutor::new(threads).map_runs(64, |i| RunExecutor::run_seed(base_seed, i));
+        assert_eq!(observed, expected, "seed stream changed at threads={threads}");
+    }
+    // and the derivation matches the documented primitive
+    for i in 0..64usize {
+        assert_eq!(
+            RunExecutor::run_seed(base_seed, i),
+            fpna_core::rng::derive_seed(base_seed, i as u64)
+        );
+    }
+}

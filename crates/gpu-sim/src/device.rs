@@ -2,6 +2,7 @@
 //! model together — the object experiments talk to.
 
 use fpna_core::error::FpnaError;
+use fpna_core::executor::RunExecutor;
 use fpna_core::Result;
 
 use crate::cost::{jittered_time_ns, reduce_time_ns};
@@ -88,6 +89,32 @@ impl GpuDevice {
             time_ns: jittered_time_ns(base, self.profile.timing_jitter, jitter_seed),
             deterministic: kernel.is_deterministic(),
         })
+    }
+
+    /// Launch the same reduction `runs` times, re-keying the schedule
+    /// per run (`base.for_run(r)` — the "launch it again" operation),
+    /// and return the outcomes in run-index order.
+    ///
+    /// The repeated-run loop is the dominant serial cost in every
+    /// fig/table binary, and each launch is independent by
+    /// construction (the per-run schedule depends only on `(base,
+    /// run_index)`), so the executor fans launches across threads with
+    /// bitwise-identical outcomes at any thread count.
+    pub fn reduce_runs(
+        &self,
+        kernel: ReduceKernel,
+        data: &[f64],
+        params: KernelParams,
+        base: &ScheduleKind,
+        runs: usize,
+        executor: &RunExecutor,
+    ) -> Result<Vec<ReduceOutcome>> {
+        executor
+            .map_runs(runs, |r| {
+                self.reduce(kernel, data, params, &base.for_run(r as u64))
+            })
+            .into_iter()
+            .collect()
     }
 
     /// The order in which `n_items` atomic contributions commit on this
@@ -179,6 +206,43 @@ mod tests {
         assert!(out.deterministic);
         assert!(out.time_ns > 0.0);
         assert!((out.value - xs.iter().sum::<f64>()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reduce_runs_matches_serial_loop_at_any_thread_count() {
+        let dev = GpuDevice::new(GpuModel::V100);
+        let xs = data(50_000, 9);
+        let params = KernelParams::new(128, 32);
+        let base = ScheduleKind::Seeded(77);
+        let runs = 12;
+        let serial: Vec<ReduceOutcome> = (0..runs)
+            .map(|r| dev.reduce(ReduceKernel::Spa, &xs, params, &base.for_run(r as u64)).unwrap())
+            .collect();
+        for threads in [1usize, 2, 4, 7] {
+            let got = dev
+                .reduce_runs(ReduceKernel::Spa, &xs, params, &base, runs, &RunExecutor::new(threads))
+                .unwrap();
+            assert_eq!(got.len(), runs);
+            for (a, b) in serial.iter().zip(&got) {
+                assert_eq!(a.value.to_bits(), b.value.to_bits(), "threads={threads}");
+                assert_eq!(a.time_ns.to_bits(), b.time_ns.to_bits(), "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_runs_propagates_unsupported_kernel() {
+        let dev = GpuDevice::new(GpuModel::Mi250x);
+        let xs = data(100, 3);
+        let err = dev.reduce_runs(
+            ReduceKernel::Ao,
+            &xs,
+            KernelParams::new(64, 2),
+            &ScheduleKind::Seeded(1),
+            4,
+            &RunExecutor::new(2),
+        );
+        assert!(err.is_err());
     }
 
     #[test]

@@ -4,10 +4,16 @@
 //! inputs, vary the fabric's jitter seed": [`sweep_seeds`] runs a
 //! closure once per seed, compares the produced vectors against a
 //! reference with the paper's `Vermv`/`Vc` metrics (via
-//! [`fpna_core::harness::VariabilityHarness`]), and summarises the
+//! [`fpna_core::harness::VariabilityReport`]), and summarises the
 //! simulated elapsed times alongside — variability *and* cost from the
 //! same runs, which is the whole point of the table-9 sweep.
+//!
+//! Seeds are independent by construction, so the sweep fans out
+//! through a [`RunExecutor`]; outputs are collected in seed order and
+//! the resulting [`SeedSweep`] is bitwise identical at any thread
+//! count.
 
+use fpna_core::executor::RunExecutor;
 use fpna_core::harness::{RunSummary, VariabilityReport};
 use fpna_core::metrics::ArrayComparison;
 
@@ -26,47 +32,48 @@ impl SeedSweep {
     pub fn bitwise_reproducible(&self) -> bool {
         self.variability.fully_reproducible()
     }
+
+    /// Summarise already-collected `(values, elapsed_ns)` outputs (in
+    /// run order) against `reference`. Useful when the caller needs the
+    /// raw per-run vectors for extra metrics beyond the standard
+    /// report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an output vector is shaped differently from the
+    /// reference (that is a protocol bug, not a data condition).
+    pub fn from_outputs(reference: &[f64], outputs: &[(Vec<f64>, f64)]) -> SeedSweep {
+        let comparisons: Vec<ArrayComparison> = outputs
+            .iter()
+            .map(|(values, _)| ArrayComparison::compare(reference, values))
+            .collect();
+        let elapsed: Vec<f64> = outputs.iter().map(|&(_, dt)| dt).collect();
+        SeedSweep {
+            variability: VariabilityReport::from_comparisons(&comparisons),
+            elapsed_ns: RunSummary::from_values(&elapsed),
+        }
+    }
 }
 
-/// Run `run(seed)` for every seed, comparing each produced vector to
-/// `reference`. `run` returns `(values, elapsed_ns)`.
+/// Run `run(seed)` for every seed through `executor`, comparing each
+/// produced vector to `reference`. `run` returns `(values,
+/// elapsed_ns)`.
 ///
 /// # Panics
 ///
 /// Panics if a run returns a vector shaped differently from the
 /// reference (that is a protocol bug, not a data condition).
-pub fn sweep_seeds<F>(reference: &[f64], seeds: &[u64], mut run: F) -> SeedSweep
+pub fn sweep_seeds<F>(
+    executor: &RunExecutor,
+    reference: &[f64],
+    seeds: &[u64],
+    run: F,
+) -> SeedSweep
 where
-    F: FnMut(u64) -> (Vec<f64>, f64),
+    F: Fn(u64) -> (Vec<f64>, f64) + Sync,
 {
-    let mut per_run = Vec::with_capacity(seeds.len());
-    let mut vermv = Vec::with_capacity(seeds.len());
-    let mut vc = Vec::with_capacity(seeds.len());
-    let mut max_abs = Vec::with_capacity(seeds.len());
-    let mut elapsed = Vec::with_capacity(seeds.len());
-    let mut identical = 0usize;
-    for &seed in seeds {
-        let (values, dt) = run(seed);
-        let cmp = ArrayComparison::compare(reference, &values);
-        if cmp.bitwise_identical() {
-            identical += 1;
-        }
-        per_run.push((cmp.vermv, cmp.vc));
-        vermv.push(cmp.vermv);
-        vc.push(cmp.vc);
-        max_abs.push(cmp.max_abs_diff);
-        elapsed.push(dt);
-    }
-    SeedSweep {
-        variability: VariabilityReport {
-            vermv: RunSummary::from_values(&vermv),
-            vc: RunSummary::from_values(&vc),
-            max_abs_diff: RunSummary::from_values(&max_abs),
-            bitwise_identical_runs: identical,
-            per_run,
-        },
-        elapsed_ns: RunSummary::from_values(&elapsed),
-    }
+    let outputs = executor.map_runs(seeds.len(), |i| run(seeds[i]));
+    SeedSweep::from_outputs(reference, &outputs)
 }
 
 #[cfg(test)]
@@ -76,7 +83,9 @@ mod tests {
     #[test]
     fn deterministic_runs_report_zero_variability() {
         let reference = vec![1.0, 2.0, 3.0];
-        let sweep = sweep_seeds(&reference, &[1, 2, 3], |_| (reference.clone(), 100.0));
+        let sweep = sweep_seeds(&RunExecutor::serial(), &reference, &[1, 2, 3], |_| {
+            (reference.clone(), 100.0)
+        });
         assert!(sweep.bitwise_reproducible());
         assert_eq!(sweep.variability.vc.max, 0.0);
         assert_eq!(sweep.elapsed_ns.mean, 100.0);
@@ -86,7 +95,7 @@ mod tests {
     #[test]
     fn seed_dependent_runs_are_caught() {
         let reference = vec![1.0, 2.0];
-        let sweep = sweep_seeds(&reference, &[0, 1, 2, 3], |s| {
+        let sweep = sweep_seeds(&RunExecutor::serial(), &reference, &[0, 1, 2, 3], |s| {
             let mut v = reference.clone();
             if s % 2 == 1 {
                 v[0] += 1e-12;
@@ -97,5 +106,43 @@ mod tests {
         assert_eq!(sweep.variability.bitwise_identical_runs, 2);
         assert_eq!(sweep.variability.vc.max, 0.5);
         assert!(sweep.elapsed_ns.std_dev > 0.0);
+    }
+
+    #[test]
+    fn sweep_is_thread_count_invariant() {
+        let reference = vec![0.5, 1.5, 2.5];
+        let seeds: Vec<u64> = (0..23).collect();
+        let run = |s: u64| {
+            let mut v = reference.clone();
+            v[(s % 3) as usize] += s as f64 * 1e-13;
+            (v, 50.0 + (s as f64).sqrt())
+        };
+        let serial = sweep_seeds(&RunExecutor::serial(), &reference, &seeds, run);
+        for threads in [2usize, 4, 7] {
+            let parallel = sweep_seeds(&RunExecutor::new(threads), &reference, &seeds, run);
+            assert_eq!(
+                serial.variability.bitwise_identical_runs,
+                parallel.variability.bitwise_identical_runs
+            );
+            assert_eq!(
+                serial.variability.vermv.mean.to_bits(),
+                parallel.variability.vermv.mean.to_bits(),
+                "threads={threads}"
+            );
+            assert_eq!(
+                serial.elapsed_ns.std_dev.to_bits(),
+                parallel.elapsed_ns.std_dev.to_bits(),
+                "threads={threads}"
+            );
+            for (a, b) in serial
+                .variability
+                .per_run
+                .iter()
+                .zip(&parallel.variability.per_run)
+            {
+                assert_eq!(a.0.to_bits(), b.0.to_bits());
+                assert_eq!(a.1.to_bits(), b.1.to_bits());
+            }
+        }
     }
 }

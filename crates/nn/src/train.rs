@@ -10,6 +10,7 @@
 //!   combinations of Table 7, measured on the inference predictions
 //!   against the D/D reference.
 
+use fpna_core::executor::RunExecutor;
 use fpna_core::harness::RunSummary;
 use fpna_core::metrics::ArrayComparison;
 use fpna_core::Result;
@@ -38,14 +39,25 @@ pub struct WeightDivergence {
     pub final_losses: Vec<f64>,
 }
 
+/// Per-run record of one ND training trajectory, produced on a worker
+/// and folded into the experiment summaries in run-index order.
+struct NdTrajectory {
+    per_epoch: Vec<(f64, f64)>, // (vermv, vc) vs the reference, per epoch
+    final_weights_bits: Vec<u64>,
+    final_loss: f64,
+}
+
 /// Train `runs` ND models and track weight divergence per epoch against
-/// a deterministic reference training run.
+/// a deterministic reference training run. The ND runs are independent
+/// (each is seeded from `(seed, run_index)`), so they fan out through
+/// `executor` with bitwise-identical summaries at any thread count.
 pub fn weight_divergence_experiment(
     ds: &NodeClassification,
     cfg: &TrainConfig,
     gpu: GpuModel,
     runs: usize,
     seed: u64,
+    executor: &RunExecutor,
 ) -> Result<WeightDivergence> {
     // Reference: deterministic training, weights captured per epoch.
     let det_ctx = GpuContext::new(gpu, seed).with_determinism(Some(true));
@@ -56,28 +68,49 @@ pub fn weight_divergence_experiment(
         ref_weights.push(reference.flat_params());
     }
 
+    let trajectories: Result<Vec<NdTrajectory>> = executor
+        .map_runs(runs, |r| -> Result<NdTrajectory> {
+            let nd_ctx = GpuContext::new(gpu, fpna_core::rng::derive_seed(seed, 1 + r as u64))
+                .with_determinism(Some(false));
+            let mut model =
+                GraphSage::new(ds.features.shape()[1], cfg.hidden, ds.num_classes, cfg);
+            let mut per_epoch = Vec::with_capacity(cfg.epochs);
+            let mut final_weights_bits = Vec::new();
+            let mut final_loss = f64::NAN;
+            for (epoch, ref_w) in ref_weights.iter().enumerate() {
+                final_loss = model.train_epoch(&nd_ctx.for_run(epoch as u64), ds, cfg.lr)?;
+                let w = model.flat_params();
+                let cmp = ArrayComparison::compare(ref_w, &w);
+                per_epoch.push((cmp.vermv, cmp.vc));
+                if epoch + 1 == cfg.epochs {
+                    final_weights_bits = w.iter().map(|x| x.to_bits()).collect();
+                }
+            }
+            Ok(NdTrajectory {
+                per_epoch,
+                final_weights_bits,
+                final_loss,
+            })
+        })
+        .into_iter()
+        .collect();
+    let trajectories = trajectories?;
+
     let mut per_epoch: Vec<Vec<f64>> = vec![Vec::with_capacity(runs); cfg.epochs];
     let mut per_epoch_vc: Vec<Vec<f64>> = vec![Vec::with_capacity(runs); cfg.epochs];
     let mut final_vc = Vec::with_capacity(runs);
     let mut final_losses = Vec::with_capacity(runs);
     let mut fingerprints = std::collections::HashSet::new();
-    for r in 0..runs {
-        let nd_ctx = GpuContext::new(gpu, fpna_core::rng::derive_seed(seed, 1 + r as u64))
-            .with_determinism(Some(false));
-        let mut model = GraphSage::new(ds.features.shape()[1], cfg.hidden, ds.num_classes, cfg);
-        let mut last_loss = f64::NAN;
-        for epoch in 0..cfg.epochs {
-            last_loss = model.train_epoch(&nd_ctx.for_run(epoch as u64), ds, cfg.lr)?;
-            let w = model.flat_params();
-            let cmp = ArrayComparison::compare(&ref_weights[epoch], &w);
-            per_epoch[epoch].push(cmp.vermv);
-            per_epoch_vc[epoch].push(cmp.vc);
+    for t in trajectories {
+        for (epoch, &(vermv, vc)) in t.per_epoch.iter().enumerate() {
+            per_epoch[epoch].push(vermv);
+            per_epoch_vc[epoch].push(vc);
             if epoch + 1 == cfg.epochs {
-                final_vc.push(cmp.vc);
-                fingerprints.insert(w.iter().map(|x| x.to_bits()).collect::<Vec<_>>());
+                final_vc.push(vc);
             }
         }
-        final_losses.push(last_loss);
+        fingerprints.insert(t.final_weights_bits);
+        final_losses.push(t.final_loss);
     }
     Ok(WeightDivergence {
         per_epoch_vermv: per_epoch.iter().map(|v| RunSummary::from_values(v)).collect(),
@@ -123,13 +156,17 @@ pub struct MatrixRow {
 
 /// The Table 7 experiment: predictions of `models` independently
 /// produced pipelines per condition, compared against the
-/// deterministic-train + deterministic-inference reference.
+/// deterministic-train + deterministic-inference reference. Pipelines
+/// within a condition fan out through `executor` (each is seeded from
+/// `(seed, condition, model_index)`); the rows are bitwise identical
+/// at any thread count.
 pub fn train_inference_matrix(
     ds: &NodeClassification,
     cfg: &TrainConfig,
     gpu: GpuModel,
     models: usize,
     seed: u64,
+    executor: &RunExecutor,
 ) -> Result<Vec<MatrixRow>> {
     let det_ctx = GpuContext::new(gpu, seed).with_determinism(Some(true));
     let (ref_model, _) = crate::model::train_model(ds, cfg, &det_ctx)?;
@@ -143,25 +180,28 @@ pub fn train_inference_matrix(
     ];
     let mut rows = Vec::with_capacity(4);
     for (cond_idx, &(train, infer)) in conditions.iter().enumerate() {
-        let mut vermv = Vec::with_capacity(models);
-        let mut vc = Vec::with_capacity(models);
-        for m in 0..models {
-            let run_seed = fpna_core::rng::derive_seed(seed, (cond_idx * models + m + 1) as u64);
-            let train_ctx = GpuContext::new(gpu, run_seed)
-                .with_determinism(Some(train == Mode::D));
-            let model = if train == Mode::D {
-                // deterministic training always reproduces the reference
-                ref_model.clone()
-            } else {
-                crate::model::train_model(ds, cfg, &train_ctx)?.0
-            };
-            let infer_ctx = GpuContext::new(gpu, run_seed ^ 0xF00D)
-                .with_determinism(Some(infer == Mode::D));
-            let pred = model.predict(&infer_ctx, ds)?.into_data();
-            let cmp = ArrayComparison::compare(&reference, &pred);
-            vermv.push(cmp.vermv);
-            vc.push(cmp.vc);
-        }
+        let comparisons: Result<Vec<ArrayComparison>> = executor
+            .map_runs(models, |m| -> Result<ArrayComparison> {
+                let run_seed =
+                    fpna_core::rng::derive_seed(seed, (cond_idx * models + m + 1) as u64);
+                let train_ctx =
+                    GpuContext::new(gpu, run_seed).with_determinism(Some(train == Mode::D));
+                let model = if train == Mode::D {
+                    // deterministic training always reproduces the reference
+                    ref_model.clone()
+                } else {
+                    crate::model::train_model(ds, cfg, &train_ctx)?.0
+                };
+                let infer_ctx = GpuContext::new(gpu, run_seed ^ 0xF00D)
+                    .with_determinism(Some(infer == Mode::D));
+                let pred = model.predict(&infer_ctx, ds)?.into_data();
+                Ok(ArrayComparison::compare(&reference, &pred))
+            })
+            .into_iter()
+            .collect();
+        let comparisons = comparisons?;
+        let vermv: Vec<f64> = comparisons.iter().map(|c| c.vermv).collect();
+        let vc: Vec<f64> = comparisons.iter().map(|c| c.vc).collect();
         rows.push(MatrixRow {
             train,
             infer,
@@ -198,7 +238,15 @@ mod tests {
     #[test]
     fn weight_divergence_grows_and_models_are_unique() {
         let ds = tiny();
-        let wd = weight_divergence_experiment(&ds, &cfg(), GpuModel::H100, 4, 17).unwrap();
+        let wd = weight_divergence_experiment(
+            &ds,
+            &cfg(),
+            GpuModel::H100,
+            4,
+            17,
+            &RunExecutor::serial(),
+        )
+        .unwrap();
         assert_eq!(wd.per_epoch_vermv.len(), 5);
         assert_eq!(wd.runs, 4);
         // §V-B: variability present and weights essentially all differ
@@ -219,9 +267,54 @@ mod tests {
     }
 
     #[test]
+    fn experiments_are_thread_count_invariant() {
+        let ds = tiny();
+        let serial =
+            weight_divergence_experiment(&ds, &cfg(), GpuModel::H100, 4, 17, &RunExecutor::serial())
+                .unwrap();
+        for threads in [2usize, 7] {
+            let parallel = weight_divergence_experiment(
+                &ds,
+                &cfg(),
+                GpuModel::H100,
+                4,
+                17,
+                &RunExecutor::new(threads),
+            )
+            .unwrap();
+            assert_eq!(parallel.unique_models, serial.unique_models);
+            for (a, b) in serial.final_losses.iter().zip(&parallel.final_losses) {
+                assert_eq!(a.to_bits(), b.to_bits(), "threads={threads}");
+            }
+            for (a, b) in serial.per_epoch_vermv.iter().zip(&parallel.per_epoch_vermv) {
+                assert_eq!(a.mean.to_bits(), b.mean.to_bits(), "threads={threads}");
+                assert_eq!(a.std_dev.to_bits(), b.std_dev.to_bits(), "threads={threads}");
+            }
+            assert_eq!(
+                serial.final_vc.mean.to_bits(),
+                parallel.final_vc.mean.to_bits()
+            );
+        }
+
+        let m_serial =
+            train_inference_matrix(&ds, &cfg(), GpuModel::H100, 3, 19, &RunExecutor::serial())
+                .unwrap();
+        let m_parallel =
+            train_inference_matrix(&ds, &cfg(), GpuModel::H100, 3, 19, &RunExecutor::new(4))
+                .unwrap();
+        for (a, b) in m_serial.iter().zip(&m_parallel) {
+            assert_eq!(a.vermv.mean.to_bits(), b.vermv.mean.to_bits());
+            assert_eq!(a.vc.mean.to_bits(), b.vc.mean.to_bits());
+            assert_eq!(a.vc.std_dev.to_bits(), b.vc.std_dev.to_bits());
+        }
+    }
+
+    #[test]
     fn matrix_dd_row_is_exactly_zero() {
         let ds = tiny();
-        let rows = train_inference_matrix(&ds, &cfg(), GpuModel::H100, 2, 19).unwrap();
+        let rows =
+            train_inference_matrix(&ds, &cfg(), GpuModel::H100, 2, 19, &RunExecutor::serial())
+                .unwrap();
         assert_eq!(rows.len(), 4);
         let dd = &rows[0];
         assert_eq!((dd.train, dd.infer), (Mode::D, Mode::D));
@@ -238,7 +331,9 @@ mod tests {
         // The paper: "training seems to incur more variability" —
         // ND-train/D-infer > D-train/ND-infer in Vermv.
         let ds = tiny();
-        let rows = train_inference_matrix(&ds, &cfg(), GpuModel::H100, 3, 23).unwrap();
+        let rows =
+            train_inference_matrix(&ds, &cfg(), GpuModel::H100, 3, 23, &RunExecutor::serial())
+                .unwrap();
         let d_nd = rows[1].vermv.mean;
         let nd_d = rows[2].vermv.mean;
         assert!(

@@ -72,44 +72,39 @@ impl ExactAccumulator {
 
     /// Add a finite `f64` exactly.
     ///
+    /// The hot path is branch-free after the finiteness check: the
+    /// mantissa is placed as one 128-bit chunk, split into three 32-bit
+    /// digits that are always scattered into three consecutive limbs
+    /// (zero digits add zero — cheaper than testing for them), and the
+    /// sign is applied as a ±1 multiplier instead of a branch per
+    /// digit.
+    ///
     /// # Panics
     ///
     /// Panics on NaN or infinite input — an exact sum of non-finite
     /// values is undefined.
+    #[inline]
     pub fn add(&mut self, x: f64) {
         assert!(x.is_finite(), "ExactAccumulator::add requires finite input");
-        if x == 0.0 {
-            return;
-        }
         let bits = x.to_bits();
-        let negative = bits >> 63 == 1;
-        let biased_exp = ((bits >> 52) & 0x7ff) as i64;
+        // +1 for positive, −1 for negative; sign handling deferred to
+        // this single multiplier.
+        let sign = 1 - 2 * ((bits >> 63) as i64);
+        let biased_exp = (bits >> 52) & 0x7ff;
         let frac = bits & 0x000f_ffff_ffff_ffff;
         // value = mantissa * 2^(offset - 1074), offset = bit position of
         // the mantissa's LSB in the accumulator's fixed-point frame.
-        let (mantissa, offset) = if biased_exp == 0 {
-            (frac, 0u32) // subnormal: frac * 2^-1074
-        } else {
-            (frac | (1u64 << 52), (biased_exp - 1) as u32)
-        };
+        // Normal numbers carry the implicit leading bit and offset
+        // `biased_exp - 1`; subnormals have no leading bit and offset 0
+        // — `saturating_sub` covers both without a branch.
+        let mantissa = frac | ((u64::from(biased_exp != 0)) << 52);
+        let offset = (biased_exp.saturating_sub(1)) as u32;
         let limb = (offset / LIMB_BITS) as usize;
         let shift = offset % LIMB_BITS;
         let chunk = (mantissa as u128) << shift; // <= 85 bits
-        let mask = (1u128 << LIMB_BITS) - 1;
-        let parts = [
-            (chunk & mask) as i64,
-            ((chunk >> LIMB_BITS) & mask) as i64,
-            ((chunk >> (2 * LIMB_BITS)) & mask) as i64,
-        ];
-        for (k, &p) in parts.iter().enumerate() {
-            if p != 0 {
-                if negative {
-                    self.limbs[limb + k] -= p;
-                } else {
-                    self.limbs[limb + k] += p;
-                }
-            }
-        }
+        self.limbs[limb] += sign * (chunk as u32 as i64);
+        self.limbs[limb + 1] += sign * ((chunk >> LIMB_BITS) as u32 as i64);
+        self.limbs[limb + 2] += sign * ((chunk >> (2 * LIMB_BITS)) as u32 as i64);
         self.pending += 1;
         if self.pending >= NORMALIZE_EVERY {
             self.normalize();
@@ -117,9 +112,28 @@ impl ExactAccumulator {
     }
 
     /// Merge another accumulator into this one (exact; used by the
-    /// parallel reproducible sum).
+    /// parallel reproducible sum and the reproducible collectives).
+    ///
+    /// When `other` is already canonical (`normalize`d — e.g. it
+    /// arrived serialized off the wire, or a worker normalized its
+    /// partial before handing it over), its limbs are folded in
+    /// directly: no clone, no carry pass. A canonical limb is smaller
+    /// than one add's contribution, so the fold charges the same
+    /// headroom as a couple of adds and carry propagation stays
+    /// deferred.
     pub fn merge(&mut self, other: &ExactAccumulator) {
-        // Normalise both sides first so limb magnitudes stay bounded.
+        if other.pending == 0 {
+            for (a, b) in self.limbs.iter_mut().zip(other.limbs.iter()) {
+                *a += *b;
+            }
+            self.pending = self.pending.saturating_add(2);
+            if self.pending >= NORMALIZE_EVERY {
+                self.normalize();
+            }
+            return;
+        }
+        // Non-canonical right-hand side: normalise a copy first so limb
+        // magnitudes stay bounded.
         self.normalize();
         let mut o = other.clone();
         o.normalize();
@@ -136,20 +150,27 @@ impl ExactAccumulator {
     /// for negative totals and overflow the `f64` conversion). The
     /// canonical form is a pure function of the exact accumulated
     /// value, which is what makes `round` permutation invariant.
-    fn normalize(&mut self) {
-        let base = 1i64 << LIMB_BITS;
-        let half = base / 2;
+    ///
+    /// Public so producers can canonicalize *before* a hand-off (worker
+    /// partials, serialized wire messages), which lets the receiving
+    /// [`ExactAccumulator::merge`] take its no-clone fast path.
+    pub fn normalize(&mut self) {
+        // The base is a power of two, so the euclidean quotient and
+        // remainder are an arithmetic shift and a mask; the balanced
+        // adjustment (fold remainders >= 2^31 into the next carry) is a
+        // comparison turned into a 0/1 chunk, keeping the whole carry
+        // chain branch-free.
+        const BASE: i64 = 1i64 << LIMB_BITS;
+        const HALF: i64 = BASE / 2;
+        const MASK: i64 = BASE - 1;
         let mut carry = 0i64;
         for limb in self.limbs.iter_mut() {
             let v = *limb + carry;
-            let mut r = v.rem_euclid(base);
-            let mut q = v.div_euclid(base);
-            if r >= half {
-                r -= base;
-                q += 1;
-            }
-            *limb = r;
-            carry = q;
+            let r = v & MASK; // in [0, 2^32)
+            let q = v >> LIMB_BITS; // floor quotient
+            let adj = i64::from(r >= HALF);
+            *limb = r - (adj << LIMB_BITS);
+            carry = q + adj;
         }
         debug_assert_eq!(carry, 0, "accumulator overflow");
         self.pending = 0;
@@ -157,6 +178,9 @@ impl ExactAccumulator {
 
     /// `true` when the exact value is zero.
     pub fn is_zero(&self) -> bool {
+        if self.pending == 0 {
+            return self.limbs.iter().all(|&l| l == 0);
+        }
         let mut probe = self.clone();
         probe.normalize();
         probe.limbs.iter().all(|&l| l == 0)
@@ -165,15 +189,24 @@ impl ExactAccumulator {
     /// Round the exact value to the nearest `f64` (faithful, ≤ 1 ulp;
     /// deterministic function of the accumulated multiset).
     pub fn round(&self) -> f64 {
-        let mut probe = self.clone();
-        probe.normalize();
+        let probe;
+        let limbs = if self.pending == 0 {
+            &self.limbs
+        } else {
+            probe = {
+                let mut p = self.clone();
+                p.normalize();
+                p
+            };
+            &probe.limbs
+        };
         // Compensated top-down conversion: terms decay by 2^-32 per
         // limb, so the first three nonzero limbs already determine the
         // result; Neumaier compensation absorbs the tail exactly.
         let mut sum = 0.0f64;
         let mut comp = 0.0f64;
         for i in (0..LIMBS).rev() {
-            let l = probe.limbs[i];
+            let l = limbs[i];
             if l == 0 {
                 continue;
             }
@@ -266,6 +299,52 @@ mod tests {
         acc_a.merge(&acc_b);
         let concat: Vec<f64> = a.iter().chain(b.iter()).copied().collect();
         assert_eq!(acc_a.round().to_bits(), exact_sum(&concat).to_bits());
+    }
+
+    #[test]
+    fn merge_fast_path_matches_slow_path() {
+        let mut rng = SplitMix64::new(21);
+        let a: Vec<f64> = (0..2000).map(|_| rng.next_f64() * 1e9 - 5e8).collect();
+        let b: Vec<f64> = (0..2000).map(|_| rng.next_f64() * 1e-9).collect();
+        let concat: Vec<f64> = a.iter().chain(b.iter()).copied().collect();
+        let expected = exact_sum(&concat);
+
+        // Slow path: rhs has pending adds.
+        let mut slow: ExactAccumulator = a.iter().copied().collect();
+        let rhs_raw: ExactAccumulator = b.iter().copied().collect();
+        slow.merge(&rhs_raw);
+        assert_eq!(slow.round().to_bits(), expected.to_bits());
+
+        // Fast path: rhs canonicalized first (pending == 0).
+        let mut fast: ExactAccumulator = a.iter().copied().collect();
+        let mut rhs_canonical: ExactAccumulator = b.iter().copied().collect();
+        rhs_canonical.normalize();
+        fast.merge(&rhs_canonical);
+        assert_eq!(fast.round().to_bits(), expected.to_bits());
+
+        // Chained fast-path merges (the collectives pattern: one merge
+        // per received message) stay exact.
+        let mut chain = ExactAccumulator::new();
+        for piece in concat.chunks(173) {
+            let mut acc: ExactAccumulator = piece.iter().copied().collect();
+            acc.normalize();
+            chain.merge(&acc);
+        }
+        assert_eq!(chain.round().to_bits(), expected.to_bits());
+    }
+
+    #[test]
+    fn normalize_is_idempotent_and_preserves_value() {
+        let mut rng = SplitMix64::new(22);
+        let xs: Vec<f64> = (0..500)
+            .map(|_| (rng.next_f64() - 0.5) * 10f64.powi((rng.next_below(60) as i32) - 30))
+            .collect();
+        let mut acc: ExactAccumulator = xs.iter().copied().collect();
+        let before = acc.round();
+        acc.normalize();
+        assert_eq!(acc.round().to_bits(), before.to_bits());
+        acc.normalize();
+        assert_eq!(acc.round().to_bits(), before.to_bits());
     }
 
     #[test]

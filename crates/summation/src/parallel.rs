@@ -144,6 +144,9 @@ pub fn reproducible_threaded_sum(xs: &[f64], threads: usize) -> f64 {
                 for &x in &xs[lo..hi] {
                     acc.add(x);
                 }
+                // Canonicalize in parallel so the serial merge below
+                // takes the no-clone fast path.
+                acc.normalize();
             });
         }
     });

@@ -10,6 +10,7 @@
 //! Figs 3–5 fix the operation and sweep the *reduction ratio*
 //! `R = output dim / source dim`.
 
+use fpna_core::executor::RunExecutor;
 use fpna_core::harness::{VariabilityHarness, VariabilityReport};
 use fpna_core::rng::SplitMix64;
 use fpna_gpu_sim::GpuModel;
@@ -85,9 +86,15 @@ fn report_mean_vermv(report: &VariabilityReport) -> f64 {
 
 /// Run the full Table 5 sweep. `runs` non-deterministic executions per
 /// configuration (the paper used 10 000 on an H100; the default bench
-/// uses fewer and documents the scaling).
-pub fn table5_sweep(model: GpuModel, runs: usize, seed: u64) -> Vec<SweepRow> {
-    let harness = VariabilityHarness::new(runs);
+/// uses fewer and documents the scaling). Runs execute through
+/// `executor`; the rows are bitwise identical at any thread count.
+pub fn table5_sweep(
+    model: GpuModel,
+    runs: usize,
+    seed: u64,
+    executor: &RunExecutor,
+) -> Vec<SweepRow> {
+    let harness = VariabilityHarness::new(runs).with_executor(*executor);
     let mut rows = Vec::new();
 
     // --- ConvTranspose1d/2d/3d ------------------------------------
@@ -326,9 +333,10 @@ pub fn ratio_experiment(
     ratio: f64,
     runs: usize,
     seed: u64,
+    executor: &RunExecutor,
 ) -> VariabilityReport {
     assert!(ratio > 0.0 && ratio <= 1.0, "reduction ratio in (0, 1]");
-    let harness = VariabilityHarness::new(runs);
+    let harness = VariabilityHarness::new(runs).with_executor(*executor);
     let out_rows = ((input_dim as f64 * ratio).round() as usize).max(1);
     let nd = GpuContext::new(model, seed).with_determinism(Some(false));
     match op {
@@ -369,7 +377,7 @@ mod tests {
 
     #[test]
     fn table5_sweep_smoke() {
-        let rows = table5_sweep(GpuModel::H100, 3, 123);
+        let rows = table5_sweep(GpuModel::H100, 3, 123, &RunExecutor::serial());
         assert_eq!(rows.len(), 9, "one row per Table 5 operation");
         for row in &rows {
             assert!(row.configs > 0, "{}", row.op);
@@ -395,7 +403,15 @@ mod tests {
 
     #[test]
     fn ratio_experiment_scatter_sum() {
-        let report = ratio_experiment(GpuModel::H100, RatioOp::ScatterReduceSum, 2000, 0.5, 5, 7);
+        let report = ratio_experiment(
+            GpuModel::H100,
+            RatioOp::ScatterReduceSum,
+            2000,
+            0.5,
+            5,
+            7,
+            &RunExecutor::serial(),
+        );
         // self-referenced: runs-1 comparisons
         assert_eq!(report.per_run.len(), 4);
         assert!(report.vc.mean >= 0.0);
@@ -403,17 +419,84 @@ mod tests {
 
     #[test]
     fn ratio_experiment_index_add_has_det_reference() {
-        let report = ratio_experiment(GpuModel::H100, RatioOp::IndexAdd, 64, 0.5, 5, 8);
+        let report = ratio_experiment(
+            GpuModel::H100,
+            RatioOp::IndexAdd,
+            64,
+            0.5,
+            5,
+            8,
+            &RunExecutor::serial(),
+        );
         assert_eq!(report.per_run.len(), 5);
         // with duplicates and wide values the ND kernel should differ
         // from the deterministic reference in at least one run
         assert!(report.vc.max > 0.0);
     }
 
+    fn reports_identical(a: &VariabilityReport, b: &VariabilityReport) -> bool {
+        a.per_run.len() == b.per_run.len()
+            && a.bitwise_identical_runs == b.bitwise_identical_runs
+            && a.per_run.iter().zip(&b.per_run).all(|(x, y)| {
+                x.0.to_bits() == y.0.to_bits() && x.1.to_bits() == y.1.to_bits()
+            })
+            && a.vermv.mean.to_bits() == b.vermv.mean.to_bits()
+            && a.vc.std_dev.to_bits() == b.vc.std_dev.to_bits()
+            && a.max_abs_diff.max.to_bits() == b.max_abs_diff.max.to_bits()
+    }
+
+    #[test]
+    fn sweeps_are_thread_count_invariant() {
+        // The tentpole guarantee: parallel execution is bitwise
+        // indistinguishable from serial, per report and per row.
+        let serial = ratio_experiment(
+            GpuModel::H100,
+            RatioOp::IndexAdd,
+            48,
+            0.5,
+            9,
+            31,
+            &RunExecutor::serial(),
+        );
+        for threads in [2usize, 4, 7] {
+            let parallel = ratio_experiment(
+                GpuModel::H100,
+                RatioOp::IndexAdd,
+                48,
+                0.5,
+                9,
+                31,
+                &RunExecutor::new(threads),
+            );
+            assert!(
+                reports_identical(&serial, &parallel),
+                "ratio_experiment diverged at threads={threads}"
+            );
+        }
+
+        let rows_serial = table5_sweep(GpuModel::H100, 3, 123, &RunExecutor::serial());
+        let rows_parallel = table5_sweep(GpuModel::H100, 3, 123, &RunExecutor::new(4));
+        assert_eq!(rows_serial.len(), rows_parallel.len());
+        for (a, b) in rows_serial.iter().zip(&rows_parallel) {
+            assert_eq!(a.op, b.op);
+            assert_eq!(a.min_vermv.to_bits(), b.min_vermv.to_bits(), "{}", a.op);
+            assert_eq!(a.max_vermv.to_bits(), b.max_vermv.to_bits(), "{}", a.op);
+            assert_eq!(a.configs, b.configs);
+        }
+    }
+
     #[test]
     #[should_panic(expected = "reduction ratio")]
     fn bad_ratio_panics() {
-        ratio_experiment(GpuModel::H100, RatioOp::IndexAdd, 10, 0.0, 2, 1);
+        ratio_experiment(
+            GpuModel::H100,
+            RatioOp::IndexAdd,
+            10,
+            0.0,
+            2,
+            1,
+            &RunExecutor::serial(),
+        );
     }
 
     #[test]
