@@ -3,6 +3,7 @@
 //! calibrated cost model — this measures the simulator itself).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fpna_gpu_sim::reduce::block_partials;
 use fpna_gpu_sim::{GpuDevice, GpuModel, KernelParams, ReduceKernel, ScheduleKind};
 
 fn bench_reduce(c: &mut Criterion) {
@@ -38,5 +39,25 @@ fn bench_reduce(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_reduce);
+/// The single-run deterministic first stage at the paper's Fig 1
+/// geometry (`Nt = 64, Nb = 7813`) — watches the per-block scratch
+/// hoisting (one lane buffer per worker instead of one allocation per
+/// block) and the intra-run row-blocking of a single launch.
+fn bench_block_partials(c: &mut Criterion) {
+    let n = 1_000_000usize;
+    let mut rng = fpna_core::rng::SplitMix64::new(3);
+    let xs: Vec<f64> = (0..n).map(|_| rng.next_f64() * 10.0).collect();
+    let params = KernelParams::fig1();
+    let mut group = c.benchmark_group("reduce_kernels");
+    group.throughput(Throughput::Elements(n as u64));
+    group.sample_size(20);
+    group.bench_with_input(
+        BenchmarkId::from_parameter("block_partials_fig1"),
+        &xs,
+        |b, xs| b.iter(|| block_partials(std::hint::black_box(xs), params)),
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_reduce, bench_block_partials);
 criterion_main!(benches);

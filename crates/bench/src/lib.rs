@@ -13,11 +13,18 @@
 //!
 //! Two flags are shared by every binary (see [`ExperimentArgs`]):
 //!
-//! * `--threads N` — fan repeated runs across `N` OS threads through
-//!   [`fpna_core::executor::RunExecutor`]. Defaults to the
-//!   `FPNA_THREADS` environment variable, then 1. Any value produces
-//!   **bitwise-identical output**: run seeding and result collection
-//!   are order-invariant by construction, so `--threads` only changes
+//! * `--threads N` — one shared worker budget: repeated runs fan out
+//!   across `N` OS threads through
+//!   [`fpna_core::executor::RunExecutor`], and a *single* large run
+//!   (one reduction replay, one epoch, one event-driven allreduce)
+//!   fans its hot kernels across the same `N` via the intra-run
+//!   primitives ([`fpna_core::executor::par_chunk_map`] /
+//!   [`fpna_core::executor::par_fill`]); inside a run-fan-out worker
+//!   the intra-run layer collapses to serial, so the two never
+//!   oversubscribe. Defaults to the `FPNA_THREADS` environment
+//!   variable, then 1. Any value produces **bitwise-identical
+//!   output**: run seeding, chunk boundaries and result collection are
+//!   order-invariant by construction, so `--threads` only changes
 //!   wall-clock time.
 //! * `--paper-scale` — switch run counts / array counts to the paper's
 //!   full experiment sizes (e.g. Table 5's 10 000 runs per
@@ -52,6 +59,11 @@ impl ExperimentArgs {
     pub fn parse() -> Self {
         let threads = arg_usize("threads", RunExecutor::from_env().threads);
         assert!(threads > 0, "--threads expects a positive integer");
+        // One flag, one budget: the same worker count drives the
+        // repeated-run fan-out (RunExecutor) and the intra-run kernel
+        // primitives; nesting collapses to serial inside workers, so
+        // the two never multiply.
+        fpna_core::executor::set_intra_threads(threads);
         ExperimentArgs {
             threads,
             paper_scale: arg_flag("paper-scale"),

@@ -16,12 +16,14 @@
 //!   zero jitter and rank-ordered folds. Bit-for-bit replayable,
 //!   including every timestamp.
 //! * [`Ordering::Reproducible`] — exact accumulators travel **in the
-//!   messages** ([`ExactAccumulator::WIRE_BYTES`] per element instead
-//!   of 8), the fabric stays jittered, and one final rounding happens
-//!   at the reduction root (tree/recursive doubling) or segment owner
-//!   (ring). Bits are identical across every topology, algorithm and
-//!   jitter seed; the bandwidth inflation is the network's "cost of
-//!   reproducibility".
+//!   messages** (span-encoded: [`ExactAccumulator::wire_len`] per
+//!   element, bounded above by [`ExactAccumulator::WIRE_BYTES`] + 2,
+//!   instead of 8), the fabric stays jittered, and one final rounding
+//!   happens at the reduction root (tree/recursive doubling) or
+//!   segment owner (ring). Bits are identical across every topology,
+//!   algorithm and jitter seed; the bandwidth inflation is the
+//!   network's "cost of reproducibility" — now priced at the actual
+//!   encoded payload.
 //!
 //! The cheap shuffle-based path in [`crate::allreduce()`](crate::allreduce::allreduce) remains as a
 //! fallback for experiments that don't need a network model.
@@ -146,20 +148,20 @@ impl Values {
         }
     }
 
-    fn len(&self) -> usize {
-        match self {
-            Values::Plain(v) => v.len(),
-            Values::Exact(a) => a.len(),
-        }
-    }
-
-    /// On-wire size of a message carrying this state.
+    /// On-wire size of a message carrying this state. Exact
+    /// accumulators are span-encoded ([`ExactAccumulator::wire_len`]:
+    /// a 2-byte `[lo, hi)` header plus the occupied limbs, per
+    /// element), so narrow-dynamic-range payloads cost what they
+    /// actually occupy instead of the dense
+    /// [`ExactAccumulator::WIRE_BYTES`] upper bound. Every travelling
+    /// accumulator is kept canonical (normalized at birth and after
+    /// each fold), which keeps the spans — and therefore the priced
+    /// bytes — tight.
     fn wire_bytes(&self) -> u64 {
-        let per_elem = match self {
-            Values::Plain(_) => std::mem::size_of::<f64>(),
-            Values::Exact(_) => ExactAccumulator::WIRE_BYTES,
-        };
-        (self.len() * per_elem) as u64
+        match self {
+            Values::Plain(v) => (v.len() * std::mem::size_of::<f64>()) as u64,
+            Values::Exact(a) => a.iter().map(|x| x.wire_len() as u64).sum(),
+        }
     }
 }
 

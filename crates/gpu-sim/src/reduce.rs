@@ -142,8 +142,16 @@ impl ReduceKernel {
 /// with the power-of-two pairwise tree (`smem[i] += smem[i + offset]`
 /// stepped by `__syncthreads` in the CUDA original).
 pub fn block_partial(chunk: &[f64], threads_per_block: u32) -> f64 {
+    block_partial_with(chunk, threads_per_block, &mut Vec::new())
+}
+
+/// [`block_partial`] with caller-provided lane scratch, so a loop over
+/// blocks (7813 of them per Fig 1 replay) reuses one allocation
+/// instead of paying one `vec![0.0; Nt]` per block.
+pub fn block_partial_with(chunk: &[f64], threads_per_block: u32, lanes: &mut Vec<f64>) -> f64 {
     let nt = threads_per_block as usize;
-    let mut lanes = vec![0.0f64; nt];
+    lanes.clear();
+    lanes.resize(nt, 0.0);
     for (i, &x) in chunk.iter().enumerate() {
         lanes[i % nt] += x;
     }
@@ -173,12 +181,36 @@ fn chunk_bounds(n: usize, num_blocks: u32) -> Vec<(usize, usize)> {
 }
 
 /// All block partials for a launch — stage one of every kernel except
-/// AO. Deterministic.
+/// AO. Deterministic, and each block is independent, so the blocks are
+/// fanned across the intra-run thread budget
+/// ([`fpna_core::executor::par_fill`]); every worker reuses one lane
+/// scratch across all its blocks. Bitwise identical to the serial loop
+/// at any thread count — block partials only depend on their own
+/// chunk.
 pub fn block_partials(data: &[f64], params: KernelParams) -> Vec<f64> {
-    chunk_bounds(data.len(), params.num_blocks)
-        .into_iter()
-        .map(|(lo, hi)| block_partial(&data[lo..hi], params.threads_per_block))
-        .collect()
+    let bounds = chunk_bounds(data.len(), params.num_blocks);
+    let mut out = vec![0.0f64; bounds.len()];
+    let run_blocks = |blocks: std::ops::Range<usize>, partials: &mut [f64]| {
+        let mut lanes: Vec<f64> = Vec::new();
+        for (slot, b) in partials.iter_mut().zip(blocks) {
+            let (lo, hi) = bounds[b];
+            *slot = block_partial_with(&data[lo..hi], params.threads_per_block, &mut lanes);
+        }
+    };
+    if data.len() >= 1 << 14 {
+        fpna_core::executor::par_fill(&mut out, 1, run_blocks);
+    } else {
+        let nb = out.len();
+        run_blocks(0..nb, &mut out);
+    }
+    out
+}
+
+std::thread_local! {
+    /// Reused tree-reduction scratch: one buffer per thread instead of
+    /// one allocation per [`tree_sum`] call (once per run — thousands
+    /// per sweep).
+    static TREE_SCRATCH: std::cell::RefCell<Vec<f64>> = const { std::cell::RefCell::new(Vec::new()) };
 }
 
 /// Power-of-two tree sum in index order — the last-block reduction of
@@ -187,17 +219,21 @@ fn tree_sum(xs: &[f64]) -> f64 {
     if xs.is_empty() {
         return 0.0;
     }
-    let m = xs.len().next_power_of_two();
-    let mut buf = vec![0.0f64; m];
-    buf[..xs.len()].copy_from_slice(xs);
-    let mut half = m / 2;
-    while half > 0 {
-        for i in 0..half {
-            buf[i] += buf[i + half];
+    TREE_SCRATCH.with(|scratch| {
+        let mut buf = scratch.borrow_mut();
+        let m = xs.len().next_power_of_two();
+        buf.clear();
+        buf.resize(m, 0.0);
+        buf[..xs.len()].copy_from_slice(xs);
+        let mut half = m / 2;
+        while half > 0 {
+            for i in 0..half {
+                buf[i] += buf[i + half];
+            }
+            half /= 2;
         }
-        half /= 2;
-    }
-    buf[0]
+        buf[0]
+    })
 }
 
 /// Serial sum in index order — SPRG's `res[0] += res[i]` loop and
@@ -281,16 +317,56 @@ fn ao_value(
         })
         .collect();
     let events = scheduler.interleave(&queue_lens, kind);
+    // The accumulation itself is a serial sum in global commit order —
+    // that order *is* AO's value semantics, so it can never be
+    // parallelized. The prefix work (resolving each event to the
+    // values it commits — pure index arithmetic) can: with an intra-run
+    // thread budget the gather fans across fixed event chunks, and the
+    // strictly-ordered fold below consumes the chunks in event order,
+    // bitwise identical to the single-pass loop.
+    let commit_values = |range: std::ops::Range<usize>, out: &mut Vec<f64>| {
+        for &(block, event) in &events[range] {
+            let (lo, hi) = bounds[block as usize];
+            let round = event as usize / warps;
+            let warp = event as usize % warps;
+            let base = lo + round * nt + warp * ww;
+            for lane in 0..ww {
+                let idx = base + lane;
+                if idx < hi {
+                    out.push(data[idx]);
+                }
+            }
+        }
+    };
     let mut sum = 0.0f64;
-    for (block, event) in events {
-        let (lo, hi) = bounds[block as usize];
-        let round = event as usize / warps;
-        let warp = event as usize % warps;
-        let base = lo + round * nt + warp * ww;
-        for lane in 0..ww {
-            let idx = base + lane;
-            if idx < hi {
-                sum += data[idx];
+    // The gather buffer only pays off when threads will actually run
+    // (not inside an outer run-fan-out worker, where the primitives
+    // collapse to serial) and the event list is large enough to
+    // amortize the copy.
+    if fpna_core::executor::effective_intra_threads() > 1 && events.len() >= 1024 {
+        let gathered = fpna_core::executor::par_chunk_map(events.len(), |_, range| {
+            let mut vals = Vec::with_capacity(range.len() * ww);
+            commit_values(range, &mut vals);
+            vals
+        });
+        for vals in &gathered {
+            for &v in vals {
+                sum += v;
+            }
+        }
+    } else {
+        // Serial budget: the original fused single pass (no gather
+        // buffer). Same commit order, same bits.
+        for &(block, event) in &events {
+            let (lo, hi) = bounds[block as usize];
+            let round = event as usize / warps;
+            let warp = event as usize % warps;
+            let base = lo + round * nt + warp * ww;
+            for lane in 0..ww {
+                let idx = base + lane;
+                if idx < hi {
+                    sum += data[idx];
+                }
             }
         }
     }

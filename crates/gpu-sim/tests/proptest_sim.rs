@@ -114,4 +114,42 @@ proptest! {
             }
         }
     }
+
+    /// Intra-run parallelism contract: `block_partials` and every
+    /// kernel value (including AO's parallel event gather) are bitwise
+    /// identical to the serial execution for thread-count hints
+    /// {1, 2, 4, 7}.
+    #[test]
+    fn single_run_values_are_intra_thread_invariant(
+        n in 1usize..40_000,
+        seed in any::<u64>(),
+        nb in 1u32..300,
+    ) {
+        use fpna_core::executor::{intra_hint_test_guard, set_intra_threads};
+        use fpna_gpu_sim::reduce::{block_partials, reduce_value};
+        let _hint = intra_hint_test_guard();
+
+        let mut rng = fpna_core::rng::SplitMix64::new(seed);
+        let xs: Vec<f64> = (0..n).map(|_| rng.next_f64() * 1e6 - 5e5).collect();
+        let params = KernelParams::new(64, nb);
+        let sched = Scheduler::new(320);
+        let kind = ScheduleKind::Seeded(seed);
+
+        set_intra_threads(1);
+        let partials_ref = block_partials(&xs, params);
+        let ao_ref = reduce_value(ReduceKernel::Ao, &xs, params, &sched, 32, &kind);
+        let sptr_ref = reduce_value(ReduceKernel::Sptr, &xs, params, &sched, 32, &kind);
+        for threads in [2usize, 4, 7] {
+            set_intra_threads(threads);
+            let partials = block_partials(&xs, params);
+            prop_assert_eq!(partials.len(), partials_ref.len());
+            for (a, b) in partials.iter().zip(&partials_ref) {
+                prop_assert_eq!(a.to_bits(), b.to_bits(), "threads={}", threads);
+            }
+            let ao = reduce_value(ReduceKernel::Ao, &xs, params, &sched, 32, &kind);
+            prop_assert_eq!(ao.to_bits(), ao_ref.to_bits(), "AO threads={}", threads);
+            let sptr = reduce_value(ReduceKernel::Sptr, &xs, params, &sched, 32, &kind);
+            prop_assert_eq!(sptr.to_bits(), sptr_ref.to_bits(), "SPTR threads={}", threads);
+        }
+    }
 }

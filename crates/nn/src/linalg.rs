@@ -2,8 +2,21 @@
 //! row-softmax. Fixed loop order (i-k-j) means fixed addition order —
 //! these never contribute to run-to-run variability, keeping
 //! `index_add` the model's only non-deterministic operation.
+//!
+//! Large matmuls are **row-blocked** across the intra-run thread
+//! budget ([`fpna_core::executor::par_fill`]): every output row's
+//! additions still happen in ascending-`k` order, so the parallel
+//! result is bitwise identical to the serial one at any `--threads`
+//! value; below `PAR_FLOP_FLOOR` the serial loop runs directly (the
+//! GNN's layer matmuls are small enough that thread fan-out would cost
+//! more than it saves).
 
+use fpna_core::executor::par_fill;
 use fpna_tensor::Tensor;
+
+/// Minimum `m·k·n` multiply-add count before a matmul fans its output
+/// rows across threads.
+const PAR_FLOP_FLOOR: usize = 1 << 17;
 
 /// `C = A · B` for `A: [m, k]`, `B: [k, n]`.
 ///
@@ -17,18 +30,25 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     let mut out = Tensor::zeros(vec![m, n]);
     let (ad, bd) = (a.data(), b.data());
     let od = out.data_mut();
-    for i in 0..m {
-        for kk in 0..k {
-            let aik = ad[i * k + kk];
-            if aik == 0.0 {
-                continue; // sparse features make this a big win
-            }
-            let brow = &bd[kk * n..(kk + 1) * n];
-            let orow = &mut od[i * n..(i + 1) * n];
-            for j in 0..n {
-                orow[j] += aik * brow[j];
+    let row_block = |rows: std::ops::Range<usize>, orows: &mut [f64]| {
+        for (local, i) in rows.enumerate() {
+            let orow = &mut orows[local * n..(local + 1) * n];
+            for kk in 0..k {
+                let aik = ad[i * k + kk];
+                if aik == 0.0 {
+                    continue; // sparse features make this a big win
+                }
+                let brow = &bd[kk * n..(kk + 1) * n];
+                for j in 0..n {
+                    orow[j] += aik * brow[j];
+                }
             }
         }
+    };
+    if m * k * n >= PAR_FLOP_FLOOR {
+        par_fill(od, n, row_block);
+    } else {
+        row_block(0..m, od);
     }
     out
 }
@@ -41,17 +61,39 @@ pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
     let mut out = Tensor::zeros(vec![m, n]);
     let (ad, bd) = (a.data(), b.data());
     let od = out.data_mut();
-    for kk in 0..k {
-        let arow = &ad[kk * m..(kk + 1) * m];
-        let brow = &bd[kk * n..(kk + 1) * n];
-        for i in 0..m {
-            let aki = arow[i];
-            if aki == 0.0 {
-                continue;
+    if m * k * n >= PAR_FLOP_FLOOR {
+        // Row-blocked: each output row `i` accumulates over `kk` in
+        // ascending order — exactly the per-element addition order of
+        // the serial kk-outer loop below, so the bits match it.
+        par_fill(od, n, |rows, orows| {
+            for (local, i) in rows.enumerate() {
+                let orow = &mut orows[local * n..(local + 1) * n];
+                for kk in 0..k {
+                    let aki = ad[kk * m + i];
+                    if aki == 0.0 {
+                        continue;
+                    }
+                    let brow = &bd[kk * n..(kk + 1) * n];
+                    for j in 0..n {
+                        orow[j] += aki * brow[j];
+                    }
+                }
             }
-            let orow = &mut od[i * n..(i + 1) * n];
-            for j in 0..n {
-                orow[j] += aki * brow[j];
+        });
+    } else {
+        // Serial: kk-outer keeps `A` reads sequential.
+        for kk in 0..k {
+            let arow = &ad[kk * m..(kk + 1) * m];
+            let brow = &bd[kk * n..(kk + 1) * n];
+            for i in 0..m {
+                let aki = arow[i];
+                if aki == 0.0 {
+                    continue;
+                }
+                let orow = &mut od[i * n..(i + 1) * n];
+                for j in 0..n {
+                    orow[j] += aki * brow[j];
+                }
             }
         }
     }
@@ -66,16 +108,23 @@ pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
     let mut out = Tensor::zeros(vec![m, n]);
     let (ad, bd) = (a.data(), b.data());
     let od = out.data_mut();
-    for i in 0..m {
-        let arow = &ad[i * k..(i + 1) * k];
-        for j in 0..n {
-            let brow = &bd[j * k..(j + 1) * k];
-            let mut acc = 0.0;
-            for kk in 0..k {
-                acc += arow[kk] * brow[kk];
+    let row_block = |rows: std::ops::Range<usize>, orows: &mut [f64]| {
+        for (local, i) in rows.enumerate() {
+            let arow = &ad[i * k..(i + 1) * k];
+            for j in 0..n {
+                let brow = &bd[j * k..(j + 1) * k];
+                let mut acc = 0.0;
+                for kk in 0..k {
+                    acc += arow[kk] * brow[kk];
+                }
+                orows[local * n + j] = acc;
             }
-            od[i * n + j] = acc;
         }
+    };
+    if m * k * n >= PAR_FLOP_FLOOR {
+        par_fill(od, n, row_block);
+    } else {
+        row_block(0..m, od);
     }
     out
 }

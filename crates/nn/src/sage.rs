@@ -18,6 +18,32 @@ use fpna_tensor::Tensor;
 use crate::graph::Graph;
 use crate::linalg::{add_bias_rows, matmul, matmul_nt, matmul_tn};
 
+/// Scale each node's feature row by `1 / degree` (the mean-aggregation
+/// divisor), skipping isolated nodes. Rows are independent, so the
+/// loop is row-blocked across the intra-run thread budget with bits
+/// identical to the serial pass.
+fn scale_rows_by_inv_degree(t: &mut Tensor, degree: &[u32]) {
+    let d = t.shape()[1];
+    let scale = |nodes: std::ops::Range<usize>, region: &mut [f64]| {
+        for (local, v) in nodes.enumerate() {
+            let deg = degree[v];
+            if deg > 0 {
+                let inv = 1.0 / deg as f64;
+                for val in &mut region[local * d..(local + 1) * d] {
+                    *val *= inv;
+                }
+            }
+        }
+    };
+    let n = t.numel();
+    let rows = t.shape()[0];
+    if n >= 1 << 16 {
+        fpna_core::executor::par_fill(t.data_mut(), d, scale);
+    } else {
+        scale(0..rows, t.data_mut());
+    }
+}
+
 /// Neighbour aggregation function.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Aggregation {
@@ -85,15 +111,7 @@ impl SageConv {
         let zeros = Tensor::zeros(vec![graph.num_nodes, d]);
         let mut summed = index_add(ctx, &zeros, &graph.edge_dst, &gathered)?;
         if self.aggregation == Aggregation::Mean {
-            for (v, row) in summed.data_mut().chunks_mut(d).enumerate() {
-                let deg = graph.degree[v];
-                if deg > 0 {
-                    let inv = 1.0 / deg as f64;
-                    for val in row.iter_mut() {
-                        *val *= inv;
-                    }
-                }
-            }
+            scale_rows_by_inv_degree(&mut summed, &graph.degree);
         }
         Ok(summed)
     }
@@ -146,16 +164,7 @@ impl SageConv {
         // Gradient through the aggregation.
         let mut dagg = matmul_nt(&dpre, &self.w_neigh); // [n, in]
         if self.aggregation == Aggregation::Mean {
-            let d = dagg.shape()[1];
-            for (v, row) in dagg.data_mut().chunks_mut(d).enumerate() {
-                let deg = graph.degree[v];
-                if deg > 0 {
-                    let inv = 1.0 / deg as f64;
-                    for val in row.iter_mut() {
-                        *val *= inv;
-                    }
-                }
-            }
+            scale_rows_by_inv_degree(&mut dagg, &graph.degree);
         }
         // Scatter back to neighbours: dx[src] += dagg[dst] per edge.
         let dgathered = gather_rows(&dagg, &graph.edge_dst)?;

@@ -42,10 +42,27 @@ const NORMALIZE_EVERY: u32 = 1 << 28;
 /// deterministic). Because the internal state after any sequence of
 /// adds depends only on the *multiset* of inputs, two accumulators fed
 /// the same values in different orders are bit-for-bit equal.
+///
+/// ## Sparse limb span
+///
+/// Alongside the 70 limbs the accumulator maintains the occupied
+/// window `[lo, hi)` — an index interval guaranteed to be a superset
+/// of the nonzero limbs (each `add` touches three consecutive limbs;
+/// maintaining the hull is one `min` and one `max`). Small-dynamic-
+/// range data occupies a handful of limbs, so `normalize`, `round`,
+/// `is_zero` and `merge` walk ~6 limbs instead of 70 — the fixed cost
+/// that dominates per-element exact pipelines and reproducible
+/// collectives. `normalize` tightens the span to the exact nonzero
+/// hull; the zero value is represented as the empty span
+/// `lo = LIMBS, hi = 0`.
 #[derive(Debug, Clone)]
 pub struct ExactAccumulator {
     limbs: [i64; LIMBS],
     pending: u32,
+    /// First possibly-nonzero limb (inclusive). `LIMBS` when empty.
+    lo: u32,
+    /// Last possibly-nonzero limb (exclusive). `0` when empty.
+    hi: u32,
 }
 
 impl Default for ExactAccumulator {
@@ -55,11 +72,16 @@ impl Default for ExactAccumulator {
 }
 
 impl ExactAccumulator {
-    /// Serialized size of the accumulator state — what a message
-    /// carrying one exact per-element accumulator occupies on a wire.
-    /// The network cost models (`fpna-net`, `fpna-collectives`) use
-    /// this to price reproducible collectives: `WIRE_BYTES / 8` is the
-    /// bandwidth inflation over shipping a plain `f64`.
+    /// Dense serialized size of the accumulator state: the documented
+    /// **upper bound** on what a message carrying one exact per-element
+    /// accumulator occupies on a wire. `WIRE_BYTES / 8` is the
+    /// worst-case bandwidth inflation over shipping a plain `f64`.
+    ///
+    /// The actual wire format ([`ExactAccumulator::to_wire_bytes`]) is
+    /// span-encoded — a 2-byte `[lo, hi)` header plus only the
+    /// occupied limbs — so real payloads are far smaller for
+    /// small-dynamic-range data (`2 + 8·span ≤ 2 + WIRE_BYTES` bytes);
+    /// [`ExactAccumulator::wire_len`] reports the exact encoded size.
     pub const WIRE_BYTES: usize = LIMBS * std::mem::size_of::<i64>();
 
     /// Empty accumulator (value zero).
@@ -67,6 +89,8 @@ impl ExactAccumulator {
         ExactAccumulator {
             limbs: [0; LIMBS],
             pending: 0,
+            lo: LIMBS as u32,
+            hi: 0,
         }
     }
 
@@ -87,9 +111,6 @@ impl ExactAccumulator {
     pub fn add(&mut self, x: f64) {
         assert!(x.is_finite(), "ExactAccumulator::add requires finite input");
         let bits = x.to_bits();
-        // +1 for positive, −1 for negative; sign handling deferred to
-        // this single multiplier.
-        let sign = 1 - 2 * ((bits >> 63) as i64);
         let biased_exp = (bits >> 52) & 0x7ff;
         let frac = bits & 0x000f_ffff_ffff_ffff;
         // value = mantissa * 2^(offset - 1074), offset = bit position of
@@ -101,46 +122,149 @@ impl ExactAccumulator {
         let offset = (biased_exp.saturating_sub(1)) as u32;
         let limb = (offset / LIMB_BITS) as usize;
         let shift = offset % LIMB_BITS;
-        let chunk = (mantissa as u128) << shift; // <= 85 bits
-        self.limbs[limb] += sign * (chunk as u32 as i64);
-        self.limbs[limb + 1] += sign * ((chunk >> LIMB_BITS) as u32 as i64);
-        self.limbs[limb + 2] += sign * ((chunk >> (2 * LIMB_BITS)) as u32 as i64);
+        // Branchless conditional negate of the whole chunk (`(c ^ m) -
+        // m` with an all-ones/zero mask) instead of one sign multiply
+        // per digit; the top digit is extracted with an arithmetic
+        // shift so it carries the sign while the lower digits stay in
+        // [0, 2³²) — the digit sum reassembles the chunk exactly.
+        let neg_mask = -((bits >> 63) as i128);
+        let chunk = ((((mantissa as u128) << shift) as i128) ^ neg_mask) - neg_mask; // <= 85 bits
+        // One slice bounds check instead of three element checks.
+        let window = &mut self.limbs[limb..limb + 3];
+        window[0] += (chunk as u32) as i64;
+        window[1] += ((chunk >> LIMB_BITS) as u32) as i64;
+        window[2] += (chunk >> (2 * LIMB_BITS)) as i64;
+        self.lo = self.lo.min(limb as u32);
+        self.hi = self.hi.max(limb as u32 + 3);
         self.pending += 1;
         if self.pending >= NORMALIZE_EVERY {
             self.normalize();
         }
     }
 
-    /// Merge another accumulator into this one (exact; used by the
-    /// parallel reproducible sum and the reproducible collectives).
+    /// Add every element of a slice exactly — the bulk hot loop behind
+    /// [`exact_sum`] and the reproducible parallel/collective paths.
     ///
-    /// When `other` is already canonical (`normalize`d — e.g. it
-    /// arrived serialized off the wire, or a worker normalized its
-    /// partial before handing it over), its limbs are folded in
-    /// directly: no clone, no carry pass. A canonical limb is smaller
-    /// than one add's contribution, so the fold charges the same
-    /// headroom as a couple of adds and carry propagation stays
-    /// deferred.
-    pub fn merge(&mut self, other: &ExactAccumulator) {
-        if other.pending == 0 {
-            for (a, b) in self.limbs.iter_mut().zip(other.limbs.iter()) {
-                *a += *b;
-            }
-            self.pending = self.pending.saturating_add(2);
-            if self.pending >= NORMALIZE_EVERY {
-                self.normalize();
+    /// Exactly equivalent to calling [`ExactAccumulator::add`] per
+    /// element (the canonical state, [`ExactAccumulator::round`] and
+    /// every merge downstream are bitwise identical); the speed comes
+    /// from **exponent binning**: elements are first accumulated as
+    /// `bins[biased_exp] ± mantissa` — one integer add and no shifts
+    /// per element — and the handful of touched bins (the exponent
+    /// hull of the data) is scattered into the limbs once per 1024
+    /// elements. The mantissa magnitude is below 2⁵³, so 1024 signed
+    /// adds can never overflow a bin.
+    ///
+    /// # Panics
+    ///
+    /// Panics on NaN or infinite input.
+    pub fn add_slice(&mut self, xs: &[f64]) {
+        /// Elements per bin-flush cycle: `1024 · (2⁵³ − 1) < 2⁶³` keeps
+        /// every bin exactly representable.
+        const FLUSH_EVERY: usize = 1024;
+        /// Below this length the binned path's setup (a zeroed
+        /// 2048-entry table) is not worth it.
+        const BINNED_MIN: usize = 1024;
+        if xs.len() < BINNED_MIN {
+            for &x in xs {
+                self.add(x);
             }
             return;
         }
-        // Non-canonical right-hand side: normalise a copy first so limb
-        // magnitudes stay bounded.
-        self.normalize();
-        let mut o = other.clone();
-        o.normalize();
-        for (a, b) in self.limbs.iter_mut().zip(o.limbs.iter()) {
+        // One bin per biased exponent (0..=2046; 2047 is non-finite and
+        // rejected below). The allocation is fresh-zeroed pages — cheap
+        // next to the element loop it amortizes over.
+        let mut bins = vec![0i64; 2048];
+        for batch in xs.chunks(FLUSH_EVERY) {
+            // Hoisted finiteness check: one vectorizable pre-scan per
+            // batch instead of a test-and-branch per element.
+            assert!(
+                batch.iter().all(|x| x.is_finite()),
+                "ExactAccumulator::add requires finite input"
+            );
+            let mut blo = bins.len();
+            let mut bhi = 0usize;
+            for &x in batch {
+                let bits = x.to_bits();
+                let e = ((bits >> 52) & 0x7ff) as usize;
+                let frac = bits & 0x000f_ffff_ffff_ffff;
+                let mant = (frac | ((u64::from(e != 0)) << 52)) as i64;
+                // Branchless ±mantissa: `(m ^ s) − s` with an
+                // all-ones/zero mask.
+                let sm = -((bits >> 63) as i64);
+                bins[e] += (mant ^ sm) - sm;
+                blo = blo.min(e);
+                bhi = bhi.max(e + 1);
+            }
+            // Scatter the touched exponent hull into the limbs. Each
+            // bin is a signed multiple of 2^(offset − 1074) below 2⁶³
+            // in magnitude, so it lands in three consecutive limbs
+            // exactly like a single add (lower digits zero-extended,
+            // top digit arithmetic so it carries the sign) and charges
+            // one unit of normalization headroom.
+            let mut flushed = 0u32;
+            let mut lo = self.lo;
+            let mut hi = self.hi;
+            for (i, bin) in bins[blo..bhi.max(blo)].iter_mut().enumerate() {
+                let msum = *bin;
+                if msum == 0 {
+                    continue;
+                }
+                *bin = 0;
+                let offset = ((blo + i) as u32).saturating_sub(1);
+                // `offset ≤ 2046` ⇒ `limb ≤ 63`; the mask is a no-op
+                // that lets the compiler drop the slice bounds check.
+                let limb = ((offset / LIMB_BITS) as usize) & 63;
+                let shift = offset % LIMB_BITS;
+                let chunk = (msum as i128) << shift; // ≤ 94 bits
+                let window = &mut self.limbs[limb..limb + 3];
+                window[0] += (chunk as u32) as i64;
+                window[1] += ((chunk >> LIMB_BITS) as u32) as i64;
+                window[2] += (chunk >> (2 * LIMB_BITS)) as i64;
+                lo = lo.min(limb as u32);
+                hi = hi.max(limb as u32 + 3);
+                flushed += 1;
+            }
+            self.lo = lo;
+            self.hi = hi;
+            self.pending = self.pending.saturating_add(flushed);
+            if self.pending >= NORMALIZE_EVERY {
+                self.normalize();
+            }
+        }
+    }
+
+    /// Merge another accumulator into this one (exact; used by the
+    /// parallel reproducible sum and the reproducible collectives).
+    ///
+    /// Never clones: only `other`'s occupied span is folded in, the
+    /// spans are unioned, and carry propagation stays deferred. The
+    /// headroom bookkeeping charges a canonical right-hand side
+    /// (`pending == 0`, every limb below 2³¹ — e.g. it arrived
+    /// serialized off the wire, or a worker normalized its partial
+    /// before hand-off) like two adds; a raw right-hand side carries
+    /// its own `pending` count, so limb magnitudes stay bounded even
+    /// when **both** sides are non-canonical.
+    pub fn merge(&mut self, other: &ExactAccumulator) {
+        if other.lo >= other.hi {
+            // The span is a superset of the nonzero limbs, so an empty
+            // span means `other` is exactly zero.
+            return;
+        }
+        let (olo, ohi) = (other.lo as usize, other.hi as usize);
+        for (a, b) in self.limbs[olo..ohi].iter_mut().zip(&other.limbs[olo..ohi]) {
             *a += *b;
         }
-        self.pending = 2; // one denormalised add's worth of slack used
+        self.lo = self.lo.min(other.lo);
+        self.hi = self.hi.max(other.hi);
+        // Each side's limbs are bounded by `pending · 2³² + 2³¹`, so
+        // summing the pending counts keeps the bound valid; both
+        // operands sit far below `NORMALIZE_EVERY`, so the fold cannot
+        // overflow an i64 before the normalize below runs.
+        self.pending = self.pending.saturating_add(other.pending.max(2));
+        if self.pending >= NORMALIZE_EVERY {
+            self.normalize();
+        }
     }
 
     /// Carry-propagate into the canonical *balanced-digit* form: every
@@ -151,9 +275,15 @@ impl ExactAccumulator {
     /// canonical form is a pure function of the exact accumulated
     /// value, which is what makes `round` permutation invariant.
     ///
+    /// Only the occupied span `[lo, hi)` is walked (limbs outside it
+    /// are zero by invariant, and processing a zero limb with zero
+    /// carry is the identity), plus however far the final carry
+    /// ripples; afterwards the span is tightened to the exact nonzero
+    /// hull.
+    ///
     /// Public so producers can canonicalize *before* a hand-off (worker
-    /// partials, serialized wire messages), which lets the receiving
-    /// [`ExactAccumulator::merge`] take its no-clone fast path.
+    /// partials, serialized wire messages), which keeps every limb
+    /// small and the wire encoding tight.
     pub fn normalize(&mut self) {
         // The base is a power of two, so the euclidean quotient and
         // remainder are an arithmetic shift and a mask; the balanced
@@ -163,50 +293,80 @@ impl ExactAccumulator {
         const BASE: i64 = 1i64 << LIMB_BITS;
         const HALF: i64 = BASE / 2;
         const MASK: i64 = BASE - 1;
+        self.pending = 0;
+        if self.lo >= self.hi {
+            self.lo = LIMBS as u32;
+            self.hi = 0;
+            return;
+        }
+        let lo = self.lo as usize;
+        let hi = self.hi as usize;
         let mut carry = 0i64;
-        for limb in self.limbs.iter_mut() {
-            let v = *limb + carry;
+        let mut i = lo;
+        while i < hi || (carry != 0 && i < LIMBS) {
+            let v = self.limbs[i] + carry;
             let r = v & MASK; // in [0, 2^32)
             let q = v >> LIMB_BITS; // floor quotient
             let adj = i64::from(r >= HALF);
-            *limb = r - (adj << LIMB_BITS);
+            self.limbs[i] = r - (adj << LIMB_BITS);
             carry = q + adj;
+            i += 1;
         }
         debug_assert_eq!(carry, 0, "accumulator overflow");
-        self.pending = 0;
+        // Tighten to the exact nonzero hull.
+        let mut new_lo = lo;
+        let mut new_hi = i;
+        while new_lo < new_hi && self.limbs[new_lo] == 0 {
+            new_lo += 1;
+        }
+        while new_hi > new_lo && self.limbs[new_hi - 1] == 0 {
+            new_hi -= 1;
+        }
+        if new_lo >= new_hi {
+            self.lo = LIMBS as u32;
+            self.hi = 0;
+        } else {
+            self.lo = new_lo as u32;
+            self.hi = new_hi as u32;
+        }
     }
 
     /// `true` when the exact value is zero.
     pub fn is_zero(&self) -> bool {
         if self.pending == 0 {
-            return self.limbs.iter().all(|&l| l == 0);
+            // Canonical: the span is tight, so zero ⇔ empty span; the
+            // scan below also covers spans left loose by decoding.
+            return self.limbs[self.lo as usize..self.hi.max(self.lo) as usize]
+                .iter()
+                .all(|&l| l == 0);
         }
         let mut probe = self.clone();
         probe.normalize();
-        probe.limbs.iter().all(|&l| l == 0)
+        probe.lo >= probe.hi
     }
 
     /// Round the exact value to the nearest `f64` (faithful, ≤ 1 ulp;
     /// deterministic function of the accumulated multiset).
     pub fn round(&self) -> f64 {
         let probe;
-        let limbs = if self.pending == 0 {
-            &self.limbs
+        let acc = if self.pending == 0 {
+            self
         } else {
             probe = {
                 let mut p = self.clone();
                 p.normalize();
                 p
             };
-            &probe.limbs
+            &probe
         };
-        // Compensated top-down conversion: terms decay by 2^-32 per
+        // Compensated top-down conversion over the occupied span only
+        // (limbs outside contribute nothing): terms decay by 2^-32 per
         // limb, so the first three nonzero limbs already determine the
         // result; Neumaier compensation absorbs the tail exactly.
         let mut sum = 0.0f64;
         let mut comp = 0.0f64;
-        for i in (0..LIMBS).rev() {
-            let l = limbs[i];
+        for i in (acc.lo as usize..acc.hi.max(acc.lo) as usize).rev() {
+            let l = acc.limbs[i];
             if l == 0 {
                 continue;
             }
@@ -220,6 +380,96 @@ impl ExactAccumulator {
             sum = t;
         }
         sum + comp
+    }
+
+    /// Exact encoded size in bytes of [`ExactAccumulator::to_wire_bytes`]
+    /// for the current span: `2 + 8·(hi − lo)`. Tight after a
+    /// [`ExactAccumulator::normalize`]; a loose span only overestimates
+    /// (never under), so cost models stay safe.
+    pub fn wire_len(&self) -> usize {
+        let span = self.hi.saturating_sub(self.lo) as usize;
+        2 + std::mem::size_of::<i64>() * span
+    }
+
+    /// Span-encoded wire serialization: a 2-byte `[lo, hi)` header
+    /// followed by the occupied limbs as little-endian `i64`s. The
+    /// state is canonicalized first (on a copy when needed), so the
+    /// encoding is a pure function of the accumulated value and at
+    /// most `2 + WIRE_BYTES` bytes; the zero value encodes as the
+    /// 2-byte header `[0, 0]`.
+    pub fn to_wire_bytes(&self) -> Vec<u8> {
+        let probe;
+        let acc = if self.pending == 0 {
+            self
+        } else {
+            probe = {
+                let mut p = self.clone();
+                p.normalize();
+                p
+            };
+            &probe
+        };
+        if acc.lo >= acc.hi {
+            return vec![0u8, 0u8];
+        }
+        let (lo, hi) = (acc.lo as usize, acc.hi as usize);
+        let mut out = Vec::with_capacity(2 + 8 * (hi - lo));
+        out.push(lo as u8);
+        out.push(hi as u8);
+        for &l in &acc.limbs[lo..hi] {
+            out.extend_from_slice(&l.to_le_bytes());
+        }
+        out
+    }
+
+    /// Decode a [`ExactAccumulator::to_wire_bytes`] message. Returns
+    /// `None` when the header is out of range or the length does not
+    /// match the span (a malformed or truncated message).
+    pub fn from_wire_bytes(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() < 2 {
+            return None;
+        }
+        let (lo, hi) = (bytes[0] as usize, bytes[1] as usize);
+        if hi <= lo {
+            return (bytes.len() == 2).then(ExactAccumulator::new);
+        }
+        if hi > LIMBS || bytes.len() != 2 + 8 * (hi - lo) {
+            return None;
+        }
+        let mut acc = ExactAccumulator::new();
+        for (i, raw) in bytes[2..].chunks_exact(8).enumerate() {
+            acc.limbs[lo + i] = i64::from_le_bytes(raw.try_into().expect("8-byte chunk"));
+        }
+        acc.lo = lo as u32;
+        acc.hi = hi as u32;
+        Some(acc)
+    }
+
+    /// The occupied limb span `[lo, hi)`, or `None` for the empty
+    /// span. Exposed for the span-invariant property tests.
+    #[doc(hidden)]
+    pub fn span(&self) -> Option<(usize, usize)> {
+        (self.lo < self.hi).then_some((self.lo as usize, self.hi as usize))
+    }
+
+    /// `true` when the span invariant holds: every nonzero limb lies
+    /// inside `[lo, hi)`. Exposed for the property tests.
+    #[doc(hidden)]
+    pub fn span_covers_nonzero(&self) -> bool {
+        self.limbs
+            .iter()
+            .enumerate()
+            .all(|(i, &l)| l == 0 || ((self.lo as usize) <= i && i < self.hi as usize))
+    }
+
+    /// Bitwise state equality (limbs, span, pending) — for the wire
+    /// round-trip tests.
+    #[doc(hidden)]
+    pub fn state_eq(&self, other: &ExactAccumulator) -> bool {
+        self.limbs == other.limbs
+            && self.pending == other.pending
+            && self.lo == other.lo
+            && self.hi == other.hi
     }
 }
 
@@ -244,9 +494,17 @@ impl FromIterator<f64> for ExactAccumulator {
     }
 }
 
+/// Accumulate a slice exactly into one accumulator via the bulk
+/// [`ExactAccumulator::add_slice`] loop.
+pub(crate) fn accumulate_exact(xs: &[f64]) -> ExactAccumulator {
+    let mut acc = ExactAccumulator::new();
+    acc.add_slice(xs);
+    acc
+}
+
 /// Exact, reproducible sum of a slice: the one-shot API.
 pub fn exact_sum(xs: &[f64]) -> f64 {
-    xs.iter().copied().collect::<ExactAccumulator>().round()
+    accumulate_exact(xs).round()
 }
 
 #[cfg(test)]
@@ -389,5 +647,119 @@ mod tests {
     #[should_panic(expected = "finite")]
     fn nan_panics() {
         ExactAccumulator::new().add(f64::NAN);
+    }
+
+    #[test]
+    fn striped_accumulation_matches_element_order() {
+        let mut rng = SplitMix64::new(33);
+        for n in [0usize, 1, 7, 31, 32, 33, 1000, 12_345] {
+            let xs: Vec<f64> = (0..n)
+                .map(|_| (rng.next_f64() - 0.5) * 10f64.powi((rng.next_below(40) as i32) - 20))
+                .collect();
+            let serial = xs.iter().copied().collect::<ExactAccumulator>().round();
+            assert_eq!(exact_sum(&xs).to_bits(), serial.to_bits(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn span_tracks_occupied_limbs() {
+        let mut acc = ExactAccumulator::new();
+        assert!(acc.span().is_none());
+        assert!(acc.span_covers_nonzero());
+        acc.add(1.0);
+        assert!(acc.span_covers_nonzero());
+        let (lo, hi) = acc.span().unwrap();
+        assert!(hi - lo <= 3, "one add occupies at most three limbs");
+        acc.normalize();
+        // 1.0 sits at bit 1074 => limb 33; the tight hull is 1 limb.
+        assert_eq!(acc.span(), Some((33, 34)));
+        // Exact cancellation collapses the span back to empty.
+        acc.add(-1.0);
+        acc.normalize();
+        assert!(acc.span().is_none());
+        assert!(acc.is_zero());
+    }
+
+    #[test]
+    fn span_survives_wide_dynamic_range_and_carries() {
+        let mut acc = ExactAccumulator::new();
+        acc.add(1e300);
+        acc.add(1e-300);
+        acc.add(f64::MAX);
+        for _ in 0..100 {
+            acc.add(f64::MAX * 0.5);
+        }
+        assert!(acc.span_covers_nonzero());
+        acc.normalize();
+        assert!(acc.span_covers_nonzero());
+        let (lo, hi) = acc.span().unwrap();
+        assert!(lo < hi && hi <= LIMBS);
+    }
+
+    #[test]
+    fn wire_round_trip_is_bitwise_lossless() {
+        let mut rng = SplitMix64::new(44);
+        for n in [0usize, 1, 10, 500] {
+            let xs: Vec<f64> = (0..n)
+                .map(|_| (rng.next_f64() - 0.5) * 10f64.powi((rng.next_below(60) as i32) - 30))
+                .collect();
+            let mut acc: ExactAccumulator = xs.iter().copied().collect();
+            acc.normalize();
+            let bytes = acc.to_wire_bytes();
+            assert_eq!(bytes.len(), acc.wire_len(), "n={n}");
+            assert!(bytes.len() <= 2 + ExactAccumulator::WIRE_BYTES);
+            let decoded = ExactAccumulator::from_wire_bytes(&bytes).unwrap();
+            assert!(decoded.state_eq(&acc), "n={n}");
+            assert_eq!(decoded.round().to_bits(), acc.round().to_bits());
+        }
+    }
+
+    #[test]
+    fn wire_encoding_is_small_for_small_dynamic_range() {
+        let mut rng = SplitMix64::new(45);
+        let mut acc = ExactAccumulator::new();
+        for _ in 0..1000 {
+            acc.add(rng.next_f64() * 1e6 - 5e5);
+        }
+        acc.normalize();
+        assert!(
+            acc.wire_len() <= 2 + 8 * 8,
+            "narrow-range data should occupy few limbs, got {}",
+            acc.wire_len()
+        );
+    }
+
+    #[test]
+    fn wire_rejects_malformed_messages() {
+        assert!(ExactAccumulator::from_wire_bytes(&[]).is_none());
+        assert!(ExactAccumulator::from_wire_bytes(&[0]).is_none());
+        // span says 2 limbs but only one limb of payload
+        let mut short = vec![10u8, 12u8];
+        short.extend_from_slice(&1i64.to_le_bytes());
+        assert!(ExactAccumulator::from_wire_bytes(&short).is_none());
+        // hi beyond the limb count
+        let mut oob = vec![69u8, 71u8];
+        oob.extend_from_slice(&1i64.to_le_bytes());
+        oob.extend_from_slice(&1i64.to_le_bytes());
+        assert!(ExactAccumulator::from_wire_bytes(&oob).is_none());
+        // zero value round-trips through the bare header
+        let zero = ExactAccumulator::new().to_wire_bytes();
+        assert_eq!(zero, vec![0u8, 0u8]);
+        assert!(ExactAccumulator::from_wire_bytes(&zero).unwrap().is_zero());
+    }
+
+    #[test]
+    fn merge_without_normalizing_either_side_is_exact() {
+        // Both sides raw (pending > 0): the no-clone fold must still be
+        // exact and keep the span invariant.
+        let mut rng = SplitMix64::new(46);
+        let a: Vec<f64> = (0..500).map(|_| rng.next_f64() * 1e10 - 5e9).collect();
+        let b: Vec<f64> = (0..500).map(|_| rng.next_f64() * 1e-10).collect();
+        let mut acc_a: ExactAccumulator = a.iter().copied().collect();
+        let acc_b: ExactAccumulator = b.iter().copied().collect();
+        acc_a.merge(&acc_b);
+        assert!(acc_a.span_covers_nonzero());
+        let concat: Vec<f64> = a.iter().chain(b.iter()).copied().collect();
+        assert_eq!(acc_a.round().to_bits(), exact_sum(&concat).to_bits());
     }
 }

@@ -126,35 +126,35 @@ pub fn ordered_threaded_sum(xs: &[f64], threads: usize) -> f64 {
 }
 
 /// Parallel **reproducible** sum: each worker accumulates its chunk
-/// exactly, accumulators are merged exactly, and the single final
+/// exactly, accumulators are merged exactly (in chunk-index order, via
+/// [`fpna_core::executor::par_reduce_indexed`]), and the single final
 /// rounding makes the result independent of both schedule *and*
 /// partitioning (unlike [`ordered_threaded_sum`], whose bits change
 /// with the thread count).
+///
+/// `threads` is the chunk-boundary hint; the executor primitive runs
+/// the chunks on scoped threads, or serially when called inside
+/// another executor worker (one shared budget) — the bits are the same
+/// either way.
 pub fn reproducible_threaded_sum(xs: &[f64], threads: usize) -> f64 {
     assert!(threads > 0, "need at least one thread");
-    if threads == 1 || xs.len() < 2 {
-        return xs.iter().copied().collect::<ExactAccumulator>().round();
-    }
-    let ranges = chunk_ranges(xs.len(), threads);
-    let mut partials: Vec<ExactAccumulator> =
-        (0..ranges.len()).map(|_| ExactAccumulator::new()).collect();
-    std::thread::scope(|scope| {
-        for (acc, &(lo, hi)) in partials.iter_mut().zip(&ranges) {
-            scope.spawn(move || {
-                for &x in &xs[lo..hi] {
-                    acc.add(x);
-                }
-                // Canonicalize in parallel so the serial merge below
-                // takes the no-clone fast path.
-                acc.normalize();
-            });
-        }
-    });
-    let mut total = ExactAccumulator::new();
-    for acc in &partials {
-        total.merge(acc);
-    }
-    total.round()
+    fpna_core::executor::par_reduce_indexed(
+        threads,
+        xs.len(),
+        |_, range| {
+            let mut acc = crate::exact::accumulate_exact(&xs[range]);
+            // Canonicalize in parallel: keeps limbs small for the
+            // chunk-ordered merges and the merges cheap (span-only).
+            acc.normalize();
+            acc
+        },
+        |mut total, part| {
+            total.merge(&part);
+            total
+        },
+    )
+    .map(|acc| acc.round())
+    .unwrap_or_else(|| ExactAccumulator::new().round())
 }
 
 #[cfg(test)]

@@ -105,4 +105,93 @@ proptest! {
             prop_assert_eq!(acc.round().to_bits(), x.to_bits());
         }
     }
+
+    /// The sparse-span invariant: under arbitrary interleavings of
+    /// `add`, `merge` (canonical and raw) and `normalize`, the tracked
+    /// `[lo, hi)` window always covers every nonzero limb, and the
+    /// value stays exactly the multiset sum of everything folded in.
+    #[test]
+    fn span_invariant_under_interleavings(
+        ops in vec(0u8..5u8, 1..200),
+        vals in vec(summable(), 200..201),
+    ) {
+        let mut acc = ExactAccumulator::new();
+        let mut other = ExactAccumulator::new();
+        let mut model_acc: Vec<f64> = Vec::new();
+        let mut model_other: Vec<f64> = Vec::new();
+        for (i, op) in ops.into_iter().enumerate() {
+            let v = vals[i % vals.len()];
+            match op {
+                0 => { acc.add(v); model_acc.push(v); }
+                1 => { other.add(v); model_other.push(v); }
+                2 => {
+                    // canonical rhs merge (the wire/worker hand-off)
+                    other.normalize();
+                    acc.merge(&other);
+                    model_acc.extend(model_other.iter().copied());
+                }
+                3 => {
+                    // raw rhs merge (both sides possibly non-canonical)
+                    acc.merge(&other);
+                    model_acc.extend(model_other.iter().copied());
+                }
+                _ => acc.normalize(),
+            }
+            prop_assert!(acc.span_covers_nonzero(), "acc span lost a nonzero limb");
+            prop_assert!(other.span_covers_nonzero(), "other span lost a nonzero limb");
+        }
+        prop_assert_eq!(acc.round().to_bits(), exact_sum(&model_acc).to_bits());
+        prop_assert_eq!(other.round().to_bits(), exact_sum(&model_other).to_bits());
+    }
+
+    /// Wire round trip is bitwise lossless: encode → decode reproduces
+    /// the canonical state (limbs, span, pending) and the same bytes.
+    #[test]
+    fn wire_round_trip_lossless(xs in vec(summable(), 0..200)) {
+        let mut acc: ExactAccumulator = xs.iter().copied().collect();
+        // encoding canonicalizes internally; decoding must match the
+        // canonicalized state exactly
+        let bytes = acc.to_wire_bytes();
+        prop_assert!(bytes.len() <= 2 + ExactAccumulator::WIRE_BYTES);
+        let decoded = ExactAccumulator::from_wire_bytes(&bytes).unwrap();
+        acc.normalize();
+        prop_assert!(decoded.state_eq(&acc), "decoded state differs");
+        prop_assert_eq!(bytes.len(), acc.wire_len());
+        prop_assert_eq!(decoded.to_wire_bytes(), bytes);
+        prop_assert_eq!(decoded.round().to_bits(), acc.round().to_bits());
+    }
+
+    /// `add_slice` (the binned bulk loop) is bitwise equivalent to
+    /// per-element `add`, at every length around its internal
+    /// thresholds.
+    #[test]
+    fn add_slice_matches_per_element_adds(xs in vec(summable(), 0..3000)) {
+        let mut bulk = ExactAccumulator::new();
+        bulk.add_slice(&xs);
+        let per: ExactAccumulator = xs.iter().copied().collect();
+        prop_assert!(bulk.span_covers_nonzero());
+        prop_assert_eq!(bulk.round().to_bits(), per.round().to_bits());
+        // canonical states agree too
+        let mut a = bulk.clone();
+        let mut b = per.clone();
+        a.normalize();
+        b.normalize();
+        prop_assert!(a.state_eq(&b));
+    }
+
+    /// The intra-run parallel reproducible sum is bitwise equal to the
+    /// serial sum for every thread-count hint.
+    #[test]
+    fn reproducible_sum_thread_hint_invariant(xs in vec(summable(), 0..2000)) {
+        use fpna_summation::parallel::reproducible_threaded_sum;
+        let serial = reproducible_threaded_sum(&xs, 1);
+        prop_assert_eq!(serial.to_bits(), exact_sum(&xs).to_bits());
+        for threads in [2usize, 4, 7] {
+            prop_assert_eq!(
+                reproducible_threaded_sum(&xs, threads).to_bits(),
+                serial.to_bits(),
+                "threads={}", threads
+            );
+        }
+    }
 }

@@ -174,10 +174,17 @@ fn conv_transpose_nd(
 
     if ctx.deterministic_requested() {
         // Gather order: each output element accumulates its
-        // contributors in fixed (ci, k) lexicographic order.
-        for_each_index(&s.spatial_out, |o_idx| {
-            for n in 0..s.batch {
-                for co in 0..s.c_out {
+        // contributors in fixed (ci, k) lexicographic order. Output
+        // `(n, c_out)` planes are disjoint, so large contractions are
+        // plane-blocked across the intra-run thread budget — the
+        // per-element gather order is untouched, so the bits never
+        // depend on the thread count.
+        let gather_planes = |planes: std::ops::Range<usize>, region: &mut [f64]| {
+            for (local, nc) in planes.enumerate() {
+                let n = nc / s.c_out;
+                let co = nc % s.c_out;
+                let row = &mut region[local * out_spatial_len..(local + 1) * out_spatial_len];
+                for_each_index(&s.spatial_out, |o_idx| {
                     let mut acc = 0.0f64;
                     for ci in 0..s.c_in {
                         for_each_index(&s.kernel, |k_idx| {
@@ -201,11 +208,17 @@ fn conv_transpose_nd(
                             acc += iv * wv;
                         });
                     }
-                    let addr = (n * s.c_out + co) * out_spatial_len + flatten(o_idx, &s.spatial_out);
-                    out.data_mut()[addr] += acc;
-                }
+                    row[flatten(o_idx, &s.spatial_out)] += acc;
+                });
             }
-        });
+        };
+        let planes = s.batch * s.c_out;
+        let work = planes * out_spatial_len * s.c_in * k_len;
+        if work >= 1 << 16 {
+            fpna_core::executor::par_fill(out.data_mut(), out_spatial_len, gather_planes);
+        } else {
+            gather_planes(0..planes, out.data_mut());
+        }
     } else {
         // Scatter order: contributions in input-major program order,
         // committed in the device's atomic order.

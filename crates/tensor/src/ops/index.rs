@@ -140,6 +140,9 @@ pub fn index_put(ctx: &GpuContext, dst: &Tensor, index: &[u32], values: &[f64]) 
 }
 
 /// `out[k, :] = src[index[k], :]` — pure reads, deterministic always.
+/// Output rows are independent, so the gather is row-blocked across
+/// the intra-run thread budget (bitwise invariant to the thread
+/// count).
 pub fn gather_rows(src: &Tensor, index: &[u32]) -> Result<Tensor> {
     let rows = src.shape().first().copied().unwrap_or(0);
     for &i in index {
@@ -152,9 +155,19 @@ pub fn gather_rows(src: &Tensor, index: &[u32]) -> Result<Tensor> {
         }
     }
     let w = src.row_len();
-    let mut data = Vec::with_capacity(index.len() * w);
-    for &i in index {
-        data.extend_from_slice(src.row(i as usize));
+    let mut data;
+    if index.len() * w >= 1 << 16 {
+        data = vec![0.0f64; index.len() * w];
+        fpna_core::executor::par_fill(&mut data, w, |ks, region| {
+            for (local, k) in ks.enumerate() {
+                region[local * w..(local + 1) * w].copy_from_slice(src.row(index[k] as usize));
+            }
+        });
+    } else {
+        data = Vec::with_capacity(index.len() * w);
+        for &i in index {
+            data.extend_from_slice(src.row(i as usize));
+        }
     }
     let mut shape = vec![index.len()];
     shape.extend_from_slice(&src.shape()[1..]);

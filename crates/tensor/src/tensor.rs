@@ -144,29 +144,68 @@ impl Tensor {
         &self.data[r * w..(r + 1) * w]
     }
 
+    /// Minimum element count before an elementwise op fans across the
+    /// intra-run thread budget.
+    const PAR_ELEM_FLOOR: usize = 1 << 16;
+
     /// Elementwise map into a new tensor.
-    pub fn map(&self, f: impl Fn(f64) -> f64) -> Tensor {
+    ///
+    /// Large tensors are chunk-parallel across the intra-run thread
+    /// budget; `f` is applied per element either way, so the bits
+    /// never depend on the thread count.
+    pub fn map(&self, f: impl Fn(f64) -> f64 + Sync) -> Tensor {
+        if self.data.len() < Self::PAR_ELEM_FLOOR {
+            return Tensor {
+                shape: self.shape.clone(),
+                data: self.data.iter().map(|&x| f(x)).collect(),
+            };
+        }
+        let mut data = vec![0.0f64; self.data.len()];
+        fpna_core::executor::par_fill(&mut data, 1, |range, region| {
+            for (o, &x) in region.iter_mut().zip(&self.data[range]) {
+                *o = f(x);
+            }
+        });
         Tensor {
             shape: self.shape.clone(),
-            data: self.data.iter().map(|&x| f(x)).collect(),
+            data,
         }
     }
 
     /// Elementwise binary zip into a new tensor.
     ///
+    /// Chunk-parallel like [`Tensor::map`]; bitwise invariant to the
+    /// thread count.
+    ///
     /// # Panics
     ///
     /// Panics on shape mismatch.
-    pub fn zip(&self, other: &Tensor, f: impl Fn(f64, f64) -> f64) -> Tensor {
+    pub fn zip(&self, other: &Tensor, f: impl Fn(f64, f64) -> f64 + Sync) -> Tensor {
         assert_eq!(self.shape, other.shape, "zip shape mismatch");
+        if self.data.len() < Self::PAR_ELEM_FLOOR {
+            return Tensor {
+                shape: self.shape.clone(),
+                data: self
+                    .data
+                    .iter()
+                    .zip(&other.data)
+                    .map(|(&a, &b)| f(a, b))
+                    .collect(),
+            };
+        }
+        let mut data = vec![0.0f64; self.data.len()];
+        fpna_core::executor::par_fill(&mut data, 1, |range, region| {
+            for ((o, &a), &b) in region
+                .iter_mut()
+                .zip(&self.data[range.clone()])
+                .zip(&other.data[range])
+            {
+                *o = f(a, b);
+            }
+        });
         Tensor {
             shape: self.shape.clone(),
-            data: self
-                .data
-                .iter()
-                .zip(&other.data)
-                .map(|(&a, &b)| f(a, b))
-                .collect(),
+            data,
         }
     }
 

@@ -119,4 +119,45 @@ proptest! {
             prop_assert!((a - b).abs() <= 1e-9 * a.abs().max(1.0));
         }
     }
+
+    /// Elementwise ops, row gathers and the deterministic transposed
+    /// convolution are bitwise invariant to the intra-run thread
+    /// budget.
+    #[test]
+    fn tensor_ops_are_intra_thread_invariant(
+        seed in any::<u64>(),
+        n in 1usize..50_000,
+        c_in in 1usize..4,
+        c_out in 1usize..4,
+        len in 1usize..40,
+        k in 1usize..4,
+    ) {
+        use fpna_core::executor::{intra_hint_test_guard, set_intra_threads};
+        let _hint = intra_hint_test_guard();
+        let x = Tensor::rand(vec![n], seed).map(|v| v * 1e6 - 5e5);
+        let y = Tensor::rand(vec![n], seed ^ 1);
+        let rows = 64usize.min(n);
+        let mut rng = fpna_core::rng::SplitMix64::new(seed ^ 2);
+        let index: Vec<u32> = (0..n).map(|_| rng.next_below(rows as u64) as u32).collect();
+        let table = Tensor::rand(vec![rows, 3], seed ^ 3);
+        let cin = Tensor::rand(vec![2, c_in, len], seed ^ 4);
+        let w = Tensor::rand(vec![c_in, c_out, k], seed ^ 5);
+        let params = ConvParams::uniform(1, 1, 0);
+
+        set_intra_threads(1);
+        let map_ref = x.map(|v| v.sqrt().abs() + 1.0);
+        let zip_ref = x.zip(&y, |a, b| a * b + 0.5);
+        let gather_ref = gather_rows(&table, &index).unwrap();
+        let conv_ref = conv_transpose1d(&det_ctx(), &cin, &w, None, &params).unwrap();
+        for threads in [2usize, 4, 7] {
+            set_intra_threads(threads);
+            prop_assert!(x.map(|v| v.sqrt().abs() + 1.0).bitwise_eq(&map_ref), "map threads={}", threads);
+            prop_assert!(x.zip(&y, |a, b| a * b + 0.5).bitwise_eq(&zip_ref), "zip threads={}", threads);
+            prop_assert!(gather_rows(&table, &index).unwrap().bitwise_eq(&gather_ref), "gather threads={}", threads);
+            prop_assert!(
+                conv_transpose1d(&det_ctx(), &cin, &w, None, &params).unwrap().bitwise_eq(&conv_ref),
+                "conv threads={}", threads
+            );
+        }
+    }
 }
