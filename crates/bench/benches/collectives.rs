@@ -89,6 +89,39 @@ fn bench_net_sim(c: &mut Criterion) {
             })
         },
     );
+    // Segmented (pipelined) variants: 8× the message count through the
+    // engine for the same payload — the regime the allocation-free
+    // event loop exists for.
+    group.bench_with_input(
+        BenchmarkId::new("ring_seg8", "hier"),
+        &ranks,
+        |b, ranks| {
+            b.iter(|| {
+                allreduce_on(
+                    &hier,
+                    std::hint::black_box(ranks),
+                    Algorithm::SegmentedRing { segments: 8 },
+                    Ordering::ArrivalOrder { seed: 42 },
+                    &cfg,
+                )
+            })
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("tree4_seg8", "hier"),
+        &ranks,
+        |b, ranks| {
+            b.iter(|| {
+                allreduce_on(
+                    &hier,
+                    std::hint::black_box(ranks),
+                    Algorithm::SegmentedTree { fanout: 4, segments: 8 },
+                    Ordering::ArrivalOrder { seed: 42 },
+                    &cfg,
+                )
+            })
+        },
+    );
     group.finish();
 }
 

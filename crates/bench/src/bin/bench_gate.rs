@@ -53,6 +53,14 @@ const SUITE_THRESHOLDS: &[(&str, f64)] = &[
     ("gnn", 1.4),
 ];
 
+/// Suites that run in CI (compile + execute, so they cannot bit-rot)
+/// but are **never** timing-gated: their rows are dropped from both
+/// the comparison and `--update`, so they can neither regress the gate
+/// nor sneak into the committed baseline. Currently the raw
+/// event-engine microbenchmarks, which the end-to-end `allreduce_net`
+/// suite already covers.
+const UNGATED_SUITES: &[&str] = &["net_engine"];
+
 /// The gating threshold for a benchmark id: an explicit
 /// `--suite-threshold` override wins outright; otherwise the built-in
 /// suite values act as *looser minimums* on top of `--threshold`
@@ -236,7 +244,8 @@ fn default_baseline_path() -> PathBuf {
     Path::new(&manifest).join("baselines/bench-baseline.json")
 }
 
-/// All rows from every `<target>/bench-json/*.json` file.
+/// All rows from every `<target>/bench-json/*.json` file, minus the
+/// deliberately ungated suites.
 fn read_current() -> std::io::Result<BTreeMap<String, u128>> {
     let Some(dir) = target_dir().map(|t| t.join("bench-json")) else {
         return Ok(BTreeMap::new());
@@ -248,6 +257,10 @@ fn read_current() -> std::io::Result<BTreeMap<String, u128>> {
             map.extend(parse_rows(&std::fs::read_to_string(&path)?));
         }
     }
+    map.retain(|id, _| {
+        let suite = id.split('/').next().unwrap_or(id);
+        !UNGATED_SUITES.contains(&suite)
+    });
     Ok(map)
 }
 

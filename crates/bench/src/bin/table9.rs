@@ -16,8 +16,16 @@
 //!   bandwidth overhead (70× payload for fp64) that the simulated
 //!   elapsed time and the analytic α–β model both price.
 //!
+//! `--segments a,b,…` (default `1`) additionally sweeps NCCL-style
+//! payload pipelining: the tree runs as `SegmentedTree` with each
+//! listed chunk count. Chunking never changes the bits of any regime
+//! (per element the fold order is that of the unsegmented tree, and
+//! reproducible mode is content-addressed anyway) — it only moves the
+//! clock, which the elapsed/overhead columns and the segmented α–β
+//! model price.
+//!
 //! `cargo run --release -p fpna-bench --bin table9 [--len 4096] [--runs 25] [--fanout 4] [--seed 9]
-//!  [--threads N] [--paper-scale]`
+//!  [--segments 1,8,32] [--threads N] [--paper-scale]`
 
 use fpna_collectives::{allreduce_on, Algorithm, NetConfig, Ordering};
 use fpna_core::metrics::scalar_variability;
@@ -48,10 +56,34 @@ fn main() {
     let runs = args.size("runs", 25, 500);
     let fanout = fpna_bench::arg_usize("fanout", 4);
     let seed = fpna_bench::arg_u64("seed", 9);
+    let segments: Vec<usize> = fpna_bench::arg_string("segments")
+        .map(|v| {
+            v.split(',')
+                .map(|s| {
+                    s.trim()
+                        .parse()
+                        .unwrap_or_else(|_| panic!("--segments expects integers, got {s}"))
+                })
+                .collect()
+        })
+        .unwrap_or_else(|| vec![1]);
+    assert!(
+        !segments.is_empty() && segments.iter().all(|&k| k >= 1),
+        "--segments expects a comma-separated list of positive chunk counts"
+    );
+    // Keep the default (unsegmented) banner text byte-stable.
+    let seg_note = if segments == [1] {
+        String::new()
+    } else {
+        format!(
+            ", segment sweep {{{}}}",
+            segments.iter().map(|k| k.to_string()).collect::<Vec<_>>().join(",")
+        )
+    };
     fpna_bench::banner(
         "Table 9 (interconnect)",
         "timing-driven allreduce variability vs cost, by topology depth",
-        &format!("{len}-element vectors, {runs} runs/config, fanout-{fanout} tree"),
+        &format!("{len}-element vectors, {runs} runs/config, fanout-{fanout} tree{seg_note}"),
     );
 
     let alg = Algorithm::KAryTree { fanout };
@@ -107,6 +139,7 @@ fn main() {
             "topology",
             "hops",
             "schedule",
+            "seg",
             "jitter",
             "differing",
             "mean Vc",
@@ -117,138 +150,160 @@ fn main() {
         ])
         .with_title(format!("p = {p} ranks"));
 
-        // mean Vc per (jitter level, topology) for the growth check
-        let mut growth: Vec<Vec<f64>> = vec![Vec::new(); jitter_levels.len()];
+        // mean Vc per (jitter level, segment count, topology) for the
+        // growth check.
+        let mut growth: Vec<Vec<Vec<f64>>> =
+            vec![vec![Vec::new(); segments.len()]; jitter_levels.len()];
 
         for topo in topologies(p) {
             let hops = topo.diameter_hops();
+            for (ki, &segs) in segments.iter().enumerate() {
+                // `SegmentedTree` at one chunk is the plain tree; values
+                // are bitwise those of the unsegmented algorithm at every
+                // chunk count — segmentation only pipelines the clock.
+                let alg = if segs == 1 { alg } else { Algorithm::SegmentedTree { fanout, segments: segs } };
 
-            // -- software-scheduled: zero jitter, rank-ordered folds --
-            let base_cfg = NetConfig::default();
-            let sched = sweep_seeds(
-                &executor,
-                &allreduce_on(&topo, &ranks, alg, Ordering::RankOrder, &base_cfg).values,
-                &(0..runs as u64).collect::<Vec<_>>(),
-                |_| {
-                    let out = allreduce_on(&topo, &ranks, alg, Ordering::RankOrder, &base_cfg);
-                    (out.values, out.elapsed_ns)
-                },
-            );
-            let plain_elapsed = sched.elapsed_ns.mean;
-            // "zero timing spread" = every run took the identical
-            // simulated time (min == max exactly; the std estimate
-            // itself carries rounding noise).
-            let zero_spread = sched.elapsed_ns.min.to_bits() == sched.elapsed_ns.max.to_bits();
-            if !sched.bitwise_reproducible() || !zero_spread {
-                all_checks_pass = false;
-            }
-            table.push_row([
-                topo.name().to_string(),
-                hops.to_string(),
-                "sw-scheduled".into(),
-                "0".into(),
-                format!("0/{runs}"),
-                format!("{:.4}", sched.variability.vc.mean),
-                format!("{:.3e}", sched.variability.vermv.mean),
-                "0".into(),
-                mean_std(sched.elapsed_ns.mean / 1e3, sched.elapsed_ns.std_dev / 1e3, 1),
-                "1.00x".into(),
-            ]);
+                // -- software-scheduled: zero jitter, rank-ordered folds --
+                let base_cfg = NetConfig::default();
+                let sched = sweep_seeds(
+                    &executor,
+                    &allreduce_on(&topo, &ranks, alg, Ordering::RankOrder, &base_cfg).values,
+                    &(0..runs as u64).collect::<Vec<_>>(),
+                    |_| {
+                        let out = allreduce_on(&topo, &ranks, alg, Ordering::RankOrder, &base_cfg);
+                        (out.values, out.elapsed_ns)
+                    },
+                );
+                let plain_elapsed = sched.elapsed_ns.mean;
+                // "zero timing spread" = every run took the identical
+                // simulated time (min == max exactly; the std estimate
+                // itself carries rounding noise).
+                let zero_spread = sched.elapsed_ns.min.to_bits() == sched.elapsed_ns.max.to_bits();
+                if !sched.bitwise_reproducible() || !zero_spread {
+                    all_checks_pass = false;
+                }
+                table.push_row([
+                    topo.name().to_string(),
+                    hops.to_string(),
+                    "sw-scheduled".into(),
+                    segs.to_string(),
+                    "0".into(),
+                    format!("0/{runs}"),
+                    format!("{:.4}", sched.variability.vc.mean),
+                    format!("{:.3e}", sched.variability.vermv.mean),
+                    "0".into(),
+                    mean_std(sched.elapsed_ns.mean / 1e3, sched.elapsed_ns.std_dev / 1e3, 1),
+                    "1.00x".into(),
+                ]);
 
-            // -- arrival order at each jitter level --
-            for (j, &frac) in jitter_levels.iter().enumerate() {
-                let cfg = NetConfig {
-                    jitter_frac: frac,
-                    ..NetConfig::default()
-                };
-                let run = |s: u64| {
+                // -- arrival order at each jitter level --
+                for (j, &frac) in jitter_levels.iter().enumerate() {
+                    let cfg = NetConfig {
+                        jitter_frac: frac,
+                        ..NetConfig::default()
+                    };
+                    let run = |s: u64| {
+                        let out = allreduce_on(
+                            &topo,
+                            &ranks,
+                            alg,
+                            Ordering::ArrivalOrder { seed: derive_seed(seed, s) },
+                            &cfg,
+                        );
+                        (out.values, out.elapsed_ns)
+                    };
+                    let (reference, _) = run(0);
+                    let seeds: Vec<u64> = (1..=runs as u64).collect();
+                    // Collect the raw outputs (in seed order) so the extra
+                    // first-element |Vs| statistic comes from the same runs
+                    // the report summarises.
+                    let outputs = executor.map_runs(seeds.len(), |i| run(seeds[i]));
+                    let vs_max = outputs
+                        .iter()
+                        .map(|(v, _)| scalar_variability(v[0], reference[0]).abs())
+                        .fold(0.0f64, f64::max);
+                    let sweep = SeedSweep::from_outputs(&reference, &outputs);
+                    growth[j][ki].push(sweep.variability.vc.mean);
+                    table.push_row([
+                        topo.name().to_string(),
+                        hops.to_string(),
+                        "arrival order".into(),
+                        segs.to_string(),
+                        format!("{frac}"),
+                        format!(
+                            "{}/{runs}",
+                            runs - sweep.variability.bitwise_identical_runs
+                        ),
+                        format!("{:.4}", sweep.variability.vc.mean),
+                        format!("{:.3e}", sweep.variability.vermv.mean),
+                        format!("{vs_max:.3e}"),
+                        mean_std(sweep.elapsed_ns.mean / 1e3, sweep.elapsed_ns.std_dev / 1e3, 1),
+                        format!("{:.2}x", sweep.elapsed_ns.mean / plain_elapsed),
+                    ]);
+                }
+
+                // -- reproducible: exact accumulators on a jittered fabric --
+                let cfg = NetConfig::default();
+                let seeds: Vec<u64> = (0..runs as u64).map(|s| derive_seed(seed ^ 0xE4A7, s)).collect();
+                let repro = sweep_seeds(&executor, &exact_reference, &seeds, |s| {
                     let out = allreduce_on(
                         &topo,
                         &ranks,
                         alg,
-                        Ordering::ArrivalOrder { seed: derive_seed(seed, s) },
-                        &cfg,
+                        Ordering::Reproducible,
+                        &cfg.with_jitter_seed(s),
                     );
                     (out.values, out.elapsed_ns)
+                });
+                if !repro.bitwise_reproducible() {
+                    all_checks_pass = false;
+                }
+                // Only the reduce (up) phase ships accumulators; the
+                // broadcast carries rounded f64s. So the inflating part is
+                // the up-phase bandwidth term (half the model's symmetric
+                // bandwidth), and everything else (latencies both ways +
+                // down-phase bandwidth) is charged at plain size.
+                let cost = CostModel::from_topology(&topo);
+                let depth = CostModel::tree_depth(p, fanout) as f64;
+                let (plain_total_ns, up_bandwidth_ns) = if segs == 1 {
+                    (
+                        cost.tree_allreduce_ns(p, fanout, (len * 8) as u64),
+                        depth * fanout as f64 * (len * 8) as f64 * cost.beta_ns_per_byte,
+                    )
+                } else {
+                    let stages = 2.0 * depth + (segs as f64 - 1.0);
+                    let total_bw =
+                        stages * fanout as f64 * (len * 8) as f64 * cost.beta_ns_per_byte / segs as f64;
+                    (
+                        cost.segmented_tree_allreduce_ns(p, fanout, (len * 8) as u64, segs),
+                        total_bw / 2.0,
+                    )
                 };
-                let (reference, _) = run(0);
-                let seeds: Vec<u64> = (1..=runs as u64).collect();
-                // Collect the raw outputs (in seed order) so the extra
-                // first-element |Vs| statistic comes from the same runs
-                // the report summarises.
-                let outputs = executor.map_runs(seeds.len(), |i| run(seeds[i]));
-                let vs_max = outputs
-                    .iter()
-                    .map(|(v, _)| scalar_variability(v[0], reference[0]).abs())
-                    .fold(0.0f64, f64::max);
-                let sweep = SeedSweep::from_outputs(&reference, &outputs);
-                growth[j].push(sweep.variability.vc.mean);
+                // Payload-accurate model: price the up phase at the
+                // measured converged span-encoded size (the widest payload
+                // any hop carries) instead of the dense worst case.
+                let modeled = CostModel::reproducible_overhead(
+                    plain_total_ns - up_bandwidth_ns,
+                    up_bandwidth_ns,
+                    converged_payload.ceil() as usize,
+                );
                 table.push_row([
                     topo.name().to_string(),
                     hops.to_string(),
-                    "arrival order".into(),
-                    format!("{frac}"),
+                    "reproducible".into(),
+                    segs.to_string(),
+                    format!("{}", NetConfig::default().jitter_frac),
+                    format!("0/{runs}"),
+                    format!("{:.4}", repro.variability.vc.mean),
+                    format!("{:.3e}", repro.variability.vermv.mean),
+                    "0".into(),
+                    mean_std(repro.elapsed_ns.mean / 1e3, repro.elapsed_ns.std_dev / 1e3, 1),
                     format!(
-                        "{}/{runs}",
-                        runs - sweep.variability.bitwise_identical_runs
+                        "{:.2}x (model {modeled:.2}x)",
+                        repro.elapsed_ns.mean / plain_elapsed
                     ),
-                    format!("{:.4}", sweep.variability.vc.mean),
-                    format!("{:.3e}", sweep.variability.vermv.mean),
-                    format!("{vs_max:.3e}"),
-                    mean_std(sweep.elapsed_ns.mean / 1e3, sweep.elapsed_ns.std_dev / 1e3, 1),
-                    format!("{:.2}x", sweep.elapsed_ns.mean / plain_elapsed),
                 ]);
             }
-
-            // -- reproducible: exact accumulators on a jittered fabric --
-            let cfg = NetConfig::default();
-            let seeds: Vec<u64> = (0..runs as u64).map(|s| derive_seed(seed ^ 0xE4A7, s)).collect();
-            let repro = sweep_seeds(&executor, &exact_reference, &seeds, |s| {
-                let out = allreduce_on(
-                    &topo,
-                    &ranks,
-                    alg,
-                    Ordering::Reproducible,
-                    &cfg.with_jitter_seed(s),
-                );
-                (out.values, out.elapsed_ns)
-            });
-            if !repro.bitwise_reproducible() {
-                all_checks_pass = false;
-            }
-            // Only the reduce (up) phase ships accumulators; the
-            // broadcast carries rounded f64s. So the inflating part is
-            // the up-phase bandwidth term d·f·n·β, and everything else
-            // (latencies both ways + down-phase bandwidth) is charged
-            // at plain size.
-            let cost = CostModel::from_topology(&topo);
-            let depth = CostModel::tree_depth(p, fanout) as f64;
-            let up_bandwidth_ns =
-                depth * fanout as f64 * (len * 8) as f64 * cost.beta_ns_per_byte;
-            let plain_total_ns = cost.tree_allreduce_ns(p, fanout, (len * 8) as u64);
-            // Payload-accurate model: price the up phase at the
-            // measured converged span-encoded size (the widest payload
-            // any hop carries) instead of the dense worst case.
-            let modeled = CostModel::reproducible_overhead(
-                plain_total_ns - up_bandwidth_ns,
-                up_bandwidth_ns,
-                converged_payload.ceil() as usize,
-            );
-            table.push_row([
-                topo.name().to_string(),
-                hops.to_string(),
-                "reproducible".into(),
-                format!("{}", NetConfig::default().jitter_frac),
-                format!("0/{runs}"),
-                format!("{:.4}", repro.variability.vc.mean),
-                format!("{:.3e}", repro.variability.vermv.mean),
-                "0".into(),
-                mean_std(repro.elapsed_ns.mean / 1e3, repro.elapsed_ns.std_dev / 1e3, 1),
-                format!(
-                    "{:.2}x (model {modeled:.2}x)",
-                    repro.elapsed_ns.mean / plain_elapsed
-                ),
-            ]);
         }
 
         println!("{}", table.render());
@@ -258,20 +313,27 @@ fn main() {
         // at exactly zero below their reorder threshold — that *is*
         // the depth transition).
         for (j, &frac) in jitter_levels.iter().enumerate() {
-            let vcs = &growth[j];
-            let monotone = vcs.windows(2).all(|w| w[0] <= w[1] + 1e-12);
-            let nonzero_deep = *vcs.last().unwrap() > 0.0;
-            if !monotone || !nonzero_deep {
-                all_checks_pass = false;
+            for (ki, &segs) in segments.iter().enumerate() {
+                let vcs = &growth[j][ki];
+                let monotone = vcs.windows(2).all(|w| w[0] <= w[1] + 1e-12);
+                let nonzero_deep = *vcs.last().unwrap() > 0.0;
+                if !monotone || !nonzero_deep {
+                    all_checks_pass = false;
+                }
+                let seg_note = if segments == [1] {
+                    String::new()
+                } else {
+                    format!(", segments {segs}")
+                };
+                println!(
+                    "growth check (jitter {frac}{seg_note}): mean Vc by depth = {} -> {}",
+                    vcs.iter()
+                        .map(|v| format!("{v:.4}"))
+                        .collect::<Vec<_>>()
+                        .join(" <= "),
+                    if monotone && nonzero_deep { "PASS" } else { "FAIL" }
+                );
             }
-            println!(
-                "growth check (jitter {frac}): mean Vc by depth = {} -> {}",
-                vcs.iter()
-                    .map(|v| format!("{v:.4}"))
-                    .collect::<Vec<_>>()
-                    .join(" <= "),
-                if monotone && nonzero_deep { "PASS" } else { "FAIL" }
-            );
         }
         println!();
     }

@@ -38,27 +38,35 @@ use std::fmt::Write as _;
 
 use fpna_core::executor::RunExecutor;
 
-/// Shared per-binary experiment arguments: worker threads and the
-/// paper-scale preset switch.
+/// Shared per-binary experiment arguments: worker threads, run
+/// batching, and the paper-scale preset switch.
 #[derive(Debug, Clone, Copy)]
 pub struct ExperimentArgs {
     /// Worker thread count for repeated-run loops (`--threads`,
     /// default `FPNA_THREADS`, default 1).
     pub threads: usize,
+    /// Run indices each worker claims per shared-counter pull
+    /// (`--run-batch`, default 1) — the work-stealing chunk-size knob
+    /// for sweeps of very short runs. Bitwise invariant; scheduling
+    /// only.
+    pub run_batch: usize,
     /// `--paper-scale`: use the paper's full experiment sizes.
     pub paper_scale: bool,
 }
 
 impl ExperimentArgs {
-    /// Parse `--threads` / `--paper-scale` from the process arguments.
+    /// Parse `--threads` / `--run-batch` / `--paper-scale` from the
+    /// process arguments.
     ///
     /// # Panics
     ///
-    /// Panics when `--threads` is given a non-positive or unparsable
-    /// value.
+    /// Panics when `--threads` or `--run-batch` is given a
+    /// non-positive or unparsable value.
     pub fn parse() -> Self {
         let threads = arg_usize("threads", RunExecutor::from_env().threads);
         assert!(threads > 0, "--threads expects a positive integer");
+        let run_batch = arg_usize("run-batch", 1);
+        assert!(run_batch > 0, "--run-batch expects a positive integer");
         // One flag, one budget: the same worker count drives the
         // repeated-run fan-out (RunExecutor) and the intra-run kernel
         // primitives; nesting collapses to serial inside workers, so
@@ -66,13 +74,14 @@ impl ExperimentArgs {
         fpna_core::executor::set_intra_threads(threads);
         ExperimentArgs {
             threads,
+            run_batch,
             paper_scale: arg_flag("paper-scale"),
         }
     }
 
     /// The executor running this binary's repeated-run loops.
     pub fn executor(&self) -> RunExecutor {
-        RunExecutor::new(self.threads)
+        RunExecutor::new(self.threads).with_batch(self.run_batch)
     }
 
     /// An experiment size: the explicit `--name` flag when present,
@@ -123,6 +132,12 @@ pub fn arg_u64(name: &str, default: u64) -> u64 {
                 .unwrap_or_else(|_| panic!("--{name} expects an integer, got {v}"))
         })
         .unwrap_or(default)
+}
+
+/// Parse `--name value` as a raw string (e.g. for comma-separated
+/// lists a binary splits itself).
+pub fn arg_string(name: &str) -> Option<String> {
+    arg_value(name)
 }
 
 fn arg_value(name: &str) -> Option<String> {
@@ -202,16 +217,19 @@ mod tests {
     fn experiment_args_pick_preset_sizes() {
         let scaled = ExperimentArgs {
             threads: 1,
+            run_batch: 1,
             paper_scale: false,
         };
         assert_eq!(scaled.size("not-a-flag", 40, 10_000), 40);
         assert_eq!(scaled.scale_label(), "scaled-down default");
         let paper = ExperimentArgs {
             threads: 4,
+            run_batch: 8,
             paper_scale: true,
         };
         assert_eq!(paper.size("not-a-flag", 40, 10_000), 10_000);
         assert_eq!(paper.executor().threads, 4);
+        assert_eq!(paper.executor().batch, 8);
         assert_eq!(paper.scale_label(), "paper-scale");
     }
 }

@@ -9,6 +9,7 @@
 //! | k-ary tree, rank order | children ascending | yes |
 //! | k-ary tree, arrival order | seeded shuffle per node | **no** |
 //! | recursive doubling | (lower, upper) pairs | yes |
+//! | segmented ring / tree | as their unsegmented base | as their base (chunking is a timing knob) |
 //! | any algorithm, reproducible | exact accumulators | yes, and identical across algorithms |
 //!
 //! Note the subtlety the tests pin down: ring and tree are each
@@ -33,6 +34,29 @@ pub enum Algorithm {
     },
     /// Recursive doubling (rank count must be a power of two).
     RecursiveDoubling,
+    /// [`Algorithm::Ring`] with each rank-segment pipelined in
+    /// `segments` chunks (NCCL-style overlap): on the network path
+    /// chunk `i+1` serializes while chunk `i` propagates. Per element
+    /// the combine order is exactly the ring rotation, so **values are
+    /// bitwise identical to `Ring` at every segment count**; only the
+    /// clock changes. The in-memory path therefore delegates to the
+    /// plain ring.
+    SegmentedRing {
+        /// Pipeline chunk count (≥ 1; 1 means unsegmented).
+        segments: usize,
+    },
+    /// [`Algorithm::KAryTree`] with the payload pipelined in
+    /// `segments` chunks flowing up and down the tree back to back.
+    /// Per element the fold order matches the unsegmented tree, so the
+    /// in-memory path delegates to `KAryTree`; on the network path the
+    /// levels overlap and (under arrival order) each chunk's fold
+    /// order emerges from its own message timing.
+    SegmentedTree {
+        /// Children per node (≥ 2).
+        fanout: usize,
+        /// Pipeline chunk count (≥ 1; 1 means unsegmented).
+        segments: usize,
+    },
 }
 
 /// Combine-order policy at each reduction point.
@@ -68,16 +92,28 @@ pub fn allreduce(ranks: &[Vec<f64>], algorithm: Algorithm, ordering: Ordering) -
     if let Ordering::Reproducible = ordering {
         return reproducible_sum(ranks, m);
     }
+    let order_seed = |ordering: Ordering| match ordering {
+        Ordering::ArrivalOrder { seed } => Some(seed),
+        Ordering::RankOrder => None,
+        Ordering::Reproducible => unreachable!(),
+    };
     match algorithm {
         Algorithm::Ring => ring(ranks, m),
+        Algorithm::SegmentedRing { segments } => {
+            // Segmentation is a wire-level pipelining knob; the
+            // per-element combine order is the ring rotation either
+            // way, so the in-memory bits are the plain ring's.
+            assert!(segments >= 1, "segment count must be positive");
+            ring(ranks, m)
+        }
         Algorithm::KAryTree { fanout } => {
             assert!(fanout >= 2, "tree fanout must be at least 2");
-            let order_seed = match ordering {
-                Ordering::ArrivalOrder { seed } => Some(seed),
-                Ordering::RankOrder => None,
-                Ordering::Reproducible => unreachable!(),
-            };
-            tree(ranks, fanout, order_seed)
+            tree(ranks, fanout, order_seed(ordering))
+        }
+        Algorithm::SegmentedTree { fanout, segments } => {
+            assert!(fanout >= 2, "tree fanout must be at least 2");
+            assert!(segments >= 1, "segment count must be positive");
+            tree(ranks, fanout, order_seed(ordering))
         }
         Algorithm::RecursiveDoubling => {
             assert!(

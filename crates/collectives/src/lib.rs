@@ -13,7 +13,13 @@
 //!
 //! * [`allreduce::Algorithm::Ring`], [`allreduce::Algorithm::KAryTree`]
 //!   and [`allreduce::Algorithm::RecursiveDoubling`] — the classic
-//!   topologies. With [`allreduce::Ordering::ArrivalOrder`], each
+//!   topologies — plus the NCCL-style pipelined
+//!   [`allreduce::Algorithm::SegmentedRing`] /
+//!   [`allreduce::Algorithm::SegmentedTree`] variants, which cut the
+//!   payload into chunks so serialization overlaps propagation on the
+//!   simulated fabric without changing a single output bit relative to
+//!   their unsegmented base. With
+//!   [`allreduce::Ordering::ArrivalOrder`], each
 //!   combine step folds incoming contributions in (simulated seeded)
 //!   message-arrival order — the MPI reality on a busy fabric, and a
 //!   source of run-to-run variability *on top of* the intra-node FPNA
@@ -44,4 +50,4 @@ pub mod allreduce;
 pub mod netsim;
 
 pub use allreduce::{allreduce, Algorithm, Ordering};
-pub use netsim::{allreduce_on, NetAllreduce, NetConfig};
+pub use netsim::{allreduce_on, NetAllreduce, NetConfig, MAX_SEGMENTS};

@@ -1,8 +1,9 @@
 //! Timing-driven allreduce over a simulated interconnect.
 //!
-//! [`allreduce_on`] executes the same three algorithms as
-//! [`crate::allreduce()`](crate::allreduce::allreduce) — ring, k-ary tree, recursive doubling — but
-//! as *event-driven protocols* on an [`fpna_net`] fabric. Combine
+//! [`allreduce_on`] executes the same algorithms as
+//! [`crate::allreduce()`](crate::allreduce::allreduce) — ring, k-ary tree, recursive doubling,
+//! plus the segmented (pipelined) ring/tree variants — but as
+//! *event-driven protocols* on an [`fpna_net`] fabric. Combine
 //! order is no longer injected by a seeded shuffle; it **emerges from
 //! message timing**:
 //!
@@ -21,9 +22,30 @@
 //!   instead of 8), the fabric stays jittered, and one final rounding
 //!   happens at the reduction root (tree/recursive doubling) or
 //!   segment owner (ring). Bits are identical across every topology,
-//!   algorithm and jitter seed; the bandwidth inflation is the
-//!   network's "cost of reproducibility" — now priced at the actual
-//!   encoded payload.
+//!   algorithm, jitter seed **and segment count**; the bandwidth
+//!   inflation is the network's "cost of reproducibility" — priced at
+//!   the actual encoded payload.
+//!
+//! ## Segmentation (NCCL-style pipelining)
+//!
+//! [`Algorithm::SegmentedRing`] and [`Algorithm::SegmentedTree`] cut
+//! the payload into `k` chunks that travel as independent messages, so
+//! serialization of chunk `i+1` overlaps propagation of chunk `i` and
+//! the bandwidth term pipelines across hops. Chunking never changes
+//! *which* values combine in *which* order per element — each element
+//! lives in exactly one chunk and follows the same ring rotation /
+//! tree fold as the unsegmented protocol — so segmentation is a pure
+//! timing knob: values are bitwise identical to the unsegmented
+//! algorithm at every chunk count (the property tests pin this).
+//!
+//! ## Allocation discipline
+//!
+//! The hot path allocates only at protocol start-up: in-flight payload
+//! buffers are *moved* into a dense message-id slab (never cloned —
+//! the one genuine copy, recursive doubling's keep-and-send, goes
+//! through a recycling buffer pool), a rank's own contribution is
+//! folded straight from its input slice instead of materialising a
+//! temporary buffer, and delivered buffers return to the pool.
 //!
 //! The cheap shuffle-based path in [`crate::allreduce()`](crate::allreduce::allreduce) remains as a
 //! fallback for experiments that don't need a network model.
@@ -31,7 +53,6 @@
 use crate::allreduce::{Algorithm, Ordering};
 use fpna_net::{JitterModel, NetSim, RunStats, Topology};
 use fpna_summation::exact::ExactAccumulator;
-use std::collections::HashMap;
 
 /// Fabric-behaviour knobs shared by every ordering.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -92,25 +113,9 @@ enum Values {
 }
 
 impl Values {
-    fn from_slice(xs: &[f64], exact: bool) -> Self {
-        if exact {
-            Values::Exact(
-                xs.iter()
-                    .map(|&x| {
-                        let mut a = ExactAccumulator::new();
-                        a.add(x);
-                        // Canonical from birth: every accumulator that
-                        // travels (or is folded into) is in normalized
-                        // wire form, so each per-message merge takes
-                        // the no-clone fast path.
-                        a.normalize();
-                        a
-                    })
-                    .collect(),
-            )
-        } else {
-            Values::Plain(xs.to_vec())
-        }
+    /// A placeholder carrying no buffer — what `take` leaves behind.
+    fn empty() -> Self {
+        Values::Plain(Vec::new())
     }
 
     /// Fold `rhs` into `self` as `self[i] = self[i] + rhs[i]` — the
@@ -134,11 +139,26 @@ impl Values {
         }
     }
 
-    /// `lower[i] + upper[i]` without mutating either operand.
-    fn combine(lower: &Values, upper: &Values) -> Values {
-        let mut out = lower.clone();
-        out.fold_in(upper);
-        out
+    /// Fold a rank's resident contribution straight from its input
+    /// slice: `self[i] = self[i] + xs[i]`, with no temporary buffer.
+    /// Bitwise identical to folding a freshly built `Values` over
+    /// `xs`: the exact accumulator's canonical form is a pure function
+    /// of the accumulated value, so `add` + `normalize` lands in the
+    /// same state as merging a one-element accumulator.
+    fn fold_in_slice(&mut self, xs: &[f64]) {
+        match self {
+            Values::Plain(a) => {
+                for (x, y) in a.iter_mut().zip(xs) {
+                    *x += y;
+                }
+            }
+            Values::Exact(a) => {
+                for (x, &y) in a.iter_mut().zip(xs) {
+                    x.add(y);
+                    x.normalize();
+                }
+            }
+        }
     }
 
     fn round(&self) -> Vec<f64> {
@@ -165,6 +185,104 @@ impl Values {
     }
 }
 
+/// Recycles the backing buffers of retired [`Values`] so steady-state
+/// protocol rounds stop hitting the allocator: a freed buffer keeps
+/// its capacity and the next `from_slice`/`clone_values` reuses it.
+#[derive(Debug, Default)]
+struct BufferPool {
+    plain: Vec<Vec<f64>>,
+    exact: Vec<Vec<ExactAccumulator>>,
+}
+
+impl BufferPool {
+    /// Build a `Values` over `xs` (exact accumulators canonical from
+    /// birth, so every downstream merge takes the no-clone fast path),
+    /// reusing a pooled buffer when one is free.
+    fn values_of(&mut self, xs: &[f64], exact: bool) -> Values {
+        if exact {
+            let mut a = self.exact.pop().unwrap_or_default();
+            a.clear();
+            a.extend(xs.iter().map(|&x| {
+                let mut acc = ExactAccumulator::new();
+                acc.add(x);
+                acc.normalize();
+                acc
+            }));
+            Values::Exact(a)
+        } else {
+            let mut v = self.plain.pop().unwrap_or_default();
+            v.clear();
+            v.extend_from_slice(xs);
+            Values::Plain(v)
+        }
+    }
+
+    /// A copy of `src` in a pooled buffer — the keep-and-send case
+    /// (recursive doubling), where both the resident state and the
+    /// wire message need the bytes.
+    fn clone_values(&mut self, src: &Values) -> Values {
+        match src {
+            Values::Plain(v) => {
+                let mut out = self.plain.pop().unwrap_or_default();
+                out.clone_from(v);
+                Values::Plain(out)
+            }
+            Values::Exact(a) => {
+                let mut out = self.exact.pop().unwrap_or_default();
+                out.clone_from(a);
+                Values::Exact(out)
+            }
+        }
+    }
+
+    /// Return a retired buffer to the pool.
+    fn recycle(&mut self, v: Values) {
+        match v {
+            Values::Plain(p) => self.plain.push(p),
+            Values::Exact(e) => self.exact.push(e),
+        }
+    }
+}
+
+/// In-flight payloads keyed by engine message id. Ids are dense and
+/// injection-ordered, so an indexed slot per message replaces the old
+/// per-message `HashMap` insert/remove (the hashing half of the
+/// engine's former per-event overhead). The slots live in a sliding
+/// window: taking a payload retires the dead prefix, so memory tracks
+/// the in-flight span rather than every message the run ever injected
+/// (which segmentation multiplies 8–32×).
+#[derive(Debug, Default)]
+struct Payloads {
+    /// Id of the first slot in `slots`; every id below it has already
+    /// been taken (or never carried a payload).
+    base: u64,
+    slots: std::collections::VecDeque<Option<Values>>,
+}
+
+impl Payloads {
+    fn insert(&mut self, msg: u64, v: Values) {
+        // Ids are injection-ordered, so a fresh insert is always at or
+        // past `base`.
+        let i = (msg - self.base) as usize;
+        if i >= self.slots.len() {
+            self.slots.resize(i + 1, None);
+        }
+        self.slots[i] = Some(v);
+    }
+
+    fn take(&mut self, msg: u64) -> Option<Values> {
+        let i = msg.checked_sub(self.base)? as usize;
+        let v = self.slots.get_mut(i).and_then(Option::take);
+        // Retire the drained prefix (each slot is popped exactly once,
+        // so this is amortized O(1) per message).
+        while matches!(self.slots.front(), Some(None)) {
+            self.slots.pop_front();
+            self.base += 1;
+        }
+        v
+    }
+}
+
 fn jitter_for(ordering: Ordering, config: &NetConfig) -> JitterModel {
     match ordering {
         Ordering::ArrivalOrder { seed } => JitterModel::uniform(config.jitter_frac, seed),
@@ -173,16 +291,24 @@ fn jitter_for(ordering: Ordering, config: &NetConfig) -> JitterModel {
     }
 }
 
+/// Largest supported segment (chunk) count — bounded by the ring's
+/// tag packing (chunk id and step share the 32-bit tag space below
+/// the allgather tag base).
+pub const MAX_SEGMENTS: usize = 1 << 12;
+
 /// Allreduce (sum) executed as an event-driven protocol on `topo`.
 /// Returns the reduced vector plus simulated cost. The value
 /// semantics match [`crate::allreduce()`](crate::allreduce::allreduce): with zero jitter and
-/// rank-ordered folds the bits are identical to the in-memory path.
+/// rank-ordered folds the bits are identical to the in-memory path,
+/// and the segmented variants are bitwise identical to their
+/// unsegmented bases at every segment count.
 ///
 /// # Panics
 ///
 /// Panics on empty input, mismatched vector lengths, a rank count
-/// different from `topo.ranks()`, fanout < 2, or a non-power-of-two
-/// rank count for recursive doubling.
+/// different from `topo.ranks()`, fanout < 2, a segment count of 0 or
+/// above [`MAX_SEGMENTS`], or a non-power-of-two rank count for
+/// recursive doubling.
 pub fn allreduce_on(
     topo: &Topology,
     ranks: &[Vec<f64>],
@@ -203,12 +329,27 @@ pub fn allreduce_on(
         ranks.iter().all(|v| v.len() == m),
         "all ranks must contribute equally-shaped vectors"
     );
+    let check_segments = |segments: usize| {
+        assert!(
+            (1..=MAX_SEGMENTS).contains(&segments),
+            "segment count must be in 1..={MAX_SEGMENTS}, got {segments}"
+        );
+    };
     let jitter = jitter_for(ordering, config);
     match algorithm {
-        Algorithm::Ring => ring_on(topo, ranks, ordering, config, jitter),
+        Algorithm::Ring => ring_on(topo, ranks, 1, ordering, config, jitter),
+        Algorithm::SegmentedRing { segments } => {
+            check_segments(segments);
+            ring_on(topo, ranks, segments, ordering, config, jitter)
+        }
         Algorithm::KAryTree { fanout } => {
             assert!(fanout >= 2, "tree fanout must be at least 2");
-            tree_on(topo, ranks, fanout, ordering, config, jitter)
+            tree_on(topo, ranks, fanout, 1, ordering, config, jitter)
+        }
+        Algorithm::SegmentedTree { fanout, segments } => {
+            assert!(fanout >= 2, "tree fanout must be at least 2");
+            check_segments(segments);
+            tree_on(topo, ranks, fanout, segments, ordering, config, jitter)
         }
         Algorithm::RecursiveDoubling => {
             assert!(
@@ -220,108 +361,201 @@ pub fn allreduce_on(
     }
 }
 
+/// Tree tags: `(chunk << 1) | direction`.
 const TAG_UP: u64 = 0;
 const TAG_DOWN: u64 = 1;
-/// Ring allgather tags are `TAG_AG_BASE + segment`.
+/// Ring reduce-scatter tags are `(chunk << RING_CHUNK_SHIFT) | step`;
+/// allgather tags add [`TAG_AG_BASE`] and carry the segment owner in
+/// the step bits.
+const RING_CHUNK_SHIFT: u64 = 20;
 const TAG_AG_BASE: u64 = 1 << 32;
+
+/// Boundaries of chunk `c` (of `k`) inside the index range `lo..hi`.
+fn chunk_bounds(lo: usize, hi: usize, k: usize, c: usize) -> (usize, usize) {
+    let n = hi - lo;
+    let per = n.div_ceil(k);
+    (lo + (c * per).min(n), lo + ((c + 1) * per).min(n))
+}
 
 /// K-ary reduction tree rooted at rank 0 (children of `v` are
 /// `f·v + 1 ..= f·v + f`), then a broadcast of the rounded result down
 /// the same tree. Fold order at each node: own buffer first, then
 /// children — in simulated-arrival order, or buffered into rank order.
+///
+/// With `segments > 1` the payload is cut into that many chunks, each
+/// reduced and broadcast through the same tree as an independent
+/// message stream; per element the fold order is unchanged, so values
+/// are bitwise those of the unsegmented tree (per ordering), while
+/// chunk `i+1` serializes behind chunk `i` and the levels pipeline.
 fn tree_on(
     topo: &Topology,
     ranks: &[Vec<f64>],
     fanout: usize,
+    segments: usize,
     ordering: Ordering,
     config: &NetConfig,
     jitter: JitterModel,
 ) -> NetAllreduce {
     let p = ranks.len();
     let m = ranks[0].len();
+    let k = segments;
     let exact = matches!(ordering, Ordering::Reproducible);
     let rank_order = matches!(ordering, Ordering::RankOrder);
     let parent = |v: usize| (v - 1) / fanout;
-    let children = |v: usize| (1..=fanout).map(move |k| fanout * v + k).filter(move |&c| c < p);
+    let children = |v: usize| (1..=fanout).map(move |c| fanout * v + c).filter(move |&c| c < p);
 
+    let mut pool = BufferPool::default();
+    let is_leaf = |v: usize| fanout * v + 1 >= p;
+    // A leaf's up-message is exactly its input slice: the parent folds
+    // straight from `ranks[leaf]`, so leaves never materialise a
+    // buffer — only internal nodes (which accumulate) do.
     struct Node {
-        acc: Values,
-        pending: usize,
-        buffered: Vec<(usize, Values)>,
+        /// Per-chunk accumulator state (internal nodes only).
+        accs: Vec<Values>,
+        /// Per-chunk count of children still owing a contribution.
+        pending: Vec<usize>,
+        /// Per-chunk buffered child contributions (rank-order mode):
+        /// the child rank, plus its payload for internal children
+        /// (`None` marks a leaf child, folded from its input slice).
+        buffered: Vec<Vec<(usize, Option<Values>)>>,
     }
     let mut nodes: Vec<Node> = (0..p)
         .map(|v| Node {
-            acc: Values::from_slice(&ranks[v], exact),
-            pending: children(v).count(),
-            buffered: Vec::new(),
+            accs: if is_leaf(v) && v != 0 {
+                Vec::new()
+            } else {
+                (0..k)
+                    .map(|c| {
+                        let (lo, hi) = chunk_bounds(0, m, k, c);
+                        pool.values_of(&ranks[v][lo..hi], exact)
+                    })
+                    .collect()
+            },
+            pending: vec![children(v).count(); k],
+            buffered: (0..k).map(|_| Vec::new()).collect(),
         })
         .collect();
 
     if p == 1 {
+        let values = nodes[0]
+            .accs
+            .iter()
+            .flat_map(|acc| acc.round())
+            .collect();
         return NetAllreduce {
-            values: nodes.remove(0).acc.round(),
+            values,
             elapsed_ns: 0.0,
             stats: RunStats::default(),
         };
     }
 
+    // Wire size of a leaf's chunk without building the buffer — for
+    // exact payloads this prices the same canonical one-value
+    // accumulators the parent will fold.
+    let slice_wire_bytes = |xs: &[f64]| -> u64 {
+        if exact {
+            xs.iter()
+                .map(|&x| {
+                    let mut acc = ExactAccumulator::new();
+                    acc.add(x);
+                    acc.normalize();
+                    acc.wire_len() as u64
+                })
+                .sum()
+        } else {
+            std::mem::size_of_val(xs) as u64
+        }
+    };
+
     let mut sim = NetSim::new(topo, jitter);
-    let mut payloads: HashMap<u64, Values> = HashMap::new();
-    // Leaves inject their contribution at their staggered start time.
-    for (v, node) in nodes.iter().enumerate().skip(1) {
-        if node.pending == 0 {
-            let bytes = node.acc.wire_bytes();
-            let msg = sim.send_at(config.stagger_ns * v as f64, v, parent(v), bytes, TAG_UP);
-            payloads.insert(msg, node.acc.clone());
+    let mut payloads = Payloads::default();
+    // Leaves inject their contribution at their staggered start time,
+    // chunks back to back (equal timestamps resolve by injection
+    // order, so chunk 0 hits the first link first and the rest
+    // pipeline behind it).
+    for (v, own) in ranks.iter().enumerate().skip(1) {
+        if is_leaf(v) {
+            for c in 0..k {
+                let (lo, hi) = chunk_bounds(0, m, k, c);
+                let bytes = slice_wire_bytes(&own[lo..hi]);
+                let tag = ((c as u64) << 1) | TAG_UP;
+                sim.send_at(config.stagger_ns * v as f64, v, parent(v), bytes, tag);
+            }
         }
     }
 
-    let mut result: Option<Vec<f64>> = None;
+    let mut result = vec![0.0f64; m];
+    let mut root_chunks_done = 0usize;
     let mut elapsed = 0.0f64;
-    let stats = sim.run(|sim, d| match d.tag {
-        TAG_UP => {
-            let v = d.to;
-            let payload = payloads.remove(&d.msg).expect("up message lost its payload");
-            if rank_order {
-                nodes[v].buffered.push((d.from, payload));
-            } else {
-                nodes[v].acc.fold_in(&payload);
-            }
-            nodes[v].pending -= 1;
-            if nodes[v].pending == 0 {
-                if rank_order {
-                    let mut buffered = std::mem::take(&mut nodes[v].buffered);
-                    buffered.sort_by_key(|&(c, _)| c);
-                    for (_, b) in &buffered {
-                        nodes[v].acc.fold_in(b);
-                    }
-                }
-                if v == 0 {
-                    // Root: one final rounding, then broadcast f64s.
-                    result = Some(nodes[0].acc.round());
-                    elapsed = elapsed.max(d.time);
-                    for c in children(0) {
-                        sim.send_at(d.time, 0, c, (m * 8) as u64, TAG_DOWN);
-                    }
+    let stats = sim.run(|sim, d| {
+        let c = (d.tag >> 1) as usize;
+        match d.tag & 1 {
+            TAG_UP => {
+                let v = d.to;
+                let (lo, hi) = chunk_bounds(0, m, k, c);
+                let payload = if is_leaf(d.from) {
+                    None
                 } else {
-                    let bytes = nodes[v].acc.wire_bytes();
-                    let msg = sim.send_at(d.time, v, parent(v), bytes, TAG_UP);
-                    payloads.insert(msg, nodes[v].acc.clone());
+                    Some(payloads.take(d.msg).expect("up message lost its payload"))
+                };
+                if rank_order {
+                    nodes[v].buffered[c].push((d.from, payload));
+                } else {
+                    match payload {
+                        Some(b) => {
+                            nodes[v].accs[c].fold_in(&b);
+                            pool.recycle(b);
+                        }
+                        None => nodes[v].accs[c].fold_in_slice(&ranks[d.from][lo..hi]),
+                    }
+                }
+                nodes[v].pending[c] -= 1;
+                if nodes[v].pending[c] == 0 {
+                    if rank_order {
+                        let mut buffered = std::mem::take(&mut nodes[v].buffered[c]);
+                        buffered.sort_by_key(|&(child, _)| child);
+                        for (child, b) in buffered {
+                            match b {
+                                Some(b) => {
+                                    nodes[v].accs[c].fold_in(&b);
+                                    pool.recycle(b);
+                                }
+                                None => nodes[v].accs[c].fold_in_slice(&ranks[child][lo..hi]),
+                            }
+                        }
+                    }
+                    if v == 0 {
+                        // Root: one final rounding of this chunk, then
+                        // broadcast its f64s.
+                        result[lo..hi].copy_from_slice(&nodes[0].accs[c].round());
+                        root_chunks_done += 1;
+                        elapsed = elapsed.max(d.time);
+                        for child in children(0) {
+                            let tag = ((c as u64) << 1) | TAG_DOWN;
+                            sim.send_at(d.time, 0, child, ((hi - lo) * 8) as u64, tag);
+                        }
+                    } else {
+                        let acc = std::mem::replace(&mut nodes[v].accs[c], Values::empty());
+                        let bytes = acc.wire_bytes();
+                        let tag = ((c as u64) << 1) | TAG_UP;
+                        let msg = sim.send_at(d.time, v, parent(v), bytes, tag);
+                        payloads.insert(msg, acc);
+                    }
+                }
+            }
+            _ => {
+                let v = d.to;
+                elapsed = elapsed.max(d.time);
+                for child in children(v) {
+                    sim.send_at(d.time, v, child, d.bytes, d.tag);
                 }
             }
         }
-        TAG_DOWN => {
-            let v = d.to;
-            elapsed = elapsed.max(d.time);
-            for c in children(v) {
-                sim.send_at(d.time, v, c, (m * 8) as u64, TAG_DOWN);
-            }
-        }
-        _ => unreachable!("unknown tree tag"),
     });
 
+    assert_eq!(root_chunks_done, k, "tree reduction never completed");
     NetAllreduce {
-        values: result.expect("tree reduction never completed"),
+        values: result,
         elapsed_ns: elapsed,
         stats,
     }
@@ -333,76 +567,99 @@ fn tree_on(
 /// rotation and timing only moves the clock, never the bits. The
 /// fully-reduced segment is rounded once (at rank `s − 1 mod p`) and
 /// allgathered as plain `f64`s.
+///
+/// With `segments > 1` each rank-segment is further cut into that many
+/// chunks walking the ring as independent messages — same rotation,
+/// same per-element combine order, so values are bitwise identical to
+/// the unsegmented ring while serialization pipelines across hops.
 fn ring_on(
     topo: &Topology,
     ranks: &[Vec<f64>],
+    segments: usize,
     ordering: Ordering,
     config: &NetConfig,
     jitter: JitterModel,
 ) -> NetAllreduce {
     let p = ranks.len();
     let m = ranks[0].len();
+    let k = segments;
     let exact = matches!(ordering, Ordering::Reproducible);
+    assert!(p < (1 << RING_CHUNK_SHIFT), "ring tag packing supports < 2^20 ranks");
     let seg_len = m.div_ceil(p);
     let bounds = |s: usize| ((s * seg_len).min(m), ((s + 1) * seg_len).min(m));
+    let chunk_of = |s: usize, c: usize| {
+        let (lo, hi) = bounds(s);
+        chunk_bounds(lo, hi, k, c)
+    };
 
+    let mut pool = BufferPool::default();
     let mut out = vec![0.0f64; m];
     if p == 1 {
-        let own = Values::from_slice(&ranks[0], exact);
         return NetAllreduce {
-            values: own.round(),
+            values: pool.values_of(&ranks[0], exact).round(),
             elapsed_ns: 0.0,
             stats: RunStats::default(),
         };
     }
 
     let mut sim = NetSim::new(topo, jitter);
-    let mut payloads: HashMap<u64, Values> = HashMap::new();
-    // Step 0: every rank sends its own copy of its own segment.
+    let mut payloads = Payloads::default();
+    // Step 0: every rank sends its own copy of its own segment, chunk
+    // by chunk (empty chunks still circulate as 0-byte messages so the
+    // protocol shape is uniform at every segment count).
     for (r, own) in ranks.iter().enumerate() {
-        let (lo, hi) = bounds(r);
-        let seg = Values::from_slice(&own[lo..hi], exact);
-        let bytes = seg.wire_bytes();
-        let msg = sim.send_at(config.stagger_ns * r as f64, r, (r + 1) % p, bytes, 0);
-        payloads.insert(msg, seg);
+        for c in 0..k {
+            let (lo, hi) = chunk_of(r, c);
+            let seg = pool.values_of(&own[lo..hi], exact);
+            let bytes = seg.wire_bytes();
+            let tag = (c as u64) << RING_CHUNK_SHIFT;
+            let msg = sim.send_at(config.stagger_ns * r as f64, r, (r + 1) % p, bytes, tag);
+            payloads.insert(msg, seg);
+        }
     }
 
+    let step_mask = (1u64 << RING_CHUNK_SHIFT) - 1;
     let mut elapsed = 0.0f64;
     let stats = sim.run(|sim, d| {
         elapsed = elapsed.max(d.time);
         if d.tag < TAG_AG_BASE {
             // Reduce-scatter step `s`: fold our contribution under the
-            // travelling partial for segment (from − s) mod p.
-            let s = d.tag as usize;
+            // travelling partial for chunk c of segment (from − s) mod p.
+            let s = (d.tag & step_mask) as usize;
+            let c = (d.tag >> RING_CHUNK_SHIFT) as usize;
             let r = d.to;
             let z = (d.from + p - s) % p;
-            let (lo, hi) = bounds(z);
-            let mut acc = payloads.remove(&d.msg).expect("ring partial lost");
-            let own = Values::from_slice(&ranks[r][lo..hi], exact);
-            acc.fold_in(&own);
+            let (lo, hi) = chunk_of(z, c);
+            let mut acc = payloads.take(d.msg).expect("ring partial lost");
+            acc.fold_in_slice(&ranks[r][lo..hi]);
             if s + 1 < p - 1 {
                 let bytes = acc.wire_bytes();
-                let msg = sim.send_at(d.time, r, (r + 1) % p, bytes, (s + 1) as u64);
+                let tag = ((c as u64) << RING_CHUNK_SHIFT) | (s as u64 + 1);
+                let msg = sim.send_at(d.time, r, (r + 1) % p, bytes, tag);
                 payloads.insert(msg, acc);
             } else {
-                // Segment complete: single rounding, then allgather.
+                // Chunk complete: single rounding, then allgather.
                 let rounded = acc.round();
+                pool.recycle(acc);
                 out[lo..hi].copy_from_slice(&rounded);
                 let bytes = (rounded.len() * 8) as u64;
-                let msg = sim.send_at(d.time, r, (r + 1) % p, bytes, TAG_AG_BASE + z as u64);
+                let tag = TAG_AG_BASE + (((c as u64) << RING_CHUNK_SHIFT) | z as u64);
+                let msg = sim.send_at(d.time, r, (r + 1) % p, bytes, tag);
                 payloads.insert(msg, Values::Plain(rounded));
             }
         } else {
-            // Allgather: forward the finished segment around the ring
+            // Allgather: forward the finished chunk around the ring
             // until it is one rank short of its finisher.
-            let z = (d.tag - TAG_AG_BASE) as usize;
+            let z = ((d.tag - TAG_AG_BASE) & step_mask) as usize;
             let finisher = (z + p - 1) % p;
             let t = d.to;
-            let acc = payloads.remove(&d.msg).expect("allgather segment lost");
+            let acc = payloads.take(d.msg).expect("allgather segment lost");
             if (t + 1) % p != finisher {
                 let bytes = acc.wire_bytes();
                 let msg = sim.send_at(d.time, t, (t + 1) % p, bytes, d.tag);
                 payloads.insert(msg, acc);
+            } else {
+                pool.recycle(acc);
             }
         }
     });
@@ -419,6 +676,15 @@ fn ring_on(
 /// holds identical bits after every round and timing never leaks into
 /// the values. Messages from a future round are buffered until the
 /// receiving rank finishes the rounds before it.
+///
+/// Because the combine order is fixed by construction, the plain-f64
+/// orderings split the work: the values are computed once as the
+/// balanced `(lower, upper)` block fold (bitwise identical to what
+/// every rank's in-protocol folding would produce), and the message
+/// exchange is simulated payload-free — every plain message is `m·8`
+/// bytes regardless of content, so timing needs no value state at
+/// all. `Reproducible` keeps values in the protocol: its wire sizes
+/// depend on the travelling accumulators.
 fn recursive_doubling_on(
     topo: &Topology,
     ranks: &[Vec<f64>],
@@ -426,67 +692,91 @@ fn recursive_doubling_on(
     config: &NetConfig,
     jitter: JitterModel,
 ) -> NetAllreduce {
-    let p = ranks.len();
-    let exact = matches!(ordering, Ordering::Reproducible);
-    let rounds = p.trailing_zeros() as usize;
-
-    struct RankState {
-        buf: Values,
-        round: usize,
-        ready: f64,
-        /// Buffered partner payloads by round: `(arrival, payload)`.
-        pending: HashMap<usize, (f64, Values)>,
+    if matches!(ordering, Ordering::Reproducible) {
+        recursive_doubling_exact_on(topo, ranks, config, jitter)
+    } else {
+        recursive_doubling_plain_on(topo, ranks, config, jitter)
     }
-    let mut states: Vec<RankState> = (0..p)
-        .map(|r| RankState {
-            buf: Values::from_slice(&ranks[r], exact),
-            round: 0,
-            ready: config.stagger_ns * r as f64,
-            pending: HashMap::new(),
-        })
-        .collect();
+}
 
+/// Balanced block fold `sum(block) = sum(lower half) + sum(upper
+/// half)` — the exact value (and bits) rank 0 ends the plain
+/// recursive-doubling protocol with.
+fn block_fold(ranks: &[Vec<f64>], lo: usize, len: usize) -> Vec<f64> {
+    if len == 1 {
+        return ranks[lo].clone();
+    }
+    let half = len / 2;
+    let mut lower = block_fold(ranks, lo, half);
+    if half == 1 {
+        for (a, b) in lower.iter_mut().zip(&ranks[lo + 1]) {
+            *a += b;
+        }
+    } else {
+        let upper = block_fold(ranks, lo + half, half);
+        for (a, b) in lower.iter_mut().zip(&upper) {
+            *a += b;
+        }
+    }
+    lower
+}
+
+/// The plain-f64 leg: values from [`block_fold`], timing from a
+/// payload-free replay of the exchange schedule (constant `m·8`-byte
+/// messages).
+fn recursive_doubling_plain_on(
+    topo: &Topology,
+    ranks: &[Vec<f64>],
+    config: &NetConfig,
+    jitter: JitterModel,
+) -> NetAllreduce {
+    let p = ranks.len();
+    let m = ranks[0].len();
+    let rounds = p.trailing_zeros() as usize;
+    let values = block_fold(ranks, 0, p);
     if p == 1 {
         return NetAllreduce {
-            values: states.remove(0).buf.round(),
+            values,
             elapsed_ns: 0.0,
             stats: RunStats::default(),
         };
     }
 
+    struct RankState {
+        round: usize,
+        ready: f64,
+        /// Arrival time of the partner message for each round.
+        pending: Vec<Option<f64>>,
+    }
+    let mut states: Vec<RankState> = (0..p)
+        .map(|r| RankState {
+            round: 0,
+            ready: config.stagger_ns * r as f64,
+            pending: vec![None; rounds],
+        })
+        .collect();
+
+    let bytes = (m * std::mem::size_of::<f64>()) as u64;
     let mut sim = NetSim::new(topo, jitter);
-    let mut payloads: HashMap<u64, Values> = HashMap::new();
     for (r, state) in states.iter().enumerate() {
-        let bytes = state.buf.wire_bytes();
-        let msg = sim.send_at(state.ready, r, r ^ 1, bytes, 0);
-        payloads.insert(msg, state.buf.clone());
+        sim.send_at(state.ready, r, r ^ 1, bytes, 0);
     }
 
     let mut final_time = vec![0.0f64; p];
     let stats = sim.run(|sim, d| {
         let r = d.to;
-        let payload = payloads.remove(&d.msg).expect("doubling payload lost");
-        states[r].pending.insert(d.tag as usize, (d.time, payload));
-        // Drain every round that is now unblocked, in round order.
+        states[r].pending[d.tag as usize] = Some(d.time);
         loop {
             let current = states[r].round;
-            let Some((arrived, payload)) = states[r].pending.remove(&current) else {
+            let Some(arrived) = states[r].pending.get_mut(current).and_then(Option::take)
+            else {
                 break;
             };
-            let k = states[r].round;
             let now = states[r].ready.max(arrived);
-            let partner = r ^ (1 << k);
-            states[r].buf = if r < partner {
-                Values::combine(&states[r].buf, &payload)
-            } else {
-                Values::combine(&payload, &states[r].buf)
-            };
-            states[r].round = k + 1;
+            states[r].round = current + 1;
             states[r].ready = now;
-            if k + 1 < rounds {
-                let bytes = states[r].buf.wire_bytes();
-                let msg = sim.send_at(now, r, r ^ (1 << (k + 1)), bytes, (k + 1) as u64);
-                payloads.insert(msg, states[r].buf.clone());
+            if current + 1 < rounds {
+                sim.send_at(now, r, r ^ (1 << (current + 1)), bytes, (current + 1) as u64);
             } else {
                 final_time[r] = now;
             }
@@ -495,7 +785,103 @@ fn recursive_doubling_on(
 
     let elapsed = final_time.iter().copied().fold(0.0f64, f64::max);
     NetAllreduce {
-        values: states.remove(0).buf.round(),
+        values,
+        elapsed_ns: elapsed,
+        stats,
+    }
+}
+
+/// The reproducible leg: exact accumulators travel in the messages,
+/// so wire sizes (and therefore timing) depend on the values and the
+/// protocol carries them.
+fn recursive_doubling_exact_on(
+    topo: &Topology,
+    ranks: &[Vec<f64>],
+    config: &NetConfig,
+    jitter: JitterModel,
+) -> NetAllreduce {
+    let p = ranks.len();
+    let exact = true;
+    let rounds = p.trailing_zeros() as usize;
+
+    let mut pool = BufferPool::default();
+    struct RankState {
+        buf: Values,
+        round: usize,
+        ready: f64,
+        /// Buffered partner payloads indexed by round: `(arrival, payload)`.
+        pending: Vec<Option<(f64, Values)>>,
+    }
+    let mut states: Vec<RankState> = (0..p)
+        .map(|r| RankState {
+            buf: pool.values_of(&ranks[r], exact),
+            round: 0,
+            ready: config.stagger_ns * r as f64,
+            pending: (0..rounds.max(1)).map(|_| None).collect(),
+        })
+        .collect();
+
+    if p == 1 {
+        return NetAllreduce {
+            values: states[0].buf.round(),
+            elapsed_ns: 0.0,
+            stats: RunStats::default(),
+        };
+    }
+
+    let mut sim = NetSim::new(topo, jitter);
+    let mut payloads = Payloads::default();
+    for (r, state) in states.iter().enumerate() {
+        let bytes = state.buf.wire_bytes();
+        let msg = sim.send_at(state.ready, r, r ^ 1, bytes, 0);
+        payloads.insert(msg, pool.clone_values(&state.buf));
+    }
+
+    let mut final_time = vec![0.0f64; p];
+    let stats = sim.run(|sim, d| {
+        let r = d.to;
+        let payload = payloads.take(d.msg).expect("doubling payload lost");
+        states[r].pending[d.tag as usize] = Some((d.time, payload));
+        // Drain every round that is now unblocked, in round order.
+        loop {
+            let current = states[r].round;
+            let Some((arrived, payload)) = states[r]
+                .pending
+                .get_mut(current)
+                .and_then(Option::take)
+            else {
+                break;
+            };
+            let round = states[r].round;
+            let now = states[r].ready.max(arrived);
+            let partner = r ^ (1 << round);
+            // `lower + upper` without cloning either side: fold the
+            // payload into the resident buffer (or the buffer into the
+            // payload) depending on which operand is "lower".
+            if r < partner {
+                states[r].buf.fold_in(&payload);
+                pool.recycle(payload);
+            } else {
+                let mut merged = payload;
+                merged.fold_in(&states[r].buf);
+                let retired = std::mem::replace(&mut states[r].buf, merged);
+                pool.recycle(retired);
+            }
+            states[r].round = round + 1;
+            states[r].ready = now;
+            if round + 1 < rounds {
+                let bytes = states[r].buf.wire_bytes();
+                let msg = sim.send_at(now, r, r ^ (1 << (round + 1)), bytes, (round + 1) as u64);
+                payloads.insert(msg, pool.clone_values(&states[r].buf));
+            } else {
+                final_time[r] = now;
+            }
+        }
+    });
+
+    let elapsed = final_time.iter().copied().fold(0.0f64, f64::max);
+    NetAllreduce {
+        values: states.swap_remove(0).buf.round(),
         elapsed_ns: elapsed,
         stats,
     }
@@ -542,6 +928,8 @@ mod tests {
             Algorithm::Ring,
             Algorithm::KAryTree { fanout: 3 },
             Algorithm::RecursiveDoubling,
+            Algorithm::SegmentedRing { segments: 4 },
+            Algorithm::SegmentedTree { fanout: 3, segments: 4 },
         ] {
             let sim = allreduce_on(&topo, &ranks, alg, Ordering::RankOrder, &cfg);
             let mem = allreduce(&ranks, alg, Ordering::RankOrder);
@@ -586,7 +974,11 @@ mod tests {
         let ranks = make_ranks(8, 48, 4);
         let topo = hier(2, 4);
         let cfg = NetConfig::default();
-        for alg in [Algorithm::Ring, Algorithm::RecursiveDoubling] {
+        for alg in [
+            Algorithm::Ring,
+            Algorithm::RecursiveDoubling,
+            Algorithm::SegmentedRing { segments: 3 },
+        ] {
             let a = allreduce_on(&topo, &ranks, alg, Ordering::ArrivalOrder { seed: 1 }, &cfg);
             let b = allreduce_on(&topo, &ranks, alg, Ordering::ArrivalOrder { seed: 99 }, &cfg);
             assert_eq!(bits(&a.values), bits(&b.values), "{alg:?}");
@@ -599,6 +991,97 @@ mod tests {
     }
 
     #[test]
+    fn segmented_values_match_unsegmented_for_every_ordering() {
+        // Chunking is a pure timing knob: per-element combine order is
+        // unchanged, so the *values* (not the clock) are bitwise those
+        // of the unsegmented algorithm — for the order-fixed ring under
+        // every ordering, and for the tree wherever the fold order is
+        // deterministic.
+        let ranks = make_ranks(8, 52, 11);
+        let topo = hier(2, 4);
+        let cfg = NetConfig::default();
+        for k in [2usize, 7, 16] {
+            for ord in [
+                Ordering::RankOrder,
+                Ordering::ArrivalOrder { seed: 5 },
+                Ordering::Reproducible,
+            ] {
+                let seg = allreduce_on(
+                    &topo,
+                    &ranks,
+                    Algorithm::SegmentedRing { segments: k },
+                    ord,
+                    &cfg,
+                );
+                let base = allreduce_on(&topo, &ranks, Algorithm::Ring, ord, &cfg);
+                assert_eq!(bits(&seg.values), bits(&base.values), "ring k={k} {ord:?}");
+            }
+            let seg = allreduce_on(
+                &topo,
+                &ranks,
+                Algorithm::SegmentedTree { fanout: 3, segments: k },
+                Ordering::RankOrder,
+                &cfg,
+            );
+            let base = allreduce_on(
+                &topo,
+                &ranks,
+                Algorithm::KAryTree { fanout: 3 },
+                Ordering::RankOrder,
+                &cfg,
+            );
+            assert_eq!(bits(&seg.values), bits(&base.values), "tree k={k}");
+        }
+    }
+
+    #[test]
+    fn segmentation_pipelines_the_clock() {
+        // A bandwidth-heavy payload on a deep fabric: cutting it into
+        // chunks must strictly reduce the simulated completion time
+        // (that is the whole point of overlap).
+        let ranks = make_ranks(8, 4096, 12);
+        let topo = hier(2, 4);
+        let cfg = NetConfig {
+            jitter_frac: 0.0,
+            ..NetConfig::default()
+        };
+        let base = allreduce_on(&topo, &ranks, Algorithm::Ring, Ordering::RankOrder, &cfg);
+        let seg = allreduce_on(
+            &topo,
+            &ranks,
+            Algorithm::SegmentedRing { segments: 8 },
+            Ordering::RankOrder,
+            &cfg,
+        );
+        assert!(
+            seg.elapsed_ns < base.elapsed_ns,
+            "segmented {} vs unsegmented {}",
+            seg.elapsed_ns,
+            base.elapsed_ns
+        );
+        let tbase = allreduce_on(
+            &topo,
+            &ranks,
+            Algorithm::KAryTree { fanout: 4 },
+            Ordering::RankOrder,
+            &cfg,
+        );
+        let tseg = allreduce_on(
+            &topo,
+            &ranks,
+            Algorithm::SegmentedTree { fanout: 4, segments: 8 },
+            Ordering::RankOrder,
+            &cfg,
+        );
+        assert!(
+            tseg.elapsed_ns < tbase.elapsed_ns,
+            "segmented tree {} vs unsegmented {}",
+            tseg.elapsed_ns,
+            tbase.elapsed_ns
+        );
+    }
+
+    #[test]
     fn reproducible_is_bitwise_stable_across_everything() {
         let ranks = make_ranks(16, 32, 5);
         let reference = allreduce(&ranks, Algorithm::Ring, Ordering::Reproducible);
@@ -608,6 +1091,8 @@ mod tests {
                 Algorithm::Ring,
                 Algorithm::KAryTree { fanout: 4 },
                 Algorithm::RecursiveDoubling,
+                Algorithm::SegmentedRing { segments: 7 },
+                Algorithm::SegmentedTree { fanout: 4, segments: 16 },
             ] {
                 for seed in [0u64, 7, 1234] {
                     let out = allreduce_on(
@@ -658,6 +1143,8 @@ mod tests {
             (Algorithm::KAryTree { fanout: 2 }, Ordering::ArrivalOrder { seed: 3 }),
             (Algorithm::RecursiveDoubling, Ordering::ArrivalOrder { seed: 9 }),
             (Algorithm::KAryTree { fanout: 5 }, Ordering::Reproducible),
+            (Algorithm::SegmentedRing { segments: 16 }, Ordering::ArrivalOrder { seed: 4 }),
+            (Algorithm::SegmentedTree { fanout: 2, segments: 5 }, Ordering::RankOrder),
         ] {
             let out = allreduce_on(&topo, &ranks, alg, ord, &cfg);
             for i in [0usize, 17, 39] {
@@ -680,11 +1167,44 @@ mod tests {
             Algorithm::Ring,
             Algorithm::KAryTree { fanout: 2 },
             Algorithm::RecursiveDoubling,
+            Algorithm::SegmentedRing { segments: 3 },
+            Algorithm::SegmentedTree { fanout: 2, segments: 3 },
         ] {
             let out = allreduce_on(&topo, &ranks, alg, Ordering::RankOrder, &cfg);
             assert_eq!(bits(&out.values), bits(&ranks[0]), "{alg:?}");
             assert_eq!(out.elapsed_ns, 0.0);
         }
+    }
+
+    #[test]
+    fn more_segments_than_elements_still_works() {
+        // Chunks beyond the element count are empty but still
+        // circulate; values must stay exact.
+        let ranks = make_ranks(4, 6, 13);
+        let topo = flat(4);
+        let cfg = NetConfig::default();
+        let seg = allreduce_on(
+            &topo,
+            &ranks,
+            Algorithm::SegmentedRing { segments: 16 },
+            Ordering::RankOrder,
+            &cfg,
+        );
+        let base = allreduce_on(&topo, &ranks, Algorithm::Ring, Ordering::RankOrder, &cfg);
+        assert_eq!(bits(&seg.values), bits(&base.values));
+    }
+
+    #[test]
+    #[should_panic(expected = "segment count")]
+    fn zero_segments_panics() {
+        let ranks = make_ranks(4, 8, 14);
+        allreduce_on(
+            &flat(4),
+            &ranks,
+            Algorithm::SegmentedRing { segments: 0 },
+            Ordering::RankOrder,
+            &NetConfig::default(),
+        );
     }
 
     #[test]

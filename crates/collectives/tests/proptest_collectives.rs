@@ -6,7 +6,11 @@
 //!    exact column sums to a conditioning-aware tolerance, for
 //!    arbitrary rank counts, vector lengths and fanouts;
 //! 2. the `Reproducible` ordering is **bitwise** identical across all
-//!    algorithms *and* all net-sim jitter seeds and topologies.
+//!    algorithms *and* all net-sim jitter seeds and topologies;
+//! 3. segmentation is a pure timing knob: the segmented ring/tree are
+//!    bitwise equal to their unsegmented bases — under `Reproducible`
+//!    at every segment count (the ISSUE's {1, 2, 7, 16}), and for the
+//!    order-fixed ring under every ordering.
 
 use proptest::prelude::*;
 
@@ -178,5 +182,117 @@ proptest! {
                 }
             }
         }
+    }
+
+    /// Invariant 3, reproducible leg: segmented allreduce is bitwise
+    /// equal to unsegmented under `Reproducible` ordering at segment
+    /// counts {1, 2, 7, 16}, across fabrics and jitter seeds.
+    #[test]
+    fn segmented_reproducible_is_bitwise_equal_to_unsegmented(
+        p in 1usize..12,
+        m in 1usize..40,
+        fanout in 2usize..5,
+        seed in any::<u64>(),
+        jitter_seed in any::<u64>(),
+    ) {
+        let ranks = make_ranks(p, m, seed);
+        let cfg = NetConfig::default().with_jitter_seed(jitter_seed);
+        for topo in [Topology::flat_switch(p, LinkSpec::new(500.0, 25.0)), hier_for(p)] {
+            let ring_ref: Vec<u64> =
+                allreduce_on(&topo, &ranks, Algorithm::Ring, Ordering::Reproducible, &cfg)
+                    .values
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect();
+            let tree_ref: Vec<u64> = allreduce_on(
+                &topo,
+                &ranks,
+                Algorithm::KAryTree { fanout },
+                Ordering::Reproducible,
+                &cfg,
+            )
+            .values
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+            prop_assert_eq!(&ring_ref, &tree_ref, "reproducible is algorithm-independent");
+            for segments in [1usize, 2, 7, 16] {
+                let ring = allreduce_on(
+                    &topo,
+                    &ranks,
+                    Algorithm::SegmentedRing { segments },
+                    Ordering::Reproducible,
+                    &cfg,
+                );
+                let got: Vec<u64> = ring.values.iter().map(|v| v.to_bits()).collect();
+                prop_assert_eq!(&got, &ring_ref, "ring k={} on {}", segments, topo.name());
+                let tree = allreduce_on(
+                    &topo,
+                    &ranks,
+                    Algorithm::SegmentedTree { fanout, segments },
+                    Ordering::Reproducible,
+                    &cfg,
+                );
+                let got: Vec<u64> = tree.values.iter().map(|v| v.to_bits()).collect();
+                prop_assert_eq!(&got, &tree_ref, "tree k={} on {}", segments, topo.name());
+            }
+        }
+    }
+
+    /// Invariant 3, order-fixed leg: the ring's per-element combine
+    /// order is the rotation at any chunking, so the segmented ring's
+    /// values match the plain ring bitwise under *every* ordering (and
+    /// the segmented tree matches under rank order, where its fold
+    /// order is deterministic).
+    #[test]
+    fn segmented_values_match_unsegmented_where_order_is_fixed(
+        p in 2usize..10,
+        m in 1usize..40,
+        segments in 1usize..20,
+        seed in any::<u64>(),
+    ) {
+        let ranks = make_ranks(p, m, seed);
+        let cfg = NetConfig::default();
+        let topo = hier_for(p);
+        for ord in [
+            Ordering::RankOrder,
+            Ordering::ArrivalOrder { seed: seed ^ 0x33 },
+        ] {
+            let base = allreduce_on(&topo, &ranks, Algorithm::Ring, ord, &cfg);
+            let seg = allreduce_on(
+                &topo,
+                &ranks,
+                Algorithm::SegmentedRing { segments },
+                ord,
+                &cfg,
+            );
+            prop_assert_eq!(
+                seg.values.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                base.values.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "ring {:?} k={}",
+                ord,
+                segments
+            );
+        }
+        let base = allreduce_on(
+            &topo,
+            &ranks,
+            Algorithm::KAryTree { fanout: 3 },
+            Ordering::RankOrder,
+            &cfg,
+        );
+        let seg = allreduce_on(
+            &topo,
+            &ranks,
+            Algorithm::SegmentedTree { fanout: 3, segments },
+            Ordering::RankOrder,
+            &cfg,
+        );
+        prop_assert_eq!(
+            seg.values.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            base.values.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "tree rank-order k={}",
+            segments
+        );
     }
 }

@@ -114,6 +114,65 @@ impl CostModel {
         rounds * (self.alpha_ns + bytes as f64 * self.beta_ns_per_byte)
     }
 
+    /// Segmented (pipelined) ring allreduce: each rank-segment is cut
+    /// into `segments` chunks that walk the ring back to back, so
+    /// chunk `i+1` serializes while chunk `i` propagates. The classic
+    /// pipeline estimate: `2(p−1)` steps plus `k−1` fill stages, each
+    /// costing one latency plus one chunk serialization:
+    /// `(2(p−1) + k − 1) · (α + n·β/(p·k))`. At `k = 1` this is
+    /// exactly [`CostModel::ring_allreduce_ns`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `segments == 0`.
+    pub fn segmented_ring_allreduce_ns(&self, p: usize, bytes: u64, segments: usize) -> f64 {
+        assert!(segments > 0, "segment count must be positive");
+        if segments == 1 {
+            // Delegate so the unsegmented estimate stays bit-identical
+            // (the pipeline formula is algebraically equal at k = 1
+            // but would round differently).
+            return self.ring_allreduce_ns(p, bytes);
+        }
+        if p < 2 {
+            return 0.0;
+        }
+        let (pf, k) = (p as f64, segments as f64);
+        let stages = 2.0 * (pf - 1.0) + (k - 1.0);
+        stages * (self.alpha_ns + bytes as f64 * self.beta_ns_per_byte / (pf * k))
+    }
+
+    /// Segmented (pipelined) k-ary tree allreduce: the payload is cut
+    /// into `segments` chunks that flow up and down the `d`-level tree
+    /// back to back: `(2d + k − 1) · (α + f·n·β/k)`. At `k = 1` this
+    /// is exactly [`CostModel::tree_allreduce_ns`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `fanout < 2` or `segments == 0`.
+    pub fn segmented_tree_allreduce_ns(
+        &self,
+        p: usize,
+        fanout: usize,
+        bytes: u64,
+        segments: usize,
+    ) -> f64 {
+        assert!(segments > 0, "segment count must be positive");
+        assert!(fanout >= 2, "tree fanout must be at least 2");
+        if segments == 1 {
+            // Delegate so the unsegmented estimate stays bit-identical
+            // (the pipeline formula is algebraically equal at k = 1
+            // but would round differently).
+            return self.tree_allreduce_ns(p, fanout, bytes);
+        }
+        if p < 2 {
+            return 0.0;
+        }
+        let depth = Self::tree_depth(p, fanout) as f64;
+        let k = segments as f64;
+        let stages = 2.0 * depth + (k - 1.0);
+        stages * (self.alpha_ns + fanout as f64 * bytes as f64 * self.beta_ns_per_byte / k)
+    }
+
     /// Multiplicative bandwidth overhead of shipping `payload_bytes`
     /// of exact-accumulator state per element instead of one `f64`:
     /// the bandwidth term inflates by `payload_bytes / 8`, the latency
@@ -171,6 +230,41 @@ mod tests {
     #[should_panic(expected = "power-of-two")]
     fn recursive_doubling_rejects_non_pow2() {
         model().recursive_doubling_allreduce_ns(6, 8);
+    }
+
+    #[test]
+    fn segmented_models_reduce_to_unsegmented_at_one_chunk() {
+        let m = model();
+        for p in [2usize, 4, 16, 64] {
+            let n = 1u64 << 16;
+            assert_eq!(
+                m.segmented_ring_allreduce_ns(p, n, 1).to_bits(),
+                m.ring_allreduce_ns(p, n).to_bits(),
+                "p={p}"
+            );
+            assert_eq!(
+                m.segmented_tree_allreduce_ns(p, 4, n, 1).to_bits(),
+                m.tree_allreduce_ns(p, 4, n).to_bits(),
+                "p={p}"
+            );
+        }
+    }
+
+    #[test]
+    fn segmentation_pays_off_for_bandwidth_bound_payloads() {
+        // Large payload, nontrivial latency: pipelining must beat the
+        // unsegmented estimate, and an absurd chunk count (latency
+        // dominated) must lose again.
+        let m = model();
+        let n = 64u64 << 20;
+        let base = m.segmented_ring_allreduce_ns(16, n, 1);
+        let piped = m.segmented_ring_allreduce_ns(16, n, 16);
+        assert!(piped < base, "{piped} vs {base}");
+        let shredded = m.segmented_ring_allreduce_ns(16, n, 1 << 20);
+        assert!(shredded > piped);
+        let tbase = m.segmented_tree_allreduce_ns(64, 4, n, 1);
+        let tpiped = m.segmented_tree_allreduce_ns(64, 4, n, 16);
+        assert!(tpiped < tbase, "{tpiped} vs {tbase}");
     }
 
     #[test]

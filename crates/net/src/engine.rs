@@ -18,11 +18,20 @@
 //!
 //! Events with equal timestamps resolve by injection sequence number,
 //! so a given seed always replays the identical schedule.
+//!
+//! The hot path is allocation-free and index-based: routes are
+//! borrowed `&[Hop]` slices from the topology's precomputed arena
+//! ([`Topology::route_hops`]), per-link busy state lives in a dense
+//! `Vec<f64>` indexed by [`crate::topology::Hop::link_id`], and message
+//! slots are recycled once a message delivers (external message ids
+//! stay injection-ordered, so jitter streams and tie-breaking are
+//! unaffected by recycling). After warm-up, injecting and delivering a
+//! message touches no allocator at all.
 
-use crate::topology::{Hop, Topology};
 use fpna_core::rng::SplitMix64;
+use crate::topology::Topology;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 
 /// Per-hop timing noise: uniform in `[0, frac_of_cost · (α + β·b))` —
 /// a fraction of the hop's whole deterministic service time, because
@@ -93,7 +102,12 @@ pub struct Delivery {
     pub time: f64,
 }
 
-/// Aggregate statistics of one [`NetSim::run`].
+/// Aggregate statistics of [`NetSim::run`].
+///
+/// Stats are **cumulative across every `run` call on the same
+/// engine**: a protocol that alternates injection and `run` phases
+/// keeps adding to the same counters. Use [`NetSim::take_stats`] to
+/// read-and-reset between phases when per-phase numbers are wanted.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct RunStats {
     /// Time the last message arrived (ns); 0 for an empty run.
@@ -106,23 +120,29 @@ pub struct RunStats {
     pub hops_traversed: u64,
 }
 
-#[derive(Debug)]
+/// In-flight message state. Lives in a recycled slot (the slot index
+/// is engine-internal); `id` is the externally visible injection-order
+/// id that outlives the slot.
+#[derive(Debug, Clone, Copy)]
 struct Message {
+    id: u64,
     from: usize,
     to: usize,
     bytes: u64,
     tag: u64,
-    route: Vec<Hop>,
+    /// Hop count of the precomputed route `from → to` (the hops
+    /// themselves are read from the topology's arena per event).
+    route_len: u32,
 }
 
-/// One scheduled step: message `msg` is ready to enter hop `hop` (or,
-/// when `hop == route.len()`, to be delivered) at `time`.
+/// One scheduled step: the message in `slot` is ready to enter hop
+/// `hop` (or, when `hop == route_len`, to be delivered) at `time`.
 #[derive(Debug, Clone, Copy)]
 struct Event {
     time: f64,
     seq: u64,
-    msg: u64,
-    hop: usize,
+    slot: u32,
+    hop: u32,
 }
 
 impl PartialEq for Event {
@@ -151,9 +171,15 @@ pub struct NetSim<'t> {
     topo: &'t Topology,
     jitter: JitterModel,
     queue: BinaryHeap<Reverse<Event>>,
+    /// Slot-addressed in-flight messages; delivered slots are pushed
+    /// onto `free` and reused by later sends, so the live set — not
+    /// the whole run history — bounds memory.
     messages: Vec<Message>,
-    /// Directed link `(from, to)` → time it becomes free.
-    link_busy_until: HashMap<(usize, usize), f64>,
+    free: Vec<u32>,
+    /// Next external message id (injection order; never recycled).
+    next_id: u64,
+    /// `link_busy_until[link_id]`: time the directed link becomes free.
+    link_busy_until: Vec<f64>,
     seq: u64,
     stats: RunStats,
 }
@@ -166,7 +192,9 @@ impl<'t> NetSim<'t> {
             jitter,
             queue: BinaryHeap::new(),
             messages: Vec::new(),
-            link_busy_until: HashMap::new(),
+            free: Vec::new(),
+            next_id: 0,
+            link_busy_until: vec![0.0; topo.num_links()],
             seq: 0,
             stats: RunStats::default(),
         }
@@ -178,25 +206,39 @@ impl<'t> NetSim<'t> {
     }
 
     /// Inject a `bytes`-byte message from rank `from` to rank `to` at
-    /// simulated time `at_ns`. Returns the message id. A self-send
-    /// (`from == to`) delivers at `at_ns` with no link traffic.
+    /// simulated time `at_ns`. Returns the message id (injection
+    /// order — ids are never reused even though the internal slot is
+    /// recycled after delivery). A self-send (`from == to`) delivers
+    /// at `at_ns` with no link traffic.
     pub fn send_at(&mut self, at_ns: f64, from: usize, to: usize, bytes: u64, tag: u64) -> u64 {
         assert!(at_ns.is_finite() && at_ns >= 0.0, "send time must be finite and non-negative");
-        let id = self.messages.len() as u64;
-        let route = self.topo.route(from, to);
-        self.messages.push(Message {
+        let id = self.next_id;
+        self.next_id += 1;
+        let route_len = self.topo.route_hops(from, to).len() as u32;
+        let message = Message {
+            id,
             from,
             to,
             bytes,
             tag,
-            route,
-        });
+            route_len,
+        };
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.messages[s as usize] = message;
+                s
+            }
+            None => {
+                self.messages.push(message);
+                (self.messages.len() - 1) as u32
+            }
+        };
         let seq = self.seq;
         self.seq += 1;
         self.queue.push(Reverse(Event {
             time: at_ns,
             seq,
-            msg: id,
+            slot,
             hop: 0,
         }));
         id
@@ -205,16 +247,20 @@ impl<'t> NetSim<'t> {
     /// Process every pending event in time order, invoking
     /// `on_deliver` for each message that reaches its destination. The
     /// callback may inject further sends. Returns the run statistics
-    /// (cumulative across multiple `run` calls on the same engine).
+    /// — **cumulative** across multiple `run` calls on the same engine
+    /// (see [`NetSim::take_stats`] for per-phase numbers).
     pub fn run<F>(&mut self, mut on_deliver: F) -> RunStats
     where
         F: FnMut(&mut NetSim<'t>, Delivery),
     {
         while let Some(Reverse(ev)) = self.queue.pop() {
-            let m = &self.messages[ev.msg as usize];
-            if ev.hop == m.route.len() {
+            let m = self.messages[ev.slot as usize];
+            if ev.hop == m.route_len {
+                // Retire the slot before the callback runs so chained
+                // sends can reuse it immediately.
+                self.free.push(ev.slot);
                 let delivery = Delivery {
-                    msg: ev.msg,
+                    msg: m.id,
                     from: m.from,
                     to: m.to,
                     bytes: m.bytes,
@@ -229,18 +275,14 @@ impl<'t> NetSim<'t> {
             }
             // Enter the next link: wait for it to free, hold it for the
             // serialization time, then propagate (+ jitter).
-            let hop = m.route[ev.hop];
-            let bytes = m.bytes;
-            let busy = self
-                .link_busy_until
-                .entry((hop.from, hop.to))
-                .or_insert(0.0);
+            let hop = self.topo.route_hops(m.from, m.to)[ev.hop as usize];
+            let busy = &mut self.link_busy_until[hop.link_id as usize];
             let start = ev.time.max(*busy);
-            let serialize = hop.link.ns_per_byte * bytes as f64;
+            let serialize = hop.link.ns_per_byte * m.bytes as f64;
             *busy = start + serialize;
             let jitter =
                 self.jitter
-                    .sample_ns(ev.msg, ev.hop as u64, serialize + hop.link.latency_ns);
+                    .sample_ns(m.id, u64::from(ev.hop), serialize + hop.link.latency_ns);
             let arrive = start + serialize + hop.link.latency_ns + jitter;
             self.stats.hops_traversed += 1;
             let seq = self.seq;
@@ -248,11 +290,20 @@ impl<'t> NetSim<'t> {
             self.queue.push(Reverse(Event {
                 time: arrive,
                 seq,
-                msg: ev.msg,
+                slot: ev.slot,
                 hop: ev.hop + 1,
             }));
         }
         self.stats
+    }
+
+    /// The statistics accumulated so far, **resetting** them to zero —
+    /// so a multi-phase protocol (inject, `run`, inject, `run`, …) can
+    /// report per-phase numbers instead of the cumulative totals that
+    /// [`NetSim::run`] returns. Pending events, link busy state and
+    /// message ids are untouched.
+    pub fn take_stats(&mut self) -> RunStats {
+        std::mem::take(&mut self.stats)
     }
 }
 
@@ -364,6 +415,47 @@ mod tests {
         assert_eq!(legs[1].0, 0);
         assert_eq!(legs[1].1, 2);
         assert!(legs[1].2 > legs[0].2);
+    }
+
+    #[test]
+    fn message_ids_stay_injection_ordered_across_slot_recycling() {
+        // A long relay: each delivery triggers the next send, so every
+        // message after the first reuses the same recycled slot. Ids
+        // must still count up in injection order.
+        let t = topo();
+        let mut sim = NetSim::new(&t, JitterModel::none());
+        let first = sim.send_at(0.0, 0, 1, 8, 0);
+        assert_eq!(first, 0);
+        let mut ids = Vec::new();
+        sim.run(|sim, d| {
+            ids.push(d.msg);
+            if d.tag < 20 {
+                let id = sim.send_at(d.time, d.to, (d.to + 1) % 4, 8, d.tag + 1);
+                assert_eq!(id, d.tag + 1, "ids are injection-ordered");
+            }
+        });
+        assert_eq!(ids, (0..=20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn take_stats_resets_for_per_phase_reporting() {
+        let t = topo();
+        let mut sim = NetSim::new(&t, JitterModel::none());
+        sim.send_at(0.0, 0, 1, 100, 0);
+        let phase1 = sim.run(|_, _| {});
+        assert_eq!(phase1.deliveries, 1);
+        assert_eq!(sim.take_stats(), phase1);
+        // Counters restart from zero; message ids keep counting up.
+        let id = sim.send_at(0.0, 1, 2, 50, 0);
+        assert_eq!(id, 1);
+        let phase2 = sim.run(|_, _| {});
+        assert_eq!(phase2.deliveries, 1);
+        assert_eq!(phase2.bytes_delivered, 50);
+        // run() without take_stats stays cumulative.
+        sim.send_at(0.0, 2, 3, 25, 0);
+        let cumulative = sim.run(|_, _| {});
+        assert_eq!(cumulative.deliveries, 2);
+        assert_eq!(cumulative.bytes_delivered, 75);
     }
 
     #[test]

@@ -19,6 +19,16 @@
 //! produces a tree-shaped fabric, so shortest paths are unique and no
 //! adaptive-routing nondeterminism sneaks in — all timing variation is
 //! owned by the [`engine`](crate::engine)'s jitter model).
+//!
+//! Construction is two-phase under the hood: the builders add vertices
+//! and links, then `finalize` assigns every **directed** link a dense
+//! id (`0..`[`Topology::num_links`], the index the engine uses for its
+//! busy-state vector) and precomputes every rank-pair route into one
+//! shared hop arena. [`Topology::route_hops`] returns a borrowed
+//! `&[Hop]` slice from that arena — the allocation-free lookup the
+//! event engine rides — while [`Topology::route`] recomputes the same
+//! path by on-demand BFS (the reference implementation the property
+//! tests diff against the table).
 
 /// Cost model for one link: a message of `b` bytes occupies the link
 /// for `b · ns_per_byte` (serialization, β) and then lands after
@@ -62,7 +72,8 @@ pub enum NodeKind {
     Switch,
 }
 
-/// One hop of a route: the directed link `(from, to)` and its spec.
+/// One hop of a route: the directed link `(from, to)`, its spec, and
+/// the link's dense id.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Hop {
     /// Source vertex index.
@@ -71,6 +82,11 @@ pub struct Hop {
     pub to: usize,
     /// Cost model of the traversed link.
     pub link: LinkSpec,
+    /// Dense id of the directed link `(from, to)` in
+    /// `0..`[`Topology::num_links`] — the index the engine uses for
+    /// its link-busy vector (each undirected edge contributes two
+    /// directed ids).
+    pub link_id: u32,
 }
 
 /// An interconnect: vertices, links, and the rank→vertex mapping.
@@ -78,10 +94,18 @@ pub struct Hop {
 pub struct Topology {
     name: String,
     nodes: Vec<NodeKind>,
-    /// Adjacency: `adj[v]` lists `(neighbour, link spec)`.
-    adj: Vec<Vec<(usize, LinkSpec)>>,
+    /// Adjacency: `adj[v]` lists `(neighbour, link spec, directed link id)`.
+    adj: Vec<Vec<(usize, LinkSpec, u32)>>,
     /// `rank_vertex[r]` is the vertex index of rank `r`.
     rank_vertex: Vec<usize>,
+    /// Number of directed links (two per undirected edge).
+    num_links: usize,
+    /// Shared arena of precomputed route hops; rank-pair routes are
+    /// contiguous slices of this vector.
+    route_arena: Vec<Hop>,
+    /// `(offset, len)` into `route_arena` for the route `from → to`,
+    /// stored at `from · ranks + to`.
+    route_index: Vec<(u32, u32)>,
 }
 
 impl Topology {
@@ -91,6 +115,9 @@ impl Topology {
             nodes: Vec::new(),
             adj: Vec::new(),
             rank_vertex: Vec::new(),
+            num_links: 0,
+            route_arena: Vec::new(),
+            route_index: Vec::new(),
         }
     }
 
@@ -106,8 +133,57 @@ impl Topology {
     }
 
     fn link(&mut self, a: usize, b: usize, spec: LinkSpec) {
-        self.adj[a].push((b, spec));
-        self.adj[b].push((a, spec));
+        let id = self.num_links as u32;
+        self.num_links += 2;
+        self.adj[a].push((b, spec, id));
+        self.adj[b].push((a, spec, id + 1));
+    }
+
+    /// Precompute the dense route table: one BFS per source rank
+    /// (every builder yields a tree, so the discovered paths match the
+    /// on-demand [`Topology::route`] exactly), with all hops packed
+    /// into one arena so [`Topology::route_hops`] is a slice lookup.
+    /// Called by every builder as its final step.
+    fn finalize(&mut self) {
+        let p = self.rank_vertex.len();
+        self.route_index = Vec::with_capacity(p * p);
+        let mut scratch = Vec::new();
+        for from in 0..p {
+            let src = self.rank_vertex[from];
+            // Full BFS from `src`; prev pointers are identical to the
+            // early-exit BFS in `route` (continuing a BFS never rewrites
+            // an already-set predecessor).
+            let mut prev: Vec<Option<(usize, LinkSpec, u32)>> = vec![None; self.nodes.len()];
+            let mut seen = vec![false; self.nodes.len()];
+            let mut queue = std::collections::VecDeque::from([src]);
+            seen[src] = true;
+            while let Some(v) = queue.pop_front() {
+                for &(w, spec, id) in &self.adj[v] {
+                    if !seen[w] {
+                        seen[w] = true;
+                        prev[w] = Some((v, spec, id));
+                        queue.push_back(w);
+                    }
+                }
+            }
+            for to in 0..p {
+                let dst = self.rank_vertex[to];
+                if dst == src {
+                    self.route_index.push((self.route_arena.len() as u32, 0));
+                    continue;
+                }
+                scratch.clear();
+                let mut v = dst;
+                while let Some((u, spec, id)) = prev[v] {
+                    scratch.push(Hop { from: u, to: v, link: spec, link_id: id });
+                    v = u;
+                }
+                assert!(v == src, "no route between ranks {from} and {to}");
+                let offset = self.route_arena.len() as u32;
+                self.route_arena.extend(scratch.iter().rev());
+                self.route_index.push((offset, scratch.len() as u32));
+            }
+        }
     }
 
     /// `p` ranks hanging off one crossbar switch — depth 1.
@@ -123,6 +199,7 @@ impl Topology {
             let v = t.add_node(NodeKind::Rank(r));
             t.link(v, sw, link);
         }
+        t.finalize();
         t
     }
 
@@ -147,6 +224,7 @@ impl Topology {
                 t.link(v, edge_sw, edge);
             }
         }
+        t.finalize();
         t
     }
 
@@ -182,6 +260,7 @@ impl Topology {
                 t.link(v, node_sw, intra);
             }
         }
+        t.finalize();
         t
     }
 
@@ -210,8 +289,34 @@ impl Topology {
         self.rank_vertex[r]
     }
 
-    /// Unique shortest path from rank `from` to rank `to` as a hop
-    /// list. Empty when `from == to`.
+    /// Number of **directed** links (two per undirected edge). Link
+    /// ids in [`Hop::link_id`] are dense in `0..num_links()`, so a
+    /// `Vec` of this length indexes any per-link state.
+    pub fn num_links(&self) -> usize {
+        self.num_links
+    }
+
+    /// The precomputed unique shortest path from rank `from` to rank
+    /// `to`: a borrowed slice into the shared route arena — no
+    /// allocation, no search. Empty when `from == to`. Identical hop
+    /// for hop to [`Topology::route`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when either rank is out of range.
+    #[inline]
+    pub fn route_hops(&self, from: usize, to: usize) -> &[Hop] {
+        let p = self.rank_vertex.len();
+        assert!(from < p && to < p, "rank out of range");
+        let (offset, len) = self.route_index[from * p + to];
+        &self.route_arena[offset as usize..offset as usize + len as usize]
+    }
+
+    /// Unique shortest path from rank `from` to rank `to` as a freshly
+    /// computed hop list — the on-demand BFS reference implementation
+    /// (the property tests diff it against the precomputed
+    /// [`Topology::route_hops`] table, which is what the engine uses).
+    /// Empty when `from == to`.
     ///
     /// # Panics
     ///
@@ -224,15 +329,15 @@ impl Topology {
         }
         // BFS from src; every builder yields a tree, so the first path
         // found is the unique shortest one.
-        let mut prev: Vec<Option<(usize, LinkSpec)>> = vec![None; self.nodes.len()];
+        let mut prev: Vec<Option<(usize, LinkSpec, u32)>> = vec![None; self.nodes.len()];
         let mut queue = std::collections::VecDeque::from([src]);
         let mut seen = vec![false; self.nodes.len()];
         seen[src] = true;
         'bfs: while let Some(v) = queue.pop_front() {
-            for &(w, spec) in &self.adj[v] {
+            for &(w, spec, id) in &self.adj[v] {
                 if !seen[w] {
                     seen[w] = true;
-                    prev[w] = Some((v, spec));
+                    prev[w] = Some((v, spec, id));
                     if w == dst {
                         break 'bfs;
                     }
@@ -242,8 +347,8 @@ impl Topology {
         }
         let mut hops = Vec::new();
         let mut v = dst;
-        while let Some((u, spec)) = prev[v] {
-            hops.push(Hop { from: u, to: v, link: spec });
+        while let Some((u, spec, id)) = prev[v] {
+            hops.push(Hop { from: u, to: v, link: spec, link_id: id });
             v = u;
         }
         assert!(v == src, "no route between ranks {from} and {to}");
@@ -260,13 +365,13 @@ impl Topology {
         }
         // All builders are symmetric enough that rank 0 vs the farthest
         // rank realises the diameter; scan rank 0 against all others.
-        (1..p).map(|r| self.route(0, r).len()).max().unwrap_or(0)
+        (1..p).map(|r| self.route_hops(0, r).len()).max().unwrap_or(0)
     }
 
     /// Deterministic (jitter-free, contention-free) one-way cost of a
     /// `bytes`-byte message between two ranks.
     pub fn path_cost_ns(&self, from: usize, to: usize, bytes: u64) -> f64 {
-        self.route(from, to)
+        self.route_hops(from, to)
             .iter()
             .map(|h| h.link.cost_ns(bytes))
             .sum()
@@ -339,5 +444,40 @@ mod tests {
     #[should_panic(expected = "at least one rank")]
     fn empty_flat_switch_panics() {
         Topology::flat_switch(0, link());
+    }
+
+    #[test]
+    fn link_ids_are_dense_and_direction_distinct() {
+        for t in [
+            Topology::flat_switch(5, link()),
+            Topology::fat_tree(9, 3, link(), link()),
+            Topology::hierarchical(2, 3, link(), link(), link()),
+        ] {
+            let mut seen = vec![false; t.num_links()];
+            for a in 0..t.ranks() {
+                for b in 0..t.ranks() {
+                    for h in t.route_hops(a, b) {
+                        assert!((h.link_id as usize) < t.num_links(), "{}", t.name());
+                        seen[h.link_id as usize] = true;
+                    }
+                }
+            }
+            // Every directed link that any route uses has a unique id;
+            // opposite directions of the same edge never share one.
+            let fwd = t.route_hops(0, 1);
+            let back = t.route_hops(1, 0);
+            assert_ne!(fwd[0].link_id, back[back.len() - 1].link_id);
+            assert!(seen.iter().filter(|&&s| s).count() > 0);
+        }
+    }
+
+    #[test]
+    fn precomputed_routes_match_on_demand_bfs() {
+        let t = Topology::hierarchical(3, 4, link(), link(), link());
+        for a in 0..t.ranks() {
+            for b in 0..t.ranks() {
+                assert_eq!(t.route(a, b).as_slice(), t.route_hops(a, b), "{a}->{b}");
+            }
+        }
     }
 }

@@ -1,10 +1,14 @@
 //! Property tests for the interconnect simulator: route sanity, the
-//! determinism contract of the zero-jitter engine, and the physical
-//! lower bound on every delivery.
+//! determinism contract of the zero-jitter engine, the physical lower
+//! bound on every delivery, and the allocation-free fast paths against
+//! their reference implementations — the precomputed route table vs
+//! on-demand BFS, and the dense link-busy vector vs a `HashMap`-keyed
+//! reference engine.
 
 use proptest::prelude::*;
 
-use fpna_net::{JitterModel, LinkSpec, NetSim, Topology};
+use fpna_net::{Delivery, Hop, JitterModel, LinkSpec, NetSim, Topology};
+use std::collections::HashMap;
 
 /// Build a topology from one of the three builder families; `kind`
 /// selects the family, `n1`/`n2` shape it.
@@ -39,6 +43,86 @@ fn messages(p: usize, rng_seed: u64, count: usize) -> Vec<(usize, usize, u64, f6
             (from, to, bytes, at)
         })
         .collect()
+}
+
+/// Reference event engine: the pre-overhaul implementation — routes
+/// recomputed by on-demand BFS ([`Topology::route`]), link busy state
+/// in a `HashMap` keyed by the directed vertex pair, messages retained
+/// for the whole run — with the identical event ordering (time, then
+/// injection sequence) and identical per-hop arithmetic and jitter
+/// stream. The fast engine must reproduce its deliveries bit for bit.
+fn reference_run(
+    topo: &Topology,
+    jitter: JitterModel,
+    plan: &[(usize, usize, u64, f64)],
+) -> Vec<(u64, usize, usize, u64, u64)> {
+    struct Ev {
+        time: f64,
+        seq: u64,
+        msg: usize,
+        hop: usize,
+    }
+    let routes: Vec<Vec<Hop>> = plan.iter().map(|&(f, t, _, _)| topo.route(f, t)).collect();
+    let mut events: Vec<Ev> = Vec::new();
+    let mut seq = 0u64;
+    for (i, &(_, _, _, at)) in plan.iter().enumerate() {
+        events.push(Ev { time: at, seq, msg: i, hop: 0 });
+        seq += 1;
+    }
+    let mut busy: HashMap<(usize, usize), f64> = HashMap::new();
+    let mut out = Vec::new();
+    while !events.is_empty() {
+        // Pop the (time, seq)-minimal event — same order the engine's
+        // binary heap yields.
+        let mut min = 0;
+        for (i, e) in events.iter().enumerate().skip(1) {
+            let lt = e
+                .time
+                .total_cmp(&events[min].time)
+                .then_with(|| e.seq.cmp(&events[min].seq))
+                .is_lt();
+            if lt {
+                min = i;
+            }
+        }
+        let ev = events.remove(min);
+        let (from, to, bytes, _) = plan[ev.msg];
+        let route = &routes[ev.msg];
+        if ev.hop == route.len() {
+            out.push((ev.msg as u64, from, to, bytes, ev.time.to_bits()));
+            continue;
+        }
+        let hop = route[ev.hop];
+        let b = busy.entry((hop.from, hop.to)).or_insert(0.0);
+        let start = ev.time.max(*b);
+        let serialize = hop.link.ns_per_byte * bytes as f64;
+        *b = start + serialize;
+        let j = sample_jitter(&jitter, ev.msg as u64, ev.hop as u64, serialize + hop.link.latency_ns);
+        events.push(Ev {
+            time: start + serialize + hop.link.latency_ns + j,
+            seq,
+            msg: ev.msg,
+            hop: ev.hop + 1,
+        });
+        seq += 1;
+    }
+    out
+}
+
+/// The engine's documented jitter stream, reproduced independently:
+/// uniform in `[0, frac · hop_cost)` from a SplitMix64 keyed by
+/// `(seed, message, hop)` with one warm-up draw.
+fn sample_jitter(model: &JitterModel, msg: u64, hop: u64, hop_cost_ns: f64) -> f64 {
+    if model.frac_of_cost == 0.0 {
+        return 0.0;
+    }
+    let mut g = fpna_core::rng::SplitMix64::new(
+        model.seed
+            ^ msg.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ hop.wrapping_mul(0xC2B2_AE3D_27D4_EB4F),
+    );
+    g.next_u64();
+    model.frac_of_cost * hop_cost_ns * g.next_f64()
 }
 
 proptest! {
@@ -128,5 +212,56 @@ proptest! {
             max_time = max_time.max(d.time);
         }
         prop_assert_eq!(stats.makespan_ns.to_bits(), max_time.to_bits());
+    }
+
+    /// The precomputed route table (what the engine rides) is hop-for-
+    /// hop identical to the on-demand BFS for **every** `(from, to)`
+    /// pair in all three topology families.
+    #[test]
+    fn precomputed_route_table_matches_on_demand_bfs(
+        kind in 0usize..3,
+        n1 in 1usize..20,
+        n2 in 1usize..7,
+    ) {
+        let topo = make_topo(kind, n1, n2);
+        for a in 0..topo.ranks() {
+            for b in 0..topo.ranks() {
+                let on_demand = topo.route(a, b);
+                prop_assert_eq!(
+                    on_demand.as_slice(),
+                    topo.route_hops(a, b),
+                    "{} {}→{}", topo.name(), a, b
+                );
+            }
+        }
+    }
+
+    /// The dense link-busy vector + recycled message slots reproduce
+    /// the `HashMap`-busy-state reference engine bit for bit — message
+    /// identity, payload metadata and every delivery timestamp — on
+    /// random traffic, jittered and jitter-free.
+    #[test]
+    fn dense_link_busy_matches_hashmap_reference(
+        kind in 0usize..3,
+        n1 in 1usize..20,
+        n2 in 1usize..7,
+        seed in any::<u64>(),
+        frac in prop_oneof![Just(0.0f64), 0.01..1.2f64],
+    ) {
+        let topo = make_topo(kind, n1, n2);
+        let plan = messages(topo.ranks(), seed ^ 0x7777, 24);
+        let jitter = if frac == 0.0 {
+            JitterModel::none()
+        } else {
+            JitterModel::uniform(frac, seed)
+        };
+        let mut sim = NetSim::new(&topo, jitter);
+        for &(from, to, bytes, at) in &plan {
+            sim.send_at(at, from, to, bytes, 0);
+        }
+        let mut got: Vec<(u64, usize, usize, u64, u64)> = Vec::new();
+        sim.run(|_, d: Delivery| got.push((d.msg, d.from, d.to, d.bytes, d.time.to_bits())));
+        let want = reference_run(&topo, jitter, &plan);
+        prop_assert_eq!(got, want);
     }
 }
