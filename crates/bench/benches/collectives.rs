@@ -5,7 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use fpna_collectives::{allreduce, allreduce_on, Algorithm, NetConfig, Ordering};
-use fpna_net::{LinkSpec, Topology};
+use fpna_net::{LinkSpec, RouteSelect, Topology};
 
 const P: usize = 16;
 const M: usize = 1_024;
@@ -122,6 +122,36 @@ fn bench_net_sim(c: &mut Criterion) {
             })
         },
     );
+    // Contended fabric: seeded background tenants at 25% offered load
+    // plus seeded ECMP over a 2-spine fat tree — the multi-tenant path
+    // (tenant event injection, admission check, per-link queue/wait
+    // accounting, route-group lookup) priced under the same gate.
+    let fat = Topology::fat_tree_spines(
+        P,
+        4,
+        2,
+        LinkSpec::new(500.0, 25.0),
+        LinkSpec::new(1_500.0, 50.0),
+    );
+    let loaded = NetConfig::default()
+        .with_load(0.25, 7)
+        .with_route(RouteSelect::SeededEcmp { seed: 7 });
+    for (alg, name) in [
+        (Algorithm::Ring, "ring_load25"),
+        (Algorithm::KAryTree { fanout: 4 }, "tree4_load25"),
+    ] {
+        group.bench_with_input(BenchmarkId::new(name, "fat2"), &ranks, |b, ranks| {
+            b.iter(|| {
+                allreduce_on(
+                    &fat,
+                    std::hint::black_box(ranks),
+                    alg,
+                    Ordering::ArrivalOrder { seed: 42 },
+                    &loaded,
+                )
+            })
+        });
+    }
     group.finish();
 }
 

@@ -24,21 +24,38 @@
 //! clock, which the elapsed/overhead columns and the segmented α–β
 //! model price.
 //!
+//! `--load a,b,…` (default `0`) sweeps multi-tenant contention: seeded
+//! background senders share the fabric at each offered-load factor,
+//! reordering foreground arrivals through link queueing (the fabric's
+//! *other* nondeterminism source — no extra jitter involved). Arrival-
+//! order variability grows with offered load on the fat tree (self-
+//! checked when more than one load is listed), the software-scheduled
+//! rows stay bit-identical with zero timing spread (the tenants are
+//! seeded too), and reproducible mode stays bitwise at any load.
+//! `--route ecmp` additionally routes every message over a seeded
+//! equal-cost path choice (the fat tree here has 4 spines).
+//!
 //! `cargo run --release -p fpna-bench --bin table9 [--len 4096] [--runs 25] [--fanout 4] [--seed 9]
-//!  [--segments 1,8,32] [--threads N] [--paper-scale]`
+//!  [--segments 1,8,32] [--load 0,0.3,0.8] [--route fixed|ecmp] [--threads N] [--paper-scale]`
 
 use fpna_collectives::{allreduce_on, Algorithm, NetConfig, Ordering};
 use fpna_core::metrics::scalar_variability;
 use fpna_core::report::{mean_std, Table};
 use fpna_core::rng::{derive_seed, SplitMix64};
-use fpna_net::{sweep_seeds, CostModel, LinkSpec, SeedSweep, Topology};
+use fpna_net::{sweep_seeds, CostModel, LinkSpec, RouteSelect, SeedSweep, Topology};
 use fpna_summation::exact::ExactAccumulator;
+
+/// Index of the fat tree in [`topologies`] — the fabric the
+/// variability-vs-offered-load check reads.
+const FAT_TREE_IDX: usize = 1;
 
 fn topologies(p: usize) -> Vec<Topology> {
     assert!(p.is_multiple_of(8), "the sweep assumes rank counts divisible by 8");
     vec![
         Topology::flat_switch(p, LinkSpec::new(500.0, 25.0)),
-        Topology::fat_tree(p, 8, LinkSpec::new(500.0, 25.0), LinkSpec::new(1_500.0, 50.0)),
+        // 4 spines: cross-group pairs expose 4 equal-cost paths, so
+        // `--route ecmp` has genuine choice (Fixed sticks to spine 0).
+        Topology::fat_tree_spines(p, 8, 4, LinkSpec::new(500.0, 25.0), LinkSpec::new(1_500.0, 50.0)),
         Topology::hierarchical(
             p / 8,
             8,
@@ -71,6 +88,39 @@ fn main() {
         !segments.is_empty() && segments.iter().all(|&k| k >= 1),
         "--segments expects a comma-separated list of positive chunk counts"
     );
+    let loads: Vec<f64> = fpna_bench::arg_string("load")
+        .map(|v| {
+            v.split(',')
+                .map(|s| {
+                    s.trim()
+                        .parse()
+                        .unwrap_or_else(|_| panic!("--load expects offered-load factors, got {s}"))
+                })
+                .collect()
+        })
+        .unwrap_or_else(|| vec![0.0]);
+    assert!(
+        !loads.is_empty() && loads.iter().all(|&l| l.is_finite() && l >= 0.0),
+        "--load expects a comma-separated list of non-negative offered-load factors"
+    );
+    assert!(
+        loads.windows(2).all(|w| w[0] < w[1]),
+        "--load expects strictly increasing offered-load factors"
+    );
+    let ecmp = match fpna_bench::arg_string("route").as_deref() {
+        None | Some("fixed") => false,
+        Some("ecmp") => true,
+        Some(other) => panic!("--route expects fixed|ecmp, got {other}"),
+    };
+    // Seeded route choice per message stream: a pure function of the
+    // sweep seed, so every run replays.
+    let route_for = |s: u64| {
+        if ecmp {
+            RouteSelect::SeededEcmp { seed: derive_seed(s, 0xEC) }
+        } else {
+            RouteSelect::Fixed
+        }
+    };
     // Keep the default (unsegmented) banner text byte-stable.
     let seg_note = if segments == [1] {
         String::new()
@@ -80,10 +130,21 @@ fn main() {
             segments.iter().map(|k| k.to_string()).collect::<Vec<_>>().join(",")
         )
     };
+    let load_note = if loads == [0.0] {
+        String::new()
+    } else {
+        format!(
+            ", offered-load sweep {{{}}}",
+            loads.iter().map(|l| l.to_string()).collect::<Vec<_>>().join(",")
+        )
+    };
+    let route_note = if ecmp { ", seeded ECMP routing" } else { "" };
     fpna_bench::banner(
         "Table 9 (interconnect)",
         "timing-driven allreduce variability vs cost, by topology depth",
-        &format!("{len}-element vectors, {runs} runs/config, fanout-{fanout} tree{seg_note}"),
+        &format!(
+            "{len}-element vectors, {runs} runs/config, fanout-{fanout} tree{seg_note}{load_note}{route_note}"
+        ),
     );
 
     let alg = Algorithm::KAryTree { fanout };
@@ -141,6 +202,7 @@ fn main() {
             "schedule",
             "seg",
             "jitter",
+            "load",
             "differing",
             "mean Vc",
             "mean Vermv",
@@ -151,11 +213,17 @@ fn main() {
         .with_title(format!("p = {p} ranks"));
 
         // mean Vc per (jitter level, segment count, topology) for the
-        // growth check.
+        // depth-growth check — quiet-fabric rows only, since contention
+        // reshapes the depth profile.
         let mut growth: Vec<Vec<Vec<f64>>> =
             vec![vec![Vec::new(); segments.len()]; jitter_levels.len()];
+        // mean Vc per (jitter level, segment count, load) on the fat
+        // tree, in `loads` order, for the variability-vs-offered-load
+        // check.
+        let mut load_vc: Vec<Vec<Vec<f64>>> =
+            vec![vec![Vec::new(); segments.len()]; jitter_levels.len()];
 
-        for topo in topologies(p) {
+        for (ti, topo) in topologies(p).into_iter().enumerate() {
             let hops = topo.diameter_hops();
             for (ki, &segs) in segments.iter().enumerate() {
                 // `SegmentedTree` at one chunk is the plain tree; values
@@ -163,8 +231,14 @@ fn main() {
                 // chunk count — segmentation only pipelines the clock.
                 let alg = if segs == 1 { alg } else { Algorithm::SegmentedTree { fanout, segments: segs } };
 
+                for &load in &loads {
                 // -- software-scheduled: zero jitter, rank-ordered folds --
-                let base_cfg = NetConfig::default();
+                // One bg/route seed for the whole row: the tenants replay
+                // identically every run, so the bitwise + zero-timing-
+                // spread guarantee must survive any offered load.
+                let base_cfg = NetConfig::default()
+                    .with_load(load, derive_seed(seed, 0xB6))
+                    .with_route(route_for(derive_seed(seed, 0xB6)));
                 let sched = sweep_seeds(
                     &executor,
                     &allreduce_on(&topo, &ranks, alg, Ordering::RankOrder, &base_cfg).values,
@@ -188,6 +262,7 @@ fn main() {
                     "sw-scheduled".into(),
                     segs.to_string(),
                     "0".into(),
+                    format!("{load}"),
                     format!("0/{runs}"),
                     format!("{:.4}", sched.variability.vc.mean),
                     format!("{:.3e}", sched.variability.vermv.mean),
@@ -198,11 +273,16 @@ fn main() {
 
                 // -- arrival order at each jitter level --
                 for (j, &frac) in jitter_levels.iter().enumerate() {
-                    let cfg = NetConfig {
-                        jitter_frac: frac,
-                        ..NetConfig::default()
-                    };
                     let run = |s: u64| {
+                        // The tenants (and, under ECMP, the route draws)
+                        // differ per run, exactly like the jitter seed:
+                        // each run is a different day on a shared fabric.
+                        let cfg = NetConfig {
+                            jitter_frac: frac,
+                            ..NetConfig::default()
+                        }
+                        .with_load(load, derive_seed(s, 0x10AD))
+                        .with_route(route_for(s));
                         let out = allreduce_on(
                             &topo,
                             &ranks,
@@ -223,13 +303,19 @@ fn main() {
                         .map(|(v, _)| scalar_variability(v[0], reference[0]).abs())
                         .fold(0.0f64, f64::max);
                     let sweep = SeedSweep::from_outputs(&reference, &outputs);
-                    growth[j][ki].push(sweep.variability.vc.mean);
+                    if load == 0.0 {
+                        growth[j][ki].push(sweep.variability.vc.mean);
+                    }
+                    if ti == FAT_TREE_IDX {
+                        load_vc[j][ki].push(sweep.variability.vc.mean);
+                    }
                     table.push_row([
                         topo.name().to_string(),
                         hops.to_string(),
                         "arrival order".into(),
                         segs.to_string(),
                         format!("{frac}"),
+                        format!("{load}"),
                         format!(
                             "{}/{runs}",
                             runs - sweep.variability.bitwise_identical_runs
@@ -243,16 +329,14 @@ fn main() {
                 }
 
                 // -- reproducible: exact accumulators on a jittered fabric --
-                let cfg = NetConfig::default();
                 let seeds: Vec<u64> = (0..runs as u64).map(|s| derive_seed(seed ^ 0xE4A7, s)).collect();
                 let repro = sweep_seeds(&executor, &exact_reference, &seeds, |s| {
-                    let out = allreduce_on(
-                        &topo,
-                        &ranks,
-                        alg,
-                        Ordering::Reproducible,
-                        &cfg.with_jitter_seed(s),
-                    );
+                    let cfg = NetConfig::default()
+                        .with_jitter_seed(s)
+                        .with_load(load, derive_seed(s, 0x10AD))
+                        .with_route(route_for(s));
+                    let out =
+                        allreduce_on(&topo, &ranks, alg, Ordering::Reproducible, &cfg);
                     (out.values, out.elapsed_ns)
                 });
                 if !repro.bitwise_reproducible() {
@@ -293,6 +377,7 @@ fn main() {
                     "reproducible".into(),
                     segs.to_string(),
                     format!("{}", NetConfig::default().jitter_frac),
+                    format!("{load}"),
                     format!("0/{runs}"),
                     format!("{:.4}", repro.variability.vc.mean),
                     format!("{:.3e}", repro.variability.vermv.mean),
@@ -303,6 +388,7 @@ fn main() {
                         repro.elapsed_ns.mean / plain_elapsed
                     ),
                 ]);
+                }
             }
         }
 
@@ -314,25 +400,47 @@ fn main() {
         // the depth transition).
         for (j, &frac) in jitter_levels.iter().enumerate() {
             for (ki, &segs) in segments.iter().enumerate() {
-                let vcs = &growth[j][ki];
-                let monotone = vcs.windows(2).all(|w| w[0] <= w[1] + 1e-12);
-                let nonzero_deep = *vcs.last().unwrap() > 0.0;
-                if !monotone || !nonzero_deep {
-                    all_checks_pass = false;
-                }
                 let seg_note = if segments == [1] {
                     String::new()
                 } else {
                     format!(", segments {segs}")
                 };
-                println!(
-                    "growth check (jitter {frac}{seg_note}): mean Vc by depth = {} -> {}",
-                    vcs.iter()
-                        .map(|v| format!("{v:.4}"))
-                        .collect::<Vec<_>>()
-                        .join(" <= "),
-                    if monotone && nonzero_deep { "PASS" } else { "FAIL" }
-                );
+                // Depth growth is a quiet-fabric property; it is only
+                // collected (and checked) when 0 is among the loads.
+                let vcs = &growth[j][ki];
+                if !vcs.is_empty() {
+                    let monotone = vcs.windows(2).all(|w| w[0] <= w[1] + 1e-12);
+                    let nonzero_deep = *vcs.last().unwrap() > 0.0;
+                    if !monotone || !nonzero_deep {
+                        all_checks_pass = false;
+                    }
+                    println!(
+                        "growth check (jitter {frac}{seg_note}): mean Vc by depth = {} -> {}",
+                        vcs.iter()
+                            .map(|v| format!("{v:.4}"))
+                            .collect::<Vec<_>>()
+                            .join(" <= "),
+                        if monotone && nonzero_deep { "PASS" } else { "FAIL" }
+                    );
+                }
+                // Contention is a *second* nondeterminism source: on the
+                // fat tree, arrival-order variability must strictly grow
+                // with offered load.
+                if loads.len() > 1 {
+                    let vcs = &load_vc[j][ki];
+                    let strictly_growing = vcs.windows(2).all(|w| w[1] > w[0]);
+                    if !strictly_growing {
+                        all_checks_pass = false;
+                    }
+                    println!(
+                        "load check (jitter {frac}{seg_note}): fat-tree mean Vc by offered load = {} -> {}",
+                        vcs.iter()
+                            .map(|v| format!("{v:.4}"))
+                            .collect::<Vec<_>>()
+                            .join(" < "),
+                        if strictly_growing { "PASS" } else { "FAIL" }
+                    );
+                }
             }
         }
         println!();

@@ -1,0 +1,61 @@
+//! Golden snapshot of `table9` stdout at a fixed seed and clamped
+//! sizes, covering the multi-tenant load axis end to end.
+//!
+//! The entire table — every simulated-time column included — is a pure
+//! function of the flags: the fabric, tenants, and route draws are all
+//! seeded, and run fan-out is order-invariant. So the full stdout can
+//! be pinned byte for byte, and must not depend on the worker-thread
+//! count. Refresh after an intentional output change with:
+//!
+//! ```text
+//! FPNA_BLESS=1 cargo test -p fpna-bench --test golden_table9
+//! ```
+
+use std::path::PathBuf;
+use std::process::Command;
+
+const ARGS: &[&str] = &["--runs", "4", "--len", "96", "--load", "0,0.5", "--seed", "9"];
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/table9.txt")
+}
+
+fn run_table9(threads: &str) -> String {
+    let out = Command::new(env!("CARGO_BIN_EXE_table9"))
+        .args(ARGS)
+        .args(["--threads", threads])
+        // The golden must not inherit a CI thread matrix.
+        .env_remove("FPNA_THREADS")
+        .output()
+        .expect("spawn table9");
+    assert!(
+        out.status.success(),
+        "table9 self-checks failed (threads={threads}):\n{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr),
+    );
+    String::from_utf8(out.stdout).expect("table9 emits UTF-8")
+}
+
+#[test]
+fn table9_stdout_matches_the_committed_golden() {
+    let serial = run_table9("1");
+    let threaded = run_table9("2");
+    assert_eq!(
+        serial, threaded,
+        "table9 stdout must be identical at any worker-thread count"
+    );
+    let path = golden_path();
+    if std::env::var_os("FPNA_BLESS").is_some() {
+        std::fs::write(&path, &serial).expect("write golden");
+        return;
+    }
+    let want = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {} ({e}); bless with FPNA_BLESS=1", path.display()));
+    assert_eq!(
+        serial,
+        want,
+        "table9 stdout drifted from {}; if intentional, re-bless with FPNA_BLESS=1",
+        path.display()
+    );
+}

@@ -51,7 +51,7 @@
 //! fallback for experiments that don't need a network model.
 
 use crate::allreduce::{Algorithm, Ordering};
-use fpna_net::{JitterModel, NetSim, RunStats, Topology};
+use fpna_net::{Background, FabricConfig, JitterModel, NetSim, RouteSelect, RunStats, Topology};
 use fpna_summation::exact::ExactAccumulator;
 
 /// Fabric-behaviour knobs shared by every ordering.
@@ -72,6 +72,18 @@ pub struct NetConfig {
     /// beats this spacing, which is how variability comes to grow with
     /// fabric depth.
     pub stagger_ns: f64,
+    /// Offered load of the seeded background tenants sharing the
+    /// fabric ([`fpna_net::Background`]): `0.0` (the default) is a
+    /// quiet fabric, bit-identical to the pre-contention engine.
+    pub load: f64,
+    /// Seed of the background tenants' schedule: "what the other jobs
+    /// did this run". Applies to every ordering — contention reorders
+    /// arrivals through link queueing, not through jitter.
+    pub bg_seed: u64,
+    /// Route selection among equal-cost paths
+    /// ([`fpna_net::RouteSelect`]): `Fixed` (the default) or seeded
+    /// ECMP on a multi-spine fabric.
+    pub route: RouteSelect,
 }
 
 impl Default for NetConfig {
@@ -80,6 +92,9 @@ impl Default for NetConfig {
             jitter_frac: 0.3,
             jitter_seed: 0,
             stagger_ns: 500.0,
+            load: 0.0,
+            bg_seed: 0,
+            route: RouteSelect::Fixed,
         }
     }
 }
@@ -91,6 +106,38 @@ impl NetConfig {
         self.jitter_seed = seed;
         self
     }
+
+    /// This configuration with background tenants at offered load
+    /// `load`, scheduled by `bg_seed`.
+    pub fn with_load(mut self, load: f64, bg_seed: u64) -> Self {
+        self.load = load;
+        self.bg_seed = bg_seed;
+        self
+    }
+
+    /// This configuration with a different route-selection policy.
+    pub fn with_route(mut self, route: RouteSelect) -> Self {
+        self.route = route;
+        self
+    }
+
+    /// The [`FabricConfig`] this configuration induces.
+    fn fabric(&self) -> FabricConfig {
+        FabricConfig {
+            route_select: self.route,
+            background: if self.load > 0.0 {
+                Background::with_load(self.load, self.bg_seed)
+            } else {
+                Background::off()
+            },
+        }
+    }
+}
+
+/// Engine construction shared by every protocol leg: jitter from the
+/// ordering, contention/routing from the config.
+fn build_sim<'t>(topo: &'t Topology, jitter: JitterModel, config: &NetConfig) -> NetSim<'t> {
+    NetSim::with_fabric(topo, jitter, config.fabric())
 }
 
 /// Result of one simulated allreduce.
@@ -467,7 +514,7 @@ fn tree_on(
         }
     };
 
-    let mut sim = NetSim::new(topo, jitter);
+    let mut sim = build_sim(topo, jitter, config);
     let mut payloads = Payloads::default();
     // Leaves inject their contribution at their staggered start time,
     // chunks back to back (equal timestamps resolve by injection
@@ -602,7 +649,7 @@ fn ring_on(
         };
     }
 
-    let mut sim = NetSim::new(topo, jitter);
+    let mut sim = build_sim(topo, jitter, config);
     let mut payloads = Payloads::default();
     // Step 0: every rank sends its own copy of its own segment, chunk
     // by chunk (empty chunks still circulate as 0-byte messages so the
@@ -757,7 +804,7 @@ fn recursive_doubling_plain_on(
         .collect();
 
     let bytes = (m * std::mem::size_of::<f64>()) as u64;
-    let mut sim = NetSim::new(topo, jitter);
+    let mut sim = build_sim(topo, jitter, config);
     for (r, state) in states.iter().enumerate() {
         sim.send_at(state.ready, r, r ^ 1, bytes, 0);
     }
@@ -829,7 +876,7 @@ fn recursive_doubling_exact_on(
         };
     }
 
-    let mut sim = NetSim::new(topo, jitter);
+    let mut sim = build_sim(topo, jitter, config);
     let mut payloads = Payloads::default();
     for (r, state) in states.iter().enumerate() {
         let bytes = state.buf.wire_bytes();
@@ -1192,6 +1239,132 @@ mod tests {
         );
         let base = allreduce_on(&topo, &ranks, Algorithm::Ring, Ordering::RankOrder, &cfg);
         assert_eq!(bits(&seg.values), bits(&base.values));
+    }
+
+    fn spined(p: usize, radix: usize, spines: usize) -> Topology {
+        Topology::fat_tree_spines(
+            p,
+            radix,
+            spines,
+            LinkSpec::new(500.0, 50.0),
+            LinkSpec::new(1_000.0, 25.0),
+        )
+    }
+
+    #[test]
+    fn reproducible_is_bitwise_stable_under_any_load_route_and_topology() {
+        // The acceptance contract: exact accumulators on the wire are
+        // immune to *everything* the fabric does — jitter, background
+        // tenants at any offered load, and adaptive route choice.
+        let ranks = make_ranks(16, 24, 21);
+        let reference = allreduce(&ranks, Algorithm::Ring, Ordering::Reproducible);
+        for topo in [flat(16), spined(16, 4, 4), hier(4, 4)] {
+            for load in [0.0, 0.3, 0.8] {
+                for route in [RouteSelect::Fixed, RouteSelect::SeededEcmp { seed: 5 }] {
+                    for alg in [Algorithm::Ring, Algorithm::KAryTree { fanout: 4 }] {
+                        let cfg = NetConfig::default()
+                            .with_load(load, 0xB0B)
+                            .with_route(route)
+                            .with_jitter_seed(load.to_bits());
+                        let out = allreduce_on(&topo, &ranks, alg, Ordering::Reproducible, &cfg);
+                        assert_eq!(
+                            bits(&out.values),
+                            bits(&reference),
+                            "{alg:?} on {} load {load} route {route:?}",
+                            topo.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rank_order_values_are_load_and_route_invariant() {
+        // RankOrder buffers into a deterministic fold order, so
+        // contention moves the clock but never the bits.
+        let ranks = make_ranks(16, 32, 22);
+        let topo = spined(16, 4, 4);
+        let quiet = allreduce_on(
+            &topo,
+            &ranks,
+            Algorithm::KAryTree { fanout: 3 },
+            Ordering::RankOrder,
+            &NetConfig::default(),
+        );
+        for load in [0.3, 0.8] {
+            for route in [RouteSelect::Fixed, RouteSelect::SeededEcmp { seed: 2 }] {
+                let cfg = NetConfig::default().with_load(load, 77).with_route(route);
+                let out = allreduce_on(
+                    &topo,
+                    &ranks,
+                    Algorithm::KAryTree { fanout: 3 },
+                    Ordering::RankOrder,
+                    &cfg,
+                );
+                assert_eq!(bits(&out.values), bits(&quiet.values), "load {load} {route:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn contention_alone_reorders_arrival_order_folds() {
+        // Zero jitter: the *only* nondeterminism source left is the
+        // background tenants' link queueing. Different tenant schedules
+        // must flip some fold order — contention, not jitter, is doing
+        // the reordering (and each schedule must replay bitwise).
+        let ranks = make_ranks(16, 48, 23);
+        let topo = spined(16, 4, 4);
+        let run = |bg_seed: u64| {
+            let cfg = NetConfig {
+                jitter_frac: 0.0,
+                ..NetConfig::default()
+            }
+            .with_load(0.7, bg_seed);
+            allreduce_on(
+                &topo,
+                &ranks,
+                Algorithm::KAryTree { fanout: 8 },
+                Ordering::ArrivalOrder { seed: 0 },
+                &cfg,
+            )
+        };
+        let mut distinct = std::collections::HashSet::new();
+        for bg_seed in 0..8 {
+            let a = run(bg_seed);
+            let b = run(bg_seed);
+            assert_eq!(bits(&a.values), bits(&b.values), "bg_seed {bg_seed} must replay");
+            assert_eq!(a.elapsed_ns.to_bits(), b.elapsed_ns.to_bits());
+            distinct.insert(bits(&a.values));
+        }
+        assert!(
+            distinct.len() > 1,
+            "contention should leak into arrival-order bits"
+        );
+    }
+
+    #[test]
+    fn fixed_order_algorithms_are_bit_stable_under_contention_and_ecmp() {
+        // Ring and recursive doubling have a construction-fixed combine
+        // order: tenants and route choice may move the clock only.
+        let ranks = make_ranks(16, 40, 24);
+        let topo = spined(16, 4, 2);
+        let quiet = NetConfig {
+            jitter_frac: 0.0,
+            ..NetConfig::default()
+        };
+        let busy = quiet
+            .with_load(0.8, 99)
+            .with_route(RouteSelect::SeededEcmp { seed: 4 });
+        for alg in [Algorithm::Ring, Algorithm::RecursiveDoubling] {
+            let a = allreduce_on(&topo, &ranks, alg, Ordering::ArrivalOrder { seed: 1 }, &quiet);
+            let b = allreduce_on(&topo, &ranks, alg, Ordering::ArrivalOrder { seed: 1 }, &busy);
+            assert_eq!(bits(&a.values), bits(&b.values), "{alg:?}");
+            assert!(
+                b.stats.bg_deliveries > 0,
+                "{alg:?}: tenants should actually run"
+            );
+        }
     }
 
     #[test]

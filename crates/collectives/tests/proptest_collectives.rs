@@ -16,7 +16,8 @@ use proptest::prelude::*;
 
 use fpna_collectives::{allreduce, allreduce_on, Algorithm, NetConfig, Ordering};
 use fpna_core::rng::SplitMix64;
-use fpna_net::{LinkSpec, Topology};
+use fpna_core::RunExecutor;
+use fpna_net::{LinkSpec, RouteSelect, Topology};
 use fpna_summation::exact::exact_sum;
 
 fn make_ranks(p: usize, m: usize, seed: u64) -> Vec<Vec<f64>> {
@@ -294,5 +295,60 @@ proptest! {
             "tree rank-order k={}",
             segments
         );
+    }
+
+    /// Sweeping a *contended* fabric (background tenants at nonzero
+    /// offered load, optionally seeded-ECMP-routed) is invariant to how
+    /// the runs are executed: serial, many worker threads, and any
+    /// `--run-batch` chunking all produce bitwise-identical outputs —
+    /// values and simulated elapsed time — run for run.
+    #[test]
+    fn contended_sweeps_are_thread_and_batch_invariant(
+        p_exp in 2u32..5,
+        m in 1usize..24,
+        seed in any::<u64>(),
+        load in 0.1..0.9f64,
+        ecmp in any::<bool>(),
+        threads in 2usize..6,
+        batch in 2usize..5,
+    ) {
+        let p = 1usize << p_exp;
+        let ranks = make_ranks(p, m, seed);
+        let topo = Topology::fat_tree_spines(
+            p,
+            4,
+            2,
+            LinkSpec::new(500.0, 25.0),
+            LinkSpec::new(1_500.0, 50.0),
+        );
+        let route = if ecmp {
+            RouteSelect::SeededEcmp { seed: seed ^ 0xEC }
+        } else {
+            RouteSelect::Fixed
+        };
+        let run = |s: u64| {
+            let cfg = NetConfig { jitter_frac: 0.2, ..NetConfig::default() }
+                .with_jitter_seed(s)
+                .with_load(load, s ^ 0xB6)
+                .with_route(route);
+            let out = allreduce_on(
+                &topo,
+                &ranks,
+                Algorithm::KAryTree { fanout: 3 },
+                Ordering::ArrivalOrder { seed: s },
+                &cfg,
+            );
+            (
+                out.values.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                out.elapsed_ns.to_bits(),
+            )
+        };
+        let runs = 8usize;
+        let serial = RunExecutor::serial().map_runs(runs, |i| run(i as u64));
+        let threaded = RunExecutor::new(threads).map_runs(runs, |i| run(i as u64));
+        prop_assert_eq!(&serial, &threaded, "thread count must not change contended runs");
+        let batched =
+            RunExecutor::new(threads).with_batch(batch).map_runs(runs, |i| run(i as u64));
+        prop_assert_eq!(&serial, &batched, "run batching must not change contended runs");
     }
 }

@@ -19,7 +19,12 @@
 //! * [`engine`] — the event engine: store-and-forward hops, per-link
 //!   serialization, and a seeded [`JitterModel`]. Zero jitter is the
 //!   software-scheduled fabric (bit-for-bit replayable); nonzero
-//!   jitter is MPI on a busy cluster;
+//!   jitter is MPI on a busy cluster. [`FabricConfig`] layers on
+//!   multi-tenant *contention*: seeded [`Background`] tenant traffic
+//!   that reorders foreground arrivals through link queueing, and
+//!   seeded ECMP route choice ([`RouteSelect`]) over the equal-cost
+//!   paths of a multi-spine fat tree
+//!   ([`Topology::fat_tree_spines`]);
 //! * [`cost`] — analytic α–β allreduce cost models, including the
 //!   bandwidth-inflation price of shipping exact accumulators
 //!   (the network half of the paper's "cost of reproducibility");
@@ -56,6 +61,8 @@ pub mod report;
 pub mod topology;
 
 pub use cost::CostModel;
-pub use engine::{Delivery, JitterModel, NetSim, RunStats};
+pub use engine::{
+    Background, Delivery, FabricConfig, JitterModel, LinkStats, NetSim, RouteSelect, RunStats,
+};
 pub use report::{sweep_seeds, SeedSweep};
 pub use topology::{Hop, LinkSpec, NodeKind, Topology};

@@ -15,10 +15,14 @@
 //!   switch, with distinct intra-node vs inter-node latency and
 //!   bandwidth (depth 3).
 //!
-//! Routes are unique shortest paths computed by BFS (every builder
-//! produces a tree-shaped fabric, so shortest paths are unique and no
-//! adaptive-routing nondeterminism sneaks in — all timing variation is
-//! owned by the [`engine`](crate::engine)'s jitter model).
+//! Routes are shortest paths computed by BFS. The three builders above
+//! produce tree-shaped fabrics, so their shortest paths are unique;
+//! [`Topology::fat_tree_spines`] generalises the fat tree to several
+//! core (spine) switches, giving every cross-group rank pair `spines`
+//! **equal-cost paths** — the substrate for the engine's seeded
+//! ECMP/adaptive routing ([`crate::engine::RouteSelect`]). All timing
+//! variation stays owned by the [`engine`](crate::engine): the seeded
+//! jitter model, seeded route choice, and seeded background traffic.
 //!
 //! Construction is two-phase under the hood: the builders add vertices
 //! and links, then `finalize` assigns every **directed** link a dense
@@ -28,7 +32,12 @@
 //! `&[Hop]` slice from that arena — the allocation-free lookup the
 //! event engine rides — while [`Topology::route`] recomputes the same
 //! path by on-demand BFS (the reference implementation the property
-//! tests diff against the table).
+//! tests diff against the table). Where several equal-cost shortest
+//! paths exist, `finalize` enumerates them all:
+//! [`Topology::route_count`] reports how many and
+//! [`Topology::route_hops_nth`] returns the `k`-th (index 0 is always
+//! the canonical BFS route that [`Topology::route_hops`] returns, so
+//! fixed routing is unchanged by the enumeration).
 
 /// Cost model for one link: a message of `b` bytes occupies the link
 /// for `b · ns_per_byte` (serialization, β) and then lands after
@@ -106,6 +115,14 @@ pub struct Topology {
     /// `(offset, len)` into `route_arena` for the route `from → to`,
     /// stored at `from · ranks + to`.
     route_index: Vec<(u32, u32)>,
+    /// Per rank pair (same layout as `route_index`): `u32::MAX` when
+    /// the shortest path is unique, else an index into `ecmp_groups`.
+    ecmp_index: Vec<u32>,
+    /// `(offset, count)` into `ecmp_slots` for a multi-path pair.
+    ecmp_groups: Vec<(u32, u32)>,
+    /// `(offset, len)` into `route_arena` per equal-cost route; slot 0
+    /// of every group is the canonical BFS route.
+    ecmp_slots: Vec<(u32, u32)>,
 }
 
 impl Topology {
@@ -118,6 +135,9 @@ impl Topology {
             num_links: 0,
             route_arena: Vec::new(),
             route_index: Vec::new(),
+            ecmp_index: Vec::new(),
+            ecmp_groups: Vec::new(),
+            ecmp_slots: Vec::new(),
         }
     }
 
@@ -139,11 +159,13 @@ impl Topology {
         self.adj[b].push((a, spec, id + 1));
     }
 
-    /// Precompute the dense route table: one BFS per source rank
-    /// (every builder yields a tree, so the discovered paths match the
-    /// on-demand [`Topology::route`] exactly), with all hops packed
-    /// into one arena so [`Topology::route_hops`] is a slice lookup.
-    /// Called by every builder as its final step.
+    /// Precompute the dense route table: one BFS per source rank (the
+    /// discovered canonical paths match the on-demand
+    /// [`Topology::route`] exactly), with all hops packed into one
+    /// arena so [`Topology::route_hops`] is a slice lookup — then
+    /// enumerate every *equal-cost* shortest path per rank pair for
+    /// the engine's seeded ECMP routing. Called by every builder as
+    /// its final step.
     fn finalize(&mut self) {
         let p = self.rank_vertex.len();
         self.route_index = Vec::with_capacity(p * p);
@@ -184,6 +206,81 @@ impl Topology {
                 self.route_index.push((offset, scratch.len() as u32));
             }
         }
+        self.enumerate_equal_cost_routes();
+    }
+
+    /// BFS hop distances from vertex `src` to every vertex.
+    fn bfs_dist(&self, src: usize) -> Vec<u32> {
+        let mut dist = vec![u32::MAX; self.nodes.len()];
+        dist[src] = 0;
+        let mut queue = std::collections::VecDeque::from([src]);
+        while let Some(v) = queue.pop_front() {
+            for &(w, _, _) in &self.adj[v] {
+                if dist[w] == u32::MAX {
+                    dist[w] = dist[v] + 1;
+                    queue.push_back(w);
+                }
+            }
+        }
+        dist
+    }
+
+    /// Enumerate every shortest path for every rank pair. Pairs with a
+    /// unique path (all of flat/hierarchical, and intra-group fat-tree
+    /// pairs) stay implicit; multi-path pairs get an `ecmp_groups`
+    /// entry whose slot 0 is the canonical BFS route — so
+    /// [`Topology::route_hops`] (and any `Fixed`-routing consumer) is
+    /// untouched by the enumeration, and the alternates live after it.
+    fn enumerate_equal_cost_routes(&mut self) {
+        let p = self.rank_vertex.len();
+        self.ecmp_index = vec![u32::MAX; p * p];
+        let dists: Vec<Vec<u32>> = (0..p).map(|r| self.bfs_dist(self.rank_vertex[r])).collect();
+        let mut paths: Vec<Vec<Hop>> = Vec::new();
+        let mut prefix: Vec<Hop> = Vec::new();
+        for from in 0..p {
+            for to in 0..p {
+                if from == to {
+                    continue;
+                }
+                let (src, dst) = (self.rank_vertex[from], self.rank_vertex[to]);
+                paths.clear();
+                prefix.clear();
+                dfs_shortest_paths(
+                    &self.adj,
+                    &dists[from],
+                    &dists[to],
+                    dists[from][dst],
+                    src,
+                    dst,
+                    &mut prefix,
+                    &mut paths,
+                );
+                if paths.len() <= 1 {
+                    continue;
+                }
+                // Slot 0 is the canonical route already in the arena;
+                // every other enumerated path is appended after it.
+                let canonical = self.route_index[from * p + to];
+                let canonical_ids: Vec<u32> = self.route_arena
+                    [canonical.0 as usize..(canonical.0 + canonical.1) as usize]
+                    .iter()
+                    .map(|h| h.link_id)
+                    .collect();
+                let group_offset = self.ecmp_slots.len() as u32;
+                self.ecmp_slots.push(canonical);
+                for path in &paths {
+                    if path.iter().map(|h| h.link_id).eq(canonical_ids.iter().copied()) {
+                        continue;
+                    }
+                    let offset = self.route_arena.len() as u32;
+                    self.route_arena.extend_from_slice(path);
+                    self.ecmp_slots.push((offset, path.len() as u32));
+                }
+                self.ecmp_index[from * p + to] = self.ecmp_groups.len() as u32;
+                self.ecmp_groups
+                    .push((group_offset, (self.ecmp_slots.len() as u32) - group_offset));
+            }
+        }
     }
 
     /// `p` ranks hanging off one crossbar switch — depth 1.
@@ -205,20 +302,54 @@ impl Topology {
 
     /// Two-level folded-Clos fat tree — depth 2: `radix` ranks per edge
     /// switch over `edge` links; edge switches meet at one core switch
-    /// over `core` links.
+    /// over `core` links. A single-spine [`Topology::fat_tree_spines`]
+    /// (routes are unique, no ECMP).
     ///
     /// # Panics
     ///
     /// Panics when `p == 0` or `radix < 2`.
     pub fn fat_tree(p: usize, radix: usize, edge: LinkSpec, core: LinkSpec) -> Self {
+        Self::fat_tree_spines(p, radix, 1, edge, core)
+    }
+
+    /// Two-level folded Clos with `spines` core switches: every edge
+    /// switch uplinks to every spine over `core` links, so each
+    /// cross-group rank pair has exactly `spines` equal-cost four-hop
+    /// paths — the substrate for seeded ECMP routing
+    /// ([`crate::engine::RouteSelect::SeededEcmp`]). `spines == 1` is
+    /// byte-for-byte the classic [`Topology::fat_tree`] (same name,
+    /// same vertex and link-id assignment order).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `p == 0`, `radix < 2`, or `spines` is outside
+    /// `1..=64`.
+    pub fn fat_tree_spines(
+        p: usize,
+        radix: usize,
+        spines: usize,
+        edge: LinkSpec,
+        core: LinkSpec,
+    ) -> Self {
         assert!(p > 0, "fat_tree needs at least one rank");
         assert!(radix >= 2, "fat_tree radix must be at least 2");
-        let mut t = Topology::empty(format!("fat-tree(p={p},radix={radix})"));
-        let core_sw = t.add_node(NodeKind::Switch);
+        assert!(
+            (1..=64).contains(&spines),
+            "fat_tree spine count must be in 1..=64"
+        );
+        let name = if spines == 1 {
+            format!("fat-tree(p={p},radix={radix})")
+        } else {
+            format!("fat-tree(p={p},radix={radix},spines={spines})")
+        };
+        let mut t = Topology::empty(name);
+        let core_sws: Vec<usize> = (0..spines).map(|_| t.add_node(NodeKind::Switch)).collect();
         let groups = p.div_ceil(radix);
         for g in 0..groups {
             let edge_sw = t.add_node(NodeKind::Switch);
-            t.link(edge_sw, core_sw, core);
+            for &core_sw in &core_sws {
+                t.link(edge_sw, core_sw, core);
+            }
             for r in (g * radix)..(((g + 1) * radix).min(p)) {
                 let v = t.add_node(NodeKind::Rank(r));
                 t.link(v, edge_sw, edge);
@@ -312,7 +443,57 @@ impl Topology {
         &self.route_arena[offset as usize..offset as usize + len as usize]
     }
 
-    /// Unique shortest path from rank `from` to rank `to` as a freshly
+    /// Number of equal-cost shortest paths between ranks `from` and
+    /// `to` — `1` everywhere except cross-group pairs of a multi-spine
+    /// [`Topology::fat_tree_spines`] fabric (where it equals the spine
+    /// count). Self-pairs report `1` (the empty route).
+    ///
+    /// # Panics
+    ///
+    /// Panics when either rank is out of range.
+    #[inline]
+    pub fn route_count(&self, from: usize, to: usize) -> usize {
+        let p = self.rank_vertex.len();
+        assert!(from < p && to < p, "rank out of range");
+        match self.ecmp_index[from * p + to] {
+            u32::MAX => 1,
+            g => self.ecmp_groups[g as usize].1 as usize,
+        }
+    }
+
+    /// The `k`-th equal-cost shortest path from rank `from` to rank
+    /// `to` — a borrowed arena slice like [`Topology::route_hops`].
+    /// Slot `0` is always the canonical route (`route_hops_nth(f, t,
+    /// 0) == route_hops(f, t)`); slots `1..route_count(f, t)` are the
+    /// alternates a [`crate::engine::RouteSelect::SeededEcmp`] sender
+    /// picks among.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either rank is out of range or
+    /// `k >= route_count(from, to)`.
+    #[inline]
+    pub fn route_hops_nth(&self, from: usize, to: usize, k: usize) -> &[Hop] {
+        if k == 0 {
+            return self.route_hops(from, to);
+        }
+        let p = self.rank_vertex.len();
+        assert!(from < p && to < p, "rank out of range");
+        let g = self.ecmp_index[from * p + to];
+        assert!(
+            g != u32::MAX,
+            "route {k} out of range for rank pair ({from}, {to}): path is unique"
+        );
+        let (group_offset, count) = self.ecmp_groups[g as usize];
+        assert!(
+            k < count as usize,
+            "route {k} out of range for rank pair ({from}, {to}): {count} equal-cost paths"
+        );
+        let (offset, len) = self.ecmp_slots[group_offset as usize + k];
+        &self.route_arena[offset as usize..offset as usize + len as usize]
+    }
+
+    /// Canonical shortest path from rank `from` to rank `to` as a freshly
     /// computed hop list — the on-demand BFS reference implementation
     /// (the property tests diff it against the precomputed
     /// [`Topology::route_hops`] table, which is what the engine uses).
@@ -327,8 +508,9 @@ impl Topology {
         if src == dst {
             return Vec::new();
         }
-        // BFS from src; every builder yields a tree, so the first path
-        // found is the unique shortest one.
+        // BFS from src; adjacency order is deterministic, so the first
+        // path found is exactly the canonical one `finalize` stored
+        // (continuing a BFS never rewrites an already-set predecessor).
         let mut prev: Vec<Option<(usize, LinkSpec, u32)>> = vec![None; self.nodes.len()];
         let mut queue = std::collections::VecDeque::from([src]);
         let mut seen = vec![false; self.nodes.len()];
@@ -375,6 +557,37 @@ impl Topology {
             .iter()
             .map(|h| h.link.cost_ns(bytes))
             .sum()
+    }
+}
+
+/// Collect every shortest `v → dst` path into `out`, walking the
+/// shortest-path DAG forward: a directed edge `(v, w)` lies on some
+/// shortest path iff it advances the distance from the source
+/// (`d_src[w] == d_src[v] + 1`) and the detour through `w` still totals
+/// the shortest length (`d_src[w] + d_dst[w] == total`). The forward
+/// walk matters: `adj[v]` carries the `v → w` directed link id, which
+/// is the id the engine charges serialization against.
+#[allow(clippy::too_many_arguments)]
+fn dfs_shortest_paths(
+    adj: &[Vec<(usize, LinkSpec, u32)>],
+    d_src: &[u32],
+    d_dst: &[u32],
+    total: u32,
+    v: usize,
+    dst: usize,
+    prefix: &mut Vec<Hop>,
+    out: &mut Vec<Vec<Hop>>,
+) {
+    if v == dst {
+        out.push(prefix.clone());
+        return;
+    }
+    for &(w, spec, id) in &adj[v] {
+        if d_src[w] == d_src[v] + 1 && d_src[w] + d_dst[w] == total {
+            prefix.push(Hop { from: v, to: w, link: spec, link_id: id });
+            dfs_shortest_paths(adj, d_src, d_dst, total, w, dst, prefix, out);
+            prefix.pop();
+        }
     }
 }
 
@@ -477,6 +690,86 @@ mod tests {
         for a in 0..t.ranks() {
             for b in 0..t.ranks() {
                 assert_eq!(t.route(a, b).as_slice(), t.route_hops(a, b), "{a}->{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_path_fabrics_report_one_route_everywhere() {
+        for t in [
+            Topology::flat_switch(6, link()),
+            Topology::fat_tree(8, 4, link(), link()),
+            Topology::hierarchical(2, 4, link(), link(), link()),
+        ] {
+            for a in 0..t.ranks() {
+                for b in 0..t.ranks() {
+                    assert_eq!(t.route_count(a, b), 1, "{} {a}->{b}", t.name());
+                    assert_eq!(t.route_hops_nth(a, b, 0), t.route_hops(a, b));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multi_spine_cross_group_pairs_expose_spines_routes() {
+        for spines in [2usize, 3, 4] {
+            let t = Topology::fat_tree_spines(8, 4, spines, link(), link());
+            for a in 0..t.ranks() {
+                for b in 0..t.ranks() {
+                    let same_group = a / 4 == b / 4;
+                    let expect = if a == b || same_group { 1 } else { spines };
+                    assert_eq!(t.route_count(a, b), expect, "{} {a}->{b}", t.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ecmp_routes_are_well_formed_equal_cost_and_distinct() {
+        let t = Topology::fat_tree_spines(8, 4, 4, link(), link());
+        for a in 0..t.ranks() {
+            for b in 0..t.ranks() {
+                let n = t.route_count(a, b);
+                let canonical = t.route_hops(a, b);
+                assert_eq!(t.route_hops_nth(a, b, 0), canonical);
+                let mut signatures = Vec::new();
+                for k in 0..n {
+                    let hops = t.route_hops_nth(a, b, k);
+                    assert_eq!(hops.len(), canonical.len(), "{a}->{b} route {k}");
+                    if !hops.is_empty() {
+                        assert_eq!(hops[0].from, t.rank_vertex(a));
+                        assert_eq!(hops[hops.len() - 1].to, t.rank_vertex(b));
+                        for pair in hops.windows(2) {
+                            assert_eq!(pair[0].to, pair[1].from, "{a}->{b} route {k}");
+                        }
+                    }
+                    signatures.push(hops.iter().map(|h| h.link_id).collect::<Vec<_>>());
+                }
+                signatures.sort();
+                signatures.dedup();
+                assert_eq!(signatures.len(), n, "{a}->{b} routes not distinct");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn route_hops_nth_rejects_out_of_range_slot() {
+        let t = Topology::fat_tree_spines(8, 4, 2, link(), link());
+        t.route_hops_nth(0, 4, 2);
+    }
+
+    #[test]
+    fn single_spine_fat_tree_is_bitwise_the_classic_builder() {
+        let classic = Topology::fat_tree(9, 3, link(), link());
+        let spined = Topology::fat_tree_spines(9, 3, 1, link(), link());
+        assert_eq!(classic.name(), spined.name());
+        assert_eq!(classic.vertices(), spined.vertices());
+        assert_eq!(classic.num_links(), spined.num_links());
+        for a in 0..classic.ranks() {
+            assert_eq!(classic.rank_vertex(a), spined.rank_vertex(a));
+            for b in 0..classic.ranks() {
+                assert_eq!(classic.route_hops(a, b), spined.route_hops(a, b), "{a}->{b}");
             }
         }
     }

@@ -3,11 +3,17 @@
 //! bound on every delivery, and the allocation-free fast paths against
 //! their reference implementations — the precomputed route table vs
 //! on-demand BFS, and the dense link-busy vector vs a `HashMap`-keyed
-//! reference engine.
+//! reference engine. The multi-tenant fabric rides the same reference:
+//! any config at `load == 0` with fixed routing must be bit-for-bit
+//! the pre-contention engine, and contended runs (background tenants,
+//! seeded ECMP) must replay bitwise from `(seed, config)` alone.
 
 use proptest::prelude::*;
 
-use fpna_net::{Delivery, Hop, JitterModel, LinkSpec, NetSim, Topology};
+use fpna_net::{
+    Background, Delivery, FabricConfig, Hop, JitterModel, LinkSpec, NetSim, RouteSelect, RunStats,
+    Topology,
+};
 use std::collections::HashMap;
 
 /// Build a topology from one of the three builder families; `kind`
@@ -107,6 +113,25 @@ fn reference_run(
         seq += 1;
     }
     out
+}
+
+/// Everything a contended run observes, bit-exact: the delivery log
+/// plus every [`RunStats`] field (floats by `to_bits`).
+fn stats_fingerprint(stats: &RunStats) -> Vec<u64> {
+    vec![
+        stats.makespan_ns.to_bits(),
+        stats.deliveries,
+        stats.bytes_delivered,
+        stats.hops_traversed,
+        stats.wait_ns.to_bits(),
+        stats.max_wait_ns.to_bits(),
+        stats.contended_hops,
+        u64::from(stats.max_queue_depth),
+        stats.bg_deliveries,
+        stats.bg_bytes_delivered,
+        stats.bg_hops_traversed,
+        stats.bg_dropped,
+    ]
 }
 
 /// The engine's documented jitter stream, reproduced independently:
@@ -263,5 +288,108 @@ proptest! {
         sim.run(|_, d: Delivery| got.push((d.msg, d.from, d.to, d.bytes, d.time.to_bits())));
         let want = reference_run(&topo, jitter, &plan);
         prop_assert_eq!(got, want);
+    }
+
+    /// **Any** fabric config with the tenants silenced (`load == 0`)
+    /// and fixed routing is bit-for-bit the pre-contention engine:
+    /// same deliveries and legacy stats as `NetSim::new`, and the same
+    /// delivery log as the retained `HashMap`-reference engine. The
+    /// multi-tenant machinery must be a strict no-op until switched on.
+    #[test]
+    fn quiet_fixed_fabric_is_bitwise_the_pr5_reference(
+        kind in 0usize..3,
+        n1 in 2usize..20,
+        n2 in 1usize..7,
+        seed in any::<u64>(),
+        frac in prop_oneof![Just(0.0f64), 0.01..1.2f64],
+        bg_seed in any::<u64>(),
+        bg_bytes in 1u64..(1 << 20),
+        bg_burst in 1u32..64,
+    ) {
+        let topo = make_topo(kind, n1, n2);
+        let plan = messages(topo.ranks(), seed ^ 0x51E7, 24);
+        let jitter = if frac == 0.0 {
+            JitterModel::none()
+        } else {
+            JitterModel::uniform(frac, seed)
+        };
+        let fabric = FabricConfig {
+            route_select: RouteSelect::Fixed,
+            background: Background {
+                load: 0.0,
+                seed: bg_seed,
+                bytes: bg_bytes,
+                burst: bg_burst,
+            },
+        };
+        let drive = |mut sim: NetSim<'_>| {
+            for (i, &(from, to, bytes, at)) in plan.iter().enumerate() {
+                sim.send_at(at, from, to, bytes, i as u64);
+            }
+            let mut log: Vec<(u64, u64, usize, usize, u64, u64)> = Vec::new();
+            let stats =
+                sim.run(|_, d: Delivery| log.push((d.msg, d.tag, d.from, d.to, d.bytes, d.time.to_bits())));
+            (log, stats_fingerprint(&stats))
+        };
+        let quiet = drive(NetSim::with_fabric(&topo, jitter, fabric));
+        let plain = drive(NetSim::new(&topo, jitter));
+        prop_assert_eq!(&quiet, &plain, "load=0 fabric must equal the plain engine");
+        let want = reference_run(&topo, jitter, &plan);
+        let got: Vec<(u64, usize, usize, u64, u64)> =
+            quiet.0.iter().map(|&(m, _, f, t, b, ts)| (m, f, t, b, ts)).collect();
+        prop_assert_eq!(got, want, "load=0 fabric must equal the reference engine");
+    }
+
+    /// Background-flow schedules and seeded ECMP route draws are pure
+    /// functions of `(seed, config)`: replaying a contended run — any
+    /// offered load, either route mode, multi-spine or not — reproduces
+    /// every foreground delivery **and every stats counter** bit for
+    /// bit, including the background/drop tallies.
+    #[test]
+    fn contended_runs_replay_bitwise_from_their_seeds(
+        p in 4usize..18,
+        spines in 1usize..5,
+        seed in any::<u64>(),
+        frac in prop_oneof![Just(0.0f64), 0.01..0.8f64],
+        load in 0.05..1.0f64,
+        ecmp in any::<bool>(),
+    ) {
+        let topo = Topology::fat_tree_spines(
+            p,
+            4,
+            spines,
+            LinkSpec::new(500.0, 25.0),
+            LinkSpec::new(1_500.0, 50.0),
+        );
+        let plan = messages(p, seed ^ 0xBEEF, 24);
+        let jitter = if frac == 0.0 {
+            JitterModel::none()
+        } else {
+            JitterModel::uniform(frac, seed)
+        };
+        let fabric = FabricConfig {
+            route_select: if ecmp {
+                RouteSelect::SeededEcmp { seed: seed ^ 0xEC }
+            } else {
+                RouteSelect::Fixed
+            },
+            background: Background::with_load(load, seed ^ 0xB6),
+        };
+        let run = || {
+            let mut sim = NetSim::with_fabric(&topo, jitter, fabric);
+            for (i, &(from, to, bytes, at)) in plan.iter().enumerate() {
+                sim.send_at(at, from, to, bytes, i as u64);
+            }
+            let mut log: Vec<(u64, u64, u64)> = Vec::new();
+            let stats = sim.run(|_, d: Delivery| log.push((d.msg, d.tag, d.time.to_bits())));
+            (log, stats_fingerprint(&stats))
+        };
+        let first = run();
+        prop_assert_eq!(
+            first.0.len(),
+            plan.len(),
+            "tenants may delay but never eat a foreground message"
+        );
+        prop_assert_eq!(&first, &run(), "contended run must replay bitwise");
     }
 }
