@@ -86,6 +86,35 @@ fn bench_flood(c: &mut Criterion) {
     group.finish();
 }
 
+/// The flat flood with the `fpna-obs` event counters switched on —
+/// the row that prices the counting path against the plain
+/// `flood/flat` row above. The counter flags are sampled once at
+/// engine construction into plain branches and tallies are local
+/// until one flush per `run`, so the delta should be noise-level.
+fn bench_flood_counted(c: &mut Criterion) {
+    const MSGS: usize = 1024;
+    let mut group = c.benchmark_group("net_engine");
+    group.throughput(Throughput::Elements(MSGS as u64));
+    let topo = flat();
+    let traffic = plan(topo.ranks(), MSGS);
+    fpna_obs::counters::reset();
+    fpna_obs::counters::set_enabled(true);
+    group.bench_with_input(BenchmarkId::new("flood_counted", "flat"), &topo, |b, topo| {
+        b.iter(|| {
+            let mut sim = NetSim::new(topo, JitterModel::uniform(0.3, 42));
+            for (i, &(from, to, bytes, at)) in traffic.iter().enumerate() {
+                sim.send_at(at, from, to, bytes, i as u64);
+            }
+            let mut last = 0.0f64;
+            sim.run(|_, d| last = d.time);
+            last
+        })
+    });
+    fpna_obs::counters::set_enabled(false);
+    fpna_obs::counters::reset();
+    group.finish();
+}
+
 /// A long callback-driven relay: every delivery injects the next
 /// send, so one recycled message slot carries the whole run — the
 /// chained-send path protocols live on.
@@ -112,5 +141,5 @@ fn bench_relay(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_route_table, bench_flood, bench_relay);
+criterion_group!(benches, bench_route_table, bench_flood, bench_flood_counted, bench_relay);
 criterion_main!(benches);

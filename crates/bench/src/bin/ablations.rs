@@ -118,4 +118,5 @@ fn main() {
             last.mean, wd.final_vc.mean, wd.unique_models, wd.runs
         );
     }
+    args.finish();
 }

@@ -66,16 +66,20 @@ const UNGATED_SUITES: &[&str] = &["net_engine"];
 /// suite values act as *looser minimums* on top of `--threshold`
 /// (`max`), so raising the global threshold raises every gate and
 /// never silently tightens a noisy suite below its floor.
-fn threshold_for(id: &str, default: f64, overrides: &[(String, f64)]) -> f64 {
+/// [`threshold_for`]'s second return: where the applied limit came
+/// from, so a failing row can name the exact rule that gated it.
+fn threshold_for(id: &str, default: f64, overrides: &[(String, f64)]) -> (f64, String) {
     let suite = id.split('/').next().unwrap_or(id);
     if let Some(&(_, t)) = overrides.iter().find(|(s, _)| s == suite) {
-        return t;
+        return (t, format!("--suite-threshold override for suite '{suite}'"));
     }
-    SUITE_THRESHOLDS
-        .iter()
-        .find(|&&(s, _)| s == suite)
-        .map(|&(_, t)| t.max(default))
-        .unwrap_or(default)
+    match SUITE_THRESHOLDS.iter().find(|&&(s, _)| s == suite) {
+        Some(&(_, t)) if t > default => {
+            (t, format!("built-in noisy-suite floor for '{suite}'"))
+        }
+        Some(_) => (default, format!("--threshold (above the '{suite}' suite floor)")),
+        None => (default, "--threshold default".to_string()),
+    }
 }
 
 /// Parse every `--suite-threshold name=factor` occurrence.
@@ -170,6 +174,7 @@ fn main() -> ExitCode {
             (threshold - 1.0) * 100.0
         ));
     let mut regressions = 0usize;
+    let mut failures: Vec<String> = Vec::new();
     for (id, &cur) in &current {
         let Some(&base) = baseline.get(id) else {
             table.push_row([id.clone(), "-".into(), cur.to_string(), "-".into(), "-".into(), "-".into(), "new (re-baseline)".into()]);
@@ -177,9 +182,13 @@ fn main() -> ExitCode {
         };
         let ratio = cur as f64 / base as f64;
         let normalized = ratio / machine;
-        let limit = threshold_for(id, threshold, &overrides);
+        let (limit, limit_source) = threshold_for(id, threshold, &overrides);
         let status = if normalized > limit {
             regressions += 1;
+            failures.push(format!(
+                "  {id}: normalized {normalized:.3} > limit {limit:.2} ({limit_source}); \
+                 raw ratio {ratio:.3} / machine factor {machine:.3}"
+            ));
             "REGRESSED"
         } else {
             "ok"
@@ -205,7 +214,15 @@ fn main() -> ExitCode {
 
     if regressions > 0 || missing > 0 {
         if regressions > 0 {
-            eprintln!("bench_gate: {regressions} benchmark(s) regressed past their normalized per-suite threshold");
+            eprintln!(
+                "bench_gate: {regressions} benchmark(s) regressed past their normalized per-suite \
+                 threshold (normalized = raw ratio / machine factor {machine:.3}, the median of \
+                 {} current/baseline ratios):",
+                ratios.len()
+            );
+            for f in &failures {
+                eprintln!("{f}");
+            }
         }
         if missing > 0 {
             eprintln!(

@@ -82,4 +82,5 @@ fn main() {
         );
         println!();
     }
+    args.finish();
 }

@@ -71,4 +71,5 @@ fn main() {
         "Jarque-Bera: stat = {:.2}, p = {:.4}, skew = {:.3}, ex.kurtosis = {:.3}",
         jb.statistic, jb.p_value, jb.skewness, jb.excess_kurtosis
     );
+    args.finish();
 }

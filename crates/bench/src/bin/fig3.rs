@@ -68,4 +68,5 @@ fn main() {
     let row_labels: Vec<String> = dims_2d.iter().rev().map(|d| d.to_string()).collect();
     println!("{}", fpna_bench::ascii_heatmap(&row_labels, &ratio_labels, &grid));
     println!("columns: reduction ratio R = 0.1 ... 1.0");
+    args.finish();
 }

@@ -44,4 +44,5 @@ fn main() {
             r, cells[0], cells[1], cells[2]
         );
     }
+    args.finish();
 }

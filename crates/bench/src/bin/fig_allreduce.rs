@@ -76,6 +76,7 @@ fn main() {
         "reproducible mode across different algorithms: bitwise identical = {}",
         cmp.bitwise_identical()
     );
+    args.finish();
 }
 
 fn rekey(ord: Ordering, run: u64) -> Ordering {

@@ -65,4 +65,5 @@ fn main() {
          (both converged to tolerance — the divergence lives in the trajectory)",
         d.final_relative_diff
     );
+    args.finish();
 }

@@ -91,4 +91,5 @@ fn main() {
          fp32/fp64 ratio near eps32/eps64 = {:.2e}",
         f32::EPSILON as f64 / f64::EPSILON
     );
+    args.finish();
 }

@@ -68,4 +68,5 @@ fn main() {
             fit.beta, fit.alpha, fit.r_squared
         );
     }
+    args.finish();
 }

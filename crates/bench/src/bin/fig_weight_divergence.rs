@@ -65,4 +65,5 @@ fn main() {
         .copied()
         .fold(f64::NEG_INFINITY, f64::max);
     println!("final losses cluster in [{min:.4}, {max:.4}] despite bitwise divergence");
+    args.finish();
 }

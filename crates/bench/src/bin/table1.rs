@@ -38,4 +38,5 @@ fn main() {
         table.push_row(row);
     }
     println!("{}", table.render());
+    args.finish();
 }

@@ -8,7 +8,7 @@ use fpna_gpu_sim::ReduceKernel;
 fn main() {
     // No run loop here — parsed for the uniform flag surface
     // (`--threads`/`--paper-scale` are accepted by every binary).
-    let _ = fpna_bench::ExperimentArgs::parse();
+    let args = fpna_bench::ExperimentArgs::parse();
     fpna_bench::banner(
         "Table 2",
         "different implementations of the parallel sum in CUDA",
@@ -26,4 +26,5 @@ fn main() {
         ]);
     }
     println!("{}", table.render());
+    args.finish();
 }

@@ -17,6 +17,7 @@ use fpna_stats::samplers::{Distribution, Sampler};
 use fpna_summation::parallel::{ordered_threaded_sum, unordered_threaded_sum};
 
 fn main() {
+    let args = fpna_bench::ExperimentArgs::parse();
     let trials = fpna_bench::arg_usize("trials", 10);
     let n = fpna_bench::arg_usize("n", 1_000_000);
     let threads = fpna_bench::arg_usize("threads", 8);
@@ -55,4 +56,5 @@ fn main() {
         normal_bits.len(),
         ordered_bits.len()
     );
+    args.finish();
 }

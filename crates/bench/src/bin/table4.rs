@@ -104,4 +104,5 @@ fn main() {
         }
         println!();
     }
+    args.finish();
 }

@@ -40,4 +40,5 @@ fn main() {
          raced element in any precision; their Vermv reflects the collision \
          rate of the index tensor instead."
     );
+    args.finish();
 }

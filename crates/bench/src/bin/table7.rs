@@ -51,4 +51,5 @@ fn main() {
          pipeline shows the same ordering of conditions with magnitudes at \
          the f64 rounding scale (see the fig_f32 note in EXPERIMENTS.md)."
     );
+    args.finish();
 }

@@ -20,7 +20,7 @@ fn main() {
     // The run loop here is a two-sided wall-clock measurement (D vs ND
     // training), which is inherently sequential; parsed for the
     // uniform `--threads`/`--paper-scale` flag surface.
-    let _ = fpna_bench::ExperimentArgs::parse();
+    let args = fpna_bench::ExperimentArgs::parse();
     let epochs = fpna_bench::arg_usize("epochs", 10);
     let seed = fpna_bench::arg_u64("seed", 88);
     fpna_bench::banner(
@@ -72,4 +72,5 @@ fn main() {
         losses.last().unwrap(),
         losses.last().unwrap() < &losses[0]
     );
+    args.finish();
 }

@@ -35,8 +35,14 @@
 //! `--route ecmp` additionally routes every message over a seeded
 //! equal-cost path choice (the fat tree here has 4 spines).
 //!
+//! `--link-stats` appends, per topology, a table of the busiest links
+//! of one representative contended run (highest offered load, jitter
+//! 0.1): messages carried, total queue wait, and peak queue depth —
+//! the [`fpna_net::NetSim::link_stats`] view, labelled by endpoint.
+//!
 //! `cargo run --release -p fpna-bench --bin table9 [--len 4096] [--runs 25] [--fanout 4] [--seed 9]
-//!  [--segments 1,8,32] [--load 0,0.3,0.8] [--route fixed|ecmp] [--threads N] [--paper-scale]`
+//!  [--segments 1,8,32] [--load 0,0.3,0.8] [--route fixed|ecmp] [--link-stats]
+//!  [--threads N] [--paper-scale] [--trace out.json] [--profile]`
 
 use fpna_collectives::{allreduce_on, Algorithm, NetConfig, Ordering};
 use fpna_core::metrics::scalar_variability;
@@ -107,6 +113,7 @@ fn main() {
         loads.windows(2).all(|w| w[0] < w[1]),
         "--load expects strictly increasing offered-load factors"
     );
+    let link_stats = fpna_bench::arg_flag("link-stats");
     let ecmp = match fpna_bench::arg_string("route").as_deref() {
         None | Some("fixed") => false,
         Some("ecmp") => true,
@@ -393,6 +400,60 @@ fn main() {
         }
 
         println!("{}", table.render());
+
+        // --link-stats: per-link queueing view of one representative
+        // contended run per topology (highest offered load, jitter
+        // 0.1, arrival order) — which links actually back up.
+        if link_stats {
+            let load = *loads.last().unwrap();
+            for topo in topologies(p) {
+                let cfg = NetConfig {
+                    jitter_frac: 0.1,
+                    ..NetConfig::default()
+                }
+                .with_load(load, derive_seed(seed, 0x10AD))
+                .with_route(route_for(seed))
+                .with_link_stats(true);
+                let out = allreduce_on(
+                    &topo,
+                    &ranks,
+                    alg,
+                    Ordering::ArrivalOrder { seed: derive_seed(seed, 1) },
+                    &cfg,
+                );
+                let stats = out
+                    .link_stats
+                    .expect("with_link_stats(true) collects per-link stats");
+                let mut busiest: Vec<(usize, &fpna_net::LinkStats)> =
+                    stats.iter().enumerate().filter(|(_, s)| s.messages > 0).collect();
+                busiest.sort_by(|(la, a), (lb, b)| {
+                    b.wait_ns
+                        .partial_cmp(&a.wait_ns)
+                        .unwrap()
+                        .then_with(|| b.messages.cmp(&a.messages))
+                        .then_with(|| la.cmp(lb))
+                });
+                let active = busiest.len();
+                busiest.truncate(10);
+                let mut lt = Table::new(["link", "messages", "wait µs", "max depth"]).with_title(
+                    format!(
+                        "{} — busiest links (load {load}, jitter 0.1, {active}/{} links active)",
+                        topo.name(),
+                        topo.num_links(),
+                    ),
+                );
+                for (l, s) in busiest {
+                    lt.push_row([
+                        format!("L{l} {}", topo.link_label(l)),
+                        s.messages.to_string(),
+                        format!("{:.1}", s.wait_ns / 1e3),
+                        s.max_depth.to_string(),
+                    ]);
+                }
+                println!("{}", lt.render());
+            }
+        }
+
         // Accumulated path jitter grows strictly with fabric depth, so
         // at every jitter level mean Vc must be monotone in hop count
         // and nonzero on the deepest fabric (shallow fabrics may stay
@@ -454,6 +515,7 @@ fn main() {
          dense upper bound {}B/element).",
         ExactAccumulator::WIRE_BYTES
     );
+    args.finish();
     if all_checks_pass {
         println!("all acceptance checks PASS");
     } else {

@@ -30,17 +30,33 @@
 //!   full experiment sizes (e.g. Table 5's 10 000 runs per
 //!   configuration) instead of the seconds-scale defaults. Explicit
 //!   size flags (`--runs`, `--arrays`, …) still win.
+//!
+//! Two more are observability switches (off by default, see
+//! [`fpna_obs`]):
+//!
+//! * `--trace out.json` — record every simulated-clock event (message
+//!   hops, background bursts, admission drops, per-rank combines) as a
+//!   Chrome trace-event / Perfetto JSON file. Purely simulated time:
+//!   the trace bytes are a deterministic function of the experiment
+//!   seed, not of the machine or thread count.
+//! * `--profile` — enable the event counters and wall-clock phase
+//!   profiler; the report lands in `target/obs/<bin>.profile.json`.
+//!
+//! Both report to **stderr** only, so stdout stays byte-identical with
+//! and without them.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 use std::fmt::Write as _;
+use std::path::PathBuf;
 
 use fpna_core::executor::RunExecutor;
 
 /// Shared per-binary experiment arguments: worker threads, run
-/// batching, and the paper-scale preset switch.
-#[derive(Debug, Clone, Copy)]
+/// batching, the paper-scale preset switch, and the observability
+/// switches.
+#[derive(Debug, Clone)]
 pub struct ExperimentArgs {
     /// Worker thread count for repeated-run loops (`--threads`,
     /// default `FPNA_THREADS`, default 1).
@@ -52,6 +68,12 @@ pub struct ExperimentArgs {
     pub run_batch: usize,
     /// `--paper-scale`: use the paper's full experiment sizes.
     pub paper_scale: bool,
+    /// `--trace out.json`: record a simulated-clock Chrome/Perfetto
+    /// trace and write it here on [`ExperimentArgs::finish`].
+    pub trace: Option<PathBuf>,
+    /// `--profile`: enable counters + wall-clock phase profiling; the
+    /// JSON report lands in `target/obs/<bin>.profile.json`.
+    pub profile: bool,
 }
 
 impl ExperimentArgs {
@@ -72,10 +94,46 @@ impl ExperimentArgs {
         // primitives; nesting collapses to serial inside workers, so
         // the two never multiply.
         fpna_core::executor::set_intra_threads(threads);
+        let trace = arg_string("trace").map(PathBuf::from);
+        if trace.is_some() {
+            fpna_obs::trace::start();
+        }
+        let profile = arg_flag("profile");
+        if profile {
+            fpna_obs::counters::reset();
+            fpna_obs::counters::set_enabled(true);
+            fpna_obs::profile::reset();
+            fpna_obs::profile::set_enabled(true);
+        }
         ExperimentArgs {
             threads,
             run_batch,
             paper_scale: arg_flag("paper-scale"),
+            trace,
+            profile,
+        }
+    }
+
+    /// Flush the observability outputs requested on the command line:
+    /// the Chrome/Perfetto trace to `--trace`'s path and the profile
+    /// report to `target/obs/<bin>.profile.json`. Call once at the end
+    /// of `main` (before any early `exit`). All messaging goes to
+    /// stderr so stdout stays byte-identical with and without the
+    /// observability flags.
+    pub fn finish(&self) {
+        if let Some(path) = &self.trace {
+            match fpna_obs::trace::write_json(path) {
+                Ok(n) => eprintln!("[obs] trace: {n} events -> {}", path.display()),
+                Err(e) => eprintln!("[obs] trace: FAILED writing {}: {e}", path.display()),
+            }
+            fpna_obs::trace::stop();
+        }
+        if self.profile {
+            let path = PathBuf::from("target/obs").join(format!("{}.profile.json", bin_name()));
+            match fpna_obs::profile::write_report(&path) {
+                Ok(()) => eprintln!("[obs] profile report -> {}", path.display()),
+                Err(e) => eprintln!("[obs] profile: FAILED writing {}: {e}", path.display()),
+            }
         }
     }
 
@@ -105,6 +163,16 @@ impl ExperimentArgs {
             "scaled-down default"
         }
     }
+}
+
+/// The current binary's file stem (`table9`, `fig1`, …), for naming
+/// per-binary artifacts such as profile reports.
+fn bin_name() -> String {
+    std::env::args()
+        .next()
+        .as_deref()
+        .and_then(|a| std::path::Path::new(a).file_stem().map(|s| s.to_string_lossy().into_owned()))
+        .unwrap_or_else(|| "experiment".to_string())
 }
 
 /// `true` when `--name` appears as a bare flag in the process
@@ -219,6 +287,8 @@ mod tests {
             threads: 1,
             run_batch: 1,
             paper_scale: false,
+            trace: None,
+            profile: false,
         };
         assert_eq!(scaled.size("not-a-flag", 40, 10_000), 40);
         assert_eq!(scaled.scale_label(), "scaled-down default");
@@ -226,6 +296,8 @@ mod tests {
             threads: 4,
             run_batch: 8,
             paper_scale: true,
+            trace: None,
+            profile: false,
         };
         assert_eq!(paper.size("not-a-flag", 40, 10_000), 10_000);
         assert_eq!(paper.executor().threads, 4);

@@ -51,7 +51,11 @@
 //! fallback for experiments that don't need a network model.
 
 use crate::allreduce::{Algorithm, Ordering};
-use fpna_net::{Background, FabricConfig, JitterModel, NetSim, RouteSelect, RunStats, Topology};
+use fpna_net::{
+    Background, FabricConfig, JitterModel, LinkStats, NetSim, RouteSelect, RunStats, Topology,
+};
+use fpna_obs::counters::{self, Counter};
+use fpna_obs::trace;
 use fpna_summation::exact::ExactAccumulator;
 
 /// Fabric-behaviour knobs shared by every ordering.
@@ -84,6 +88,12 @@ pub struct NetConfig {
     /// ([`fpna_net::RouteSelect`]): `Fixed` (the default) or seeded
     /// ECMP on a multi-spine fabric.
     pub route: RouteSelect,
+    /// Copy the engine's per-link contention counters into
+    /// [`NetAllreduce::link_stats`] when the protocol finishes (one
+    /// `LinkStats` per directed link id). Off by default: the copy is
+    /// one allocation per collective, which the allocation-free
+    /// discipline only pays when asked (`table9 --link-stats`).
+    pub collect_link_stats: bool,
 }
 
 impl Default for NetConfig {
@@ -95,6 +105,7 @@ impl Default for NetConfig {
             load: 0.0,
             bg_seed: 0,
             route: RouteSelect::Fixed,
+            collect_link_stats: false,
         }
     }
 }
@@ -118,6 +129,13 @@ impl NetConfig {
     /// This configuration with a different route-selection policy.
     pub fn with_route(mut self, route: RouteSelect) -> Self {
         self.route = route;
+        self
+    }
+
+    /// This configuration with per-link contention counters copied
+    /// into [`NetAllreduce::link_stats`].
+    pub fn with_link_stats(mut self, on: bool) -> Self {
+        self.collect_link_stats = on;
         self
     }
 
@@ -149,6 +167,18 @@ pub struct NetAllreduce {
     pub elapsed_ns: f64,
     /// Engine statistics (messages, bytes, hops, makespan).
     pub stats: RunStats,
+    /// Per-directed-link contention counters, indexed by link id —
+    /// populated only under [`NetConfig::collect_link_stats`]
+    /// (`None` otherwise, including the trivial single-rank path).
+    pub link_stats: Option<Vec<LinkStats>>,
+}
+
+/// Per-link counter copy for [`NetAllreduce::link_stats`]; `None`
+/// unless the config asked for it.
+fn collect_link_stats(sim: &NetSim<'_>, config: &NetConfig) -> Option<Vec<LinkStats>> {
+    config
+        .collect_link_stats
+        .then(|| (0..sim.topology().num_links()).map(|l| sim.link_stats(l)).collect())
 }
 
 /// Reduction state: plain floats, or exact accumulators for the
@@ -241,13 +271,28 @@ struct BufferPool {
     exact: Vec<Vec<ExactAccumulator>>,
 }
 
+/// Pop a pooled buffer, tallying the recycle hit/miss counters (a
+/// relaxed-load no-op when counters are disabled).
+fn pooled<T>(stack: &mut Vec<Vec<T>>) -> Vec<T> {
+    match stack.pop() {
+        Some(b) => {
+            counters::add(Counter::PoolHit, 1);
+            b
+        }
+        None => {
+            counters::add(Counter::PoolMiss, 1);
+            Vec::new()
+        }
+    }
+}
+
 impl BufferPool {
     /// Build a `Values` over `xs` (exact accumulators canonical from
     /// birth, so every downstream merge takes the no-clone fast path),
     /// reusing a pooled buffer when one is free.
     fn values_of(&mut self, xs: &[f64], exact: bool) -> Values {
         if exact {
-            let mut a = self.exact.pop().unwrap_or_default();
+            let mut a = pooled(&mut self.exact);
             a.clear();
             a.extend(xs.iter().map(|&x| {
                 let mut acc = ExactAccumulator::new();
@@ -257,7 +302,7 @@ impl BufferPool {
             }));
             Values::Exact(a)
         } else {
-            let mut v = self.plain.pop().unwrap_or_default();
+            let mut v = pooled(&mut self.plain);
             v.clear();
             v.extend_from_slice(xs);
             Values::Plain(v)
@@ -270,12 +315,12 @@ impl BufferPool {
     fn clone_values(&mut self, src: &Values) -> Values {
         match src {
             Values::Plain(v) => {
-                let mut out = self.plain.pop().unwrap_or_default();
+                let mut out = pooled(&mut self.plain);
                 out.clone_from(v);
                 Values::Plain(out)
             }
             Values::Exact(a) => {
-                let mut out = self.exact.pop().unwrap_or_default();
+                let mut out = pooled(&mut self.exact);
                 out.clone_from(a);
                 Values::Exact(out)
             }
@@ -493,6 +538,7 @@ fn tree_on(
             values,
             elapsed_ns: 0.0,
             stats: RunStats::default(),
+            link_stats: None,
         };
     }
 
@@ -516,6 +562,20 @@ fn tree_on(
 
     let mut sim = build_sim(topo, jitter, config);
     let mut payloads = Payloads::default();
+    let tracing = trace::enabled();
+    let pid = trace::current_pid();
+    // Per-chunk protocol spans: B when the protocol opens the chunk
+    // (t = 0), E once its broadcast has reached every non-root rank —
+    // so pipelining across chunks is visible as overlapping spans.
+    let mut chunk_down_pending: Vec<usize> = Vec::new();
+    if tracing {
+        chunk_down_pending = vec![p - 1; k];
+        for c in 0..k {
+            let lane = trace::CHUNK_TID_BASE + c as u64;
+            trace::name_thread(pid, lane, format!("chunk {c}"));
+            trace::begin(pid, lane, 0.0, format!("chunk{c}"), "coll");
+        }
+    }
     // Leaves inject their contribution at their staggered start time,
     // chunks back to back (equal timestamps resolve by injection
     // order, so chunk 0 hits the first link first and the rest
@@ -548,6 +608,16 @@ fn tree_on(
                 if rank_order {
                     nodes[v].buffered[c].push((d.from, payload));
                 } else {
+                    if tracing {
+                        trace::instant(
+                            pid,
+                            trace::RANK_TID_BASE + v as u64,
+                            d.time,
+                            "combine",
+                            "coll",
+                            vec![("chunk", c.into()), ("child", d.from.into())],
+                        );
+                    }
                     match payload {
                         Some(b) => {
                             nodes[v].accs[c].fold_in(&b);
@@ -562,6 +632,16 @@ fn tree_on(
                         let mut buffered = std::mem::take(&mut nodes[v].buffered[c]);
                         buffered.sort_by_key(|&(child, _)| child);
                         for (child, b) in buffered {
+                            if tracing {
+                                trace::instant(
+                                    pid,
+                                    trace::RANK_TID_BASE + v as u64,
+                                    d.time,
+                                    "combine",
+                                    "coll",
+                                    vec![("chunk", c.into()), ("child", child.into())],
+                                );
+                            }
                             match b {
                                 Some(b) => {
                                     nodes[v].accs[c].fold_in(&b);
@@ -593,6 +673,13 @@ fn tree_on(
             _ => {
                 let v = d.to;
                 elapsed = elapsed.max(d.time);
+                if tracing {
+                    chunk_down_pending[c] -= 1;
+                    if chunk_down_pending[c] == 0 {
+                        let lane = trace::CHUNK_TID_BASE + c as u64;
+                        trace::end(pid, lane, d.time, format!("chunk{c}"), "coll");
+                    }
+                }
                 for child in children(v) {
                     sim.send_at(d.time, v, child, d.bytes, d.tag);
                 }
@@ -605,6 +692,7 @@ fn tree_on(
         values: result,
         elapsed_ns: elapsed,
         stats,
+        link_stats: collect_link_stats(&sim, config),
     }
 }
 
@@ -646,11 +734,14 @@ fn ring_on(
             values: pool.values_of(&ranks[0], exact).round(),
             elapsed_ns: 0.0,
             stats: RunStats::default(),
+            link_stats: None,
         };
     }
 
     let mut sim = build_sim(topo, jitter, config);
     let mut payloads = Payloads::default();
+    let tracing = trace::enabled();
+    let pid = trace::current_pid();
     // Step 0: every rank sends its own copy of its own segment, chunk
     // by chunk (empty chunks still circulate as 0-byte messages so the
     // protocol shape is uniform at every segment count).
@@ -662,6 +753,13 @@ fn ring_on(
             let tag = (c as u64) << RING_CHUNK_SHIFT;
             let msg = sim.send_at(config.stagger_ns * r as f64, r, (r + 1) % p, bytes, tag);
             payloads.insert(msg, seg);
+            if tracing {
+                // Span per travelling chunk: B at injection, E at its
+                // single rounding (reduce-scatter complete).
+                let lane = trace::CHUNK_TID_BASE + (r * k + c) as u64;
+                trace::name_thread(pid, lane, format!("seg {r} chunk {c}"));
+                trace::begin(pid, lane, config.stagger_ns * r as f64, format!("seg{r}.chunk{c}"), "coll");
+            }
         }
     }
 
@@ -679,6 +777,16 @@ fn ring_on(
             let (lo, hi) = chunk_of(z, c);
             let mut acc = payloads.take(d.msg).expect("ring partial lost");
             acc.fold_in_slice(&ranks[r][lo..hi]);
+            if tracing {
+                trace::instant(
+                    pid,
+                    trace::RANK_TID_BASE + r as u64,
+                    d.time,
+                    "combine",
+                    "coll",
+                    vec![("seg", z.into()), ("chunk", c.into()), ("step", s.into())],
+                );
+            }
             if s + 1 < p - 1 {
                 let bytes = acc.wire_bytes();
                 let tag = ((c as u64) << RING_CHUNK_SHIFT) | (s as u64 + 1);
@@ -686,6 +794,10 @@ fn ring_on(
                 payloads.insert(msg, acc);
             } else {
                 // Chunk complete: single rounding, then allgather.
+                if tracing {
+                    let lane = trace::CHUNK_TID_BASE + (z * k + c) as u64;
+                    trace::end(pid, lane, d.time, format!("seg{z}.chunk{c}"), "coll");
+                }
                 let rounded = acc.round();
                 pool.recycle(acc);
                 out[lo..hi].copy_from_slice(&rounded);
@@ -715,6 +827,7 @@ fn ring_on(
         values: out,
         elapsed_ns: elapsed,
         stats,
+        link_stats: collect_link_stats(&sim, config),
     }
 }
 
@@ -786,6 +899,7 @@ fn recursive_doubling_plain_on(
             values,
             elapsed_ns: 0.0,
             stats: RunStats::default(),
+            link_stats: None,
         };
     }
 
@@ -835,6 +949,7 @@ fn recursive_doubling_plain_on(
         values,
         elapsed_ns: elapsed,
         stats,
+        link_stats: collect_link_stats(&sim, config),
     }
 }
 
@@ -873,11 +988,14 @@ fn recursive_doubling_exact_on(
             values: states[0].buf.round(),
             elapsed_ns: 0.0,
             stats: RunStats::default(),
+            link_stats: None,
         };
     }
 
     let mut sim = build_sim(topo, jitter, config);
     let mut payloads = Payloads::default();
+    let tracing = trace::enabled();
+    let pid = trace::current_pid();
     for (r, state) in states.iter().enumerate() {
         let bytes = state.buf.wire_bytes();
         let msg = sim.send_at(state.ready, r, r ^ 1, bytes, 0);
@@ -902,6 +1020,16 @@ fn recursive_doubling_exact_on(
             let round = states[r].round;
             let now = states[r].ready.max(arrived);
             let partner = r ^ (1 << round);
+            if tracing {
+                trace::instant(
+                    pid,
+                    trace::RANK_TID_BASE + r as u64,
+                    now,
+                    "combine",
+                    "coll",
+                    vec![("round", round.into()), ("partner", partner.into())],
+                );
+            }
             // `lower + upper` without cloning either side: fold the
             // payload into the resident buffer (or the buffer into the
             // payload) depending on which operand is "lower".
@@ -931,6 +1059,7 @@ fn recursive_doubling_exact_on(
         values: states.swap_remove(0).buf.round(),
         elapsed_ns: elapsed,
         stats,
+        link_stats: collect_link_stats(&sim, config),
     }
 }
 

@@ -160,6 +160,7 @@ where
     T: Send,
     F: Fn(usize, Range<usize>) -> T + Sync,
 {
+    let _span = fpna_obs::profile::scope("executor.par_chunk_map");
     let chunks = fixed_chunks(len, num_threads_hint);
     if chunks.len() <= 1 || in_worker() {
         return chunks.into_iter().enumerate().map(|(i, r)| f(i, r)).collect();
@@ -227,6 +228,7 @@ where
 {
     assert!(unit > 0, "unit must be positive");
     assert!(out.len().is_multiple_of(unit), "out length must be a multiple of unit");
+    let _span = fpna_obs::profile::scope("executor.par_fill");
     let len = out.len() / unit;
     let chunks = fixed_chunks(len, intra_threads());
     if chunks.len() <= 1 || in_worker() {
@@ -350,6 +352,32 @@ impl RunExecutor {
         T: Send,
         F: Fn(usize) -> T + Sync,
     {
+        // Observability flags are sampled once per fan-out so the
+        // disabled path stays a pair of predictable branches per run.
+        // Tracing gives each run its own trace "process" (pid = run
+        // index + 1; pid 0 is everything outside a fan-out), restored
+        // afterwards so nested fan-outs keep the outer run's track.
+        let tracing = fpna_obs::trace::enabled();
+        let profiling = fpna_obs::profile::enabled();
+        let _span = fpna_obs::profile::scope("executor.map_runs");
+        let run = |i: usize| {
+            let prev = if tracing {
+                let p = fpna_obs::trace::current_pid();
+                fpna_obs::trace::set_current_pid(i as u64 + 1);
+                p
+            } else {
+                0
+            };
+            let t0 = profiling.then(std::time::Instant::now);
+            let out = run(i);
+            if let Some(t0) = t0 {
+                fpna_obs::profile::record("executor.run", t0.elapsed().as_nanos() as u64);
+            }
+            if tracing {
+                fpna_obs::trace::set_current_pid(prev);
+            }
+            out
+        };
         if self.threads == 1 || runs <= 1 || in_worker() {
             return (0..runs).map(run).collect();
         }

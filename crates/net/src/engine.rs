@@ -51,6 +51,9 @@
 
 use fpna_core::rng::{derive_seed, SplitMix64};
 use crate::topology::Topology;
+use fpna_obs::counters::{self, Counter};
+use fpna_obs::profile::{self, PhaseStat};
+use fpna_obs::trace;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -365,6 +368,70 @@ impl Ord for DrainEv {
     }
 }
 
+/// Per-engine observability capture. The three global switches
+/// (tracing / counters / profiling) are sampled **once at engine
+/// construction** into plain `bool` fields, so the event loop's
+/// disabled path costs a predictable non-atomic branch — and a sim is
+/// either fully observed or fully unobserved, never half. Counter
+/// tallies accumulate locally and flush into the global sink once per
+/// [`NetSim::run`], not per event.
+///
+/// Nothing in here feeds back into the simulation: timestamps, seeds,
+/// route picks and stats are computed identically whether or not any
+/// flag is set (the collectives determinism battery pins this).
+#[derive(Debug)]
+struct ObsState {
+    /// Simulated-clock trace events wanted ([`trace::enabled`] at
+    /// construction time).
+    tracing: bool,
+    /// Counter tallies wanted ([`counters::enabled`]).
+    counting: bool,
+    /// Wall-clock pop timing wanted ([`profile::enabled`]).
+    profiling: bool,
+    /// Trace process group: `run_index + 1` inside an executor
+    /// fan-out, 0 elsewhere (see [`trace::current_pid`]).
+    pid: u64,
+    /// Which link/rank lanes already carry a `thread_name` record
+    /// (lazy so only used lanes clutter the viewer). Empty unless
+    /// tracing.
+    link_named: Vec<bool>,
+    rank_named: Vec<bool>,
+    // Local counter tallies, flushed once per `run`.
+    pushes: u64,
+    pops: u64,
+    peak: u64,
+    route_lookups: u64,
+    wire_bytes: u64,
+    /// Wall-clock heap-pop latency histogram for this engine, merged
+    /// into the global `net.heap_pop@load=…` phase per `run`.
+    pop_stat: PhaseStat,
+}
+
+impl ObsState {
+    fn capture(topo: &Topology) -> Self {
+        let tracing = trace::enabled();
+        ObsState {
+            tracing,
+            counting: counters::enabled(),
+            profiling: profile::enabled(),
+            pid: trace::current_pid(),
+            link_named: if tracing { vec![false; topo.num_links()] } else { Vec::new() },
+            rank_named: if tracing { vec![false; topo.ranks()] } else { Vec::new() },
+            pushes: 0,
+            pops: 0,
+            peak: 0,
+            route_lookups: 0,
+            wire_bytes: 0,
+            pop_stat: PhaseStat::default(),
+        }
+    }
+
+    /// `true` when any per-event work is wanted at all.
+    fn any(&self) -> bool {
+        self.tracing || self.counting || self.profiling
+    }
+}
+
 /// One background sender: its own gap RNG stream plus the on/off
 /// cadence derived from the configured offered load.
 #[derive(Debug)]
@@ -418,6 +485,9 @@ pub struct NetSim<'t> {
     /// Pending depth decrements (serialization-finish edges), drained
     /// lazily as event time advances.
     drains: BinaryHeap<Reverse<DrainEv>>,
+    /// Observability capture (off by default; flags sampled once at
+    /// construction — see [`ObsState`]).
+    obs: ObsState,
 }
 
 impl<'t> NetSim<'t> {
@@ -453,10 +523,20 @@ impl<'t> NetSim<'t> {
         } else {
             Vec::new()
         };
+        let obs = ObsState::capture(topo);
+        if obs.tracing {
+            let label = if obs.pid == 0 {
+                topo.name().to_string()
+            } else {
+                format!("run {} · {}", obs.pid - 1, topo.name())
+            };
+            trace::name_process(obs.pid, label);
+        }
         NetSim {
             topo,
             jitter,
             fabric,
+            obs,
             queue: BinaryHeap::new(),
             messages: Vec::new(),
             free: Vec::new(),
@@ -528,6 +608,38 @@ impl<'t> NetSim<'t> {
         }
     }
 
+    /// Tally one event-heap push (and the resulting heap length) into
+    /// the engine-local counters.
+    #[inline]
+    fn note_push(&mut self) {
+        if self.obs.counting {
+            self.obs.pushes += 1;
+            let len = self.queue.len() as u64;
+            if len > self.obs.peak {
+                self.obs.peak = len;
+            }
+        }
+    }
+
+    /// Trace lane for rank `r`, naming it on first use.
+    fn rank_lane(&mut self, r: usize) -> u64 {
+        if !self.obs.rank_named[r] {
+            self.obs.rank_named[r] = true;
+            trace::name_thread(self.obs.pid, trace::RANK_TID_BASE + r as u64, format!("rank {r}"));
+        }
+        trace::RANK_TID_BASE + r as u64
+    }
+
+    /// Trace lane for directed link `l`, naming it on first use.
+    fn link_lane(&mut self, l: usize) -> u64 {
+        if !self.obs.link_named[l] {
+            self.obs.link_named[l] = true;
+            let label = format!("L{l} {}", self.topo.link_label(l));
+            trace::name_thread(self.obs.pid, l as u64, label);
+        }
+        l as u64
+    }
+
     fn inject(
         &mut self,
         at_ns: f64,
@@ -541,6 +653,27 @@ impl<'t> NetSim<'t> {
         self.next_id += 1;
         let route_k = self.pick_route(id, from, to);
         let route_len = self.topo.route_hops_nth(from, to, route_k as usize).len() as u32;
+        if self.obs.counting {
+            self.obs.route_lookups += 1;
+        }
+        if self.obs.tracing {
+            let lane = self.rank_lane(from);
+            let (name, cat) = if background { ("bg_inject", "bg") } else { ("inject", "net") };
+            trace::instant(
+                self.obs.pid,
+                lane,
+                at_ns,
+                name,
+                cat,
+                vec![
+                    ("msg", id.into()),
+                    ("to", to.into()),
+                    ("bytes", bytes.into()),
+                    ("tag", tag.into()),
+                    ("route", route_k.into()),
+                ],
+            );
+        }
         let message = Message {
             id,
             from,
@@ -569,6 +702,7 @@ impl<'t> NetSim<'t> {
             slot,
             hop: 0,
         }));
+        self.note_push();
         id
     }
 
@@ -594,6 +728,7 @@ impl<'t> NetSim<'t> {
                 slot: BG_TICK,
                 hop: s as u32,
             }));
+            self.note_push();
             self.live_ticks += 1;
         }
     }
@@ -623,10 +758,24 @@ impl<'t> NetSim<'t> {
             .route_hops_nth(from, to, route_k as usize)
             .iter()
             .all(|h| self.link_busy_until[h.link_id as usize] - at_ns <= horizon);
+        if self.obs.counting {
+            self.obs.route_lookups += 1;
+        }
         if admitted {
             self.inject(at_ns, from, to, bytes, 0, true);
         } else {
             self.stats.bg_dropped += 1;
+            if self.obs.tracing {
+                let lane = self.rank_lane(from);
+                trace::instant(
+                    self.obs.pid,
+                    lane,
+                    at_ns,
+                    "bg_drop",
+                    "bg",
+                    vec![("to", to.into()), ("route", route_k.into())],
+                );
+            }
         }
         let s = &mut self.bg[sender];
         s.burst_left -= 1;
@@ -645,6 +794,7 @@ impl<'t> NetSim<'t> {
             slot: BG_TICK,
             hop: sender as u32,
         }));
+        self.note_push();
     }
 
     /// Process every pending event in time order, invoking
@@ -657,7 +807,25 @@ impl<'t> NetSim<'t> {
         F: FnMut(&mut NetSim<'t>, Delivery),
     {
         self.seed_bg_ticks();
-        while let Some(Reverse(ev)) = self.queue.pop() {
+        let run_t0 = if self.obs.profiling { Some(std::time::Instant::now()) } else { None };
+        loop {
+            // Pop timing is the one place observability reads a wall
+            // clock inside the event loop; it is measured *around* the
+            // pop and never feeds back into simulated time.
+            let popped = if self.obs.profiling {
+                let t0 = std::time::Instant::now();
+                let p = self.queue.pop();
+                if p.is_some() {
+                    self.obs.pop_stat.record(t0.elapsed().as_nanos() as u64);
+                }
+                p
+            } else {
+                self.queue.pop()
+            };
+            let Some(Reverse(ev)) = popped else { break };
+            if self.obs.counting {
+                self.obs.pops += 1;
+            }
             if ev.slot == BG_TICK {
                 self.bg_tick(ev.time, ev.hop as usize);
                 continue;
@@ -684,6 +852,22 @@ impl<'t> NetSim<'t> {
                 self.stats.deliveries += 1;
                 self.stats.bytes_delivered += m.bytes;
                 self.stats.makespan_ns = self.stats.makespan_ns.max(ev.time);
+                if self.obs.tracing {
+                    let lane = self.rank_lane(m.to);
+                    trace::instant(
+                        self.obs.pid,
+                        lane,
+                        ev.time,
+                        "deliver",
+                        "net",
+                        vec![
+                            ("msg", m.id.into()),
+                            ("from", m.from.into()),
+                            ("bytes", m.bytes.into()),
+                            ("tag", m.tag.into()),
+                        ],
+                    );
+                }
                 on_deliver(self, delivery);
                 continue;
             }
@@ -734,6 +918,9 @@ impl<'t> NetSim<'t> {
                     }
                 }
             }
+            if self.obs.any() {
+                self.note_hop(&m, ev.hop, l, start, wait, serialize);
+            }
             let seq = self.seq;
             self.seq += 1;
             self.queue.push(Reverse(Event {
@@ -742,8 +929,69 @@ impl<'t> NetSim<'t> {
                 slot: ev.slot,
                 hop: ev.hop + 1,
             }));
+            self.note_push();
         }
+        self.flush_obs(run_t0);
         self.stats
+    }
+
+    /// Per-hop observability: wire/route tallies plus the link-lane
+    /// trace span (`ts` = serialization start, `dur` = serialization
+    /// time — link spans never overlap because links serialize, so
+    /// every lane renders as a clean occupancy timeline and queueing
+    /// shows up as the gap between a message's hops).
+    fn note_hop(&mut self, m: &Message, hop_idx: u32, l: usize, start: f64, wait: f64, serialize: f64) {
+        if self.obs.counting {
+            self.obs.route_lookups += 1;
+            self.obs.wire_bytes += m.bytes;
+        }
+        if self.obs.tracing {
+            let lane = self.link_lane(l);
+            let cat = if m.background { "bg" } else { "net" };
+            trace::complete(
+                self.obs.pid,
+                lane,
+                start,
+                serialize,
+                format!("m{}", m.id),
+                cat,
+                vec![
+                    ("msg", m.id.into()),
+                    ("hop", hop_idx.into()),
+                    ("from", m.from.into()),
+                    ("to", m.to.into()),
+                    ("bytes", m.bytes.into()),
+                    ("wait_ns", wait.into()),
+                    ("route", m.route_k.into()),
+                    ("depth", self.link_depth[l].into()),
+                ],
+            );
+        }
+    }
+
+    /// Flush engine-local observability tallies into the global sinks;
+    /// called once at the end of every [`NetSim::run`].
+    fn flush_obs(&mut self, run_t0: Option<std::time::Instant>) {
+        if let Some(t0) = run_t0 {
+            let dt = t0.elapsed().as_nanos() as u64;
+            counters::add(Counter::NetRunWallNs, dt);
+            profile::record("net.run", dt);
+            if self.obs.pop_stat.count > 0 {
+                // Key the pop histogram by offered load so one report
+                // answers "does pop dominate at high load?" directly.
+                let key = format!("net.heap_pop@load={:.2}", self.fabric.background.load);
+                profile::merge(&key, &self.obs.pop_stat);
+                counters::add(Counter::HeapPopWallNs, self.obs.pop_stat.total_ns);
+                self.obs.pop_stat = PhaseStat::default();
+            }
+        }
+        if self.obs.counting {
+            counters::add(Counter::HeapPush, std::mem::take(&mut self.obs.pushes));
+            counters::add(Counter::HeapPop, std::mem::take(&mut self.obs.pops));
+            counters::record_heap_peak(std::mem::take(&mut self.obs.peak));
+            counters::add(Counter::RouteLookup, std::mem::take(&mut self.obs.route_lookups));
+            counters::add(Counter::WireBytes, std::mem::take(&mut self.obs.wire_bytes));
+        }
     }
 
     /// The statistics accumulated so far, **resetting** them to zero —

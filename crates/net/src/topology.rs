@@ -109,6 +109,10 @@ pub struct Topology {
     rank_vertex: Vec<usize>,
     /// Number of directed links (two per undirected edge).
     num_links: usize,
+    /// `link_ends[link_id]` is the `(from, to)` vertex pair of the
+    /// directed link — the reverse of [`Hop::link_id`], used by
+    /// observability surfaces (trace lane names, link-stats tables).
+    link_ends: Vec<(u32, u32)>,
     /// Shared arena of precomputed route hops; rank-pair routes are
     /// contiguous slices of this vector.
     route_arena: Vec<Hop>,
@@ -133,6 +137,7 @@ impl Topology {
             adj: Vec::new(),
             rank_vertex: Vec::new(),
             num_links: 0,
+            link_ends: Vec::new(),
             route_arena: Vec::new(),
             route_index: Vec::new(),
             ecmp_index: Vec::new(),
@@ -157,6 +162,8 @@ impl Topology {
         self.num_links += 2;
         self.adj[a].push((b, spec, id));
         self.adj[b].push((a, spec, id + 1));
+        self.link_ends.push((a as u32, b as u32));
+        self.link_ends.push((b as u32, a as u32));
     }
 
     /// Precompute the dense route table: one BFS per source rank (the
@@ -425,6 +432,34 @@ impl Topology {
     /// `Vec` of this length indexes any per-link state.
     pub fn num_links(&self) -> usize {
         self.num_links
+    }
+
+    /// The `(from, to)` vertex pair of a directed link — the inverse
+    /// of [`Hop::link_id`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `link_id >= num_links()`.
+    pub fn link_endpoints(&self, link_id: usize) -> (usize, usize) {
+        let (a, b) = self.link_ends[link_id];
+        (a as usize, b as usize)
+    }
+
+    /// Human-readable label of vertex `v`: `rank3`, `nic12`, `sw7`
+    /// (NIC/switch labels use the vertex index, ranks the rank id).
+    pub fn node_label(&self, v: usize) -> String {
+        match self.nodes[v] {
+            NodeKind::Rank(r) => format!("rank{r}"),
+            NodeKind::Nic => format!("nic{v}"),
+            NodeKind::Switch => format!("sw{v}"),
+        }
+    }
+
+    /// Human-readable label of a directed link, e.g. `rank3→sw8`.
+    /// Used for trace lanes and the `--link-stats` table.
+    pub fn link_label(&self, link_id: usize) -> String {
+        let (a, b) = self.link_endpoints(link_id);
+        format!("{}→{}", self.node_label(a), self.node_label(b))
     }
 
     /// The precomputed unique shortest path from rank `from` to rank

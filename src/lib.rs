@@ -33,7 +33,10 @@
 //! * [`collectives`] *(fpna-collectives)* — simulated multi-node
 //!   allreduce with arrival-order nondeterminism and reproducible
 //!   variants (the paper's future-work section), including
-//!   timing-driven arrival order on top of [`net`].
+//!   timing-driven arrival order on top of [`net`];
+//! * [`obs`] *(fpna-obs)* — always-compiled, off-by-default
+//!   observability: simulated-clock Chrome/Perfetto tracing,
+//!   near-zero-cost counters, and wall-clock phase profiling.
 //!
 //! ```
 //! use fpna::core::metrics::scalar_variability;
@@ -50,6 +53,7 @@ pub use fpna_net as net;
 pub use fpna_gpu_sim as gpu;
 pub use fpna_lpu_sim as lpu;
 pub use fpna_nn as nn;
+pub use fpna_obs as obs;
 pub use fpna_solvers as solvers;
 pub use fpna_stats as stats;
 pub use fpna_summation as summation;
