@@ -122,6 +122,25 @@ fn bench_net_sim(c: &mut Criterion) {
             })
         },
     );
+    // NIC coalescing A/B on a heavily segmented ring (32 chunks per
+    // segment ⇒ 16-byte messages): same payload and bitwise-identical
+    // values, but the coalesced run collapses the tiny chunks into
+    // shared wire messages — pricing the engine-event reduction that
+    // is the feature's whole point.
+    for (threshold, name) in [(0u64, "ring_seg32"), (4096, "ring_seg32_coal")] {
+        let cfg = NetConfig::default().with_coalesce(threshold);
+        group.bench_with_input(BenchmarkId::new(name, "hier"), &ranks, |b, ranks| {
+            b.iter(|| {
+                allreduce_on(
+                    &hier,
+                    std::hint::black_box(ranks),
+                    Algorithm::SegmentedRing { segments: 32 },
+                    Ordering::ArrivalOrder { seed: 42 },
+                    &cfg,
+                )
+            })
+        });
+    }
     // Contended fabric: seeded background tenants at 25% offered load
     // plus seeded ECMP over a 2-spine fat tree — the multi-tenant path
     // (tenant event injection, admission check, per-link queue/wait

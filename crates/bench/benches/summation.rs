@@ -17,6 +17,20 @@ fn bench_summation(c: &mut Criterion) {
             b.iter(|| alg.sum(std::hint::black_box(xs)))
         });
     }
+    // A/B row for the lane-vectorized `add_slice`: same pipeline
+    // through the retained scalar reference, so the speedup is read
+    // off one run instead of compared across machine states.
+    group.bench_with_input(
+        BenchmarkId::from_parameter("exact_scalar"),
+        &xs,
+        |b, xs| {
+            b.iter(|| {
+                let mut acc = ExactAccumulator::new();
+                acc.add_slice_scalar(std::hint::black_box(xs));
+                acc.round()
+            })
+        },
+    );
     group.finish();
 }
 

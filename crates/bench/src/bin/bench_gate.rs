@@ -4,7 +4,10 @@
 //! rows (`{"id", "median_ns", …}`) under `<target>/bench-json/`. This
 //! binary compares those rows against the committed baseline and
 //! fails (exit 1) when any benchmark regressed by more than the
-//! threshold.
+//! threshold. Result files whose bench source (`benches/<stem>.rs`)
+//! no longer exists are pruned on read, so renamed or deleted suites
+//! drop out of both the gate and `--update`d baselines instead of
+//! lingering as stale rows.
 //!
 //! Because the baseline is committed from one machine and CI runs on
 //! another, raw nanoseconds are not comparable; the gate therefore
@@ -261,18 +264,55 @@ fn default_baseline_path() -> PathBuf {
     Path::new(&manifest).join("baselines/bench-baseline.json")
 }
 
+/// Live bench-suite stems: one per `benches/<stem>.rs` source. The
+/// shim names its result file after the bench target, so this is the
+/// ground truth for which `<target>/bench-json/` files are current.
+/// `None` when the benches directory can't be read (e.g. the gate
+/// binary was copied out of the repo) — then no pruning happens.
+fn live_suites() -> Option<std::collections::BTreeSet<String>> {
+    let manifest =
+        std::env::var("CARGO_MANIFEST_DIR").unwrap_or_else(|_| "crates/bench".to_string());
+    let entries = std::fs::read_dir(Path::new(&manifest).join("benches")).ok()?;
+    let mut stems = std::collections::BTreeSet::new();
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.extension().is_some_and(|e| e == "rs") {
+            if let Some(stem) = path.file_stem().and_then(|s| s.to_str()) {
+                stems.insert(stem.to_string());
+            }
+        }
+    }
+    Some(stems)
+}
+
 /// All rows from every `<target>/bench-json/*.json` file, minus the
-/// deliberately ungated suites.
+/// deliberately ungated suites — and minus files whose bench source
+/// no longer exists. Result files outlive their suites (`cargo bench`
+/// never deletes them), so without the prune a renamed or removed
+/// suite would keep feeding stale rows into the gate and, worse, into
+/// every `--update`d baseline.
 fn read_current() -> std::io::Result<BTreeMap<String, u128>> {
     let Some(dir) = target_dir().map(|t| t.join("bench-json")) else {
         return Ok(BTreeMap::new());
     };
+    let live = live_suites();
     let mut map = BTreeMap::new();
     for entry in std::fs::read_dir(&dir)? {
         let path = entry?.path();
-        if path.extension().is_some_and(|e| e == "json") {
-            map.extend(parse_rows(&std::fs::read_to_string(&path)?));
+        if path.extension().is_none_or(|e| e != "json") {
+            continue;
         }
+        let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or_default();
+        if let Some(live) = &live {
+            if !live.contains(stem) {
+                eprintln!(
+                    "bench_gate: ignoring stale result file {} (no benches/{stem}.rs)",
+                    path.display()
+                );
+                continue;
+            }
+        }
+        map.extend(parse_rows(&std::fs::read_to_string(&path)?));
     }
     map.retain(|id, _| {
         let suite = id.split('/').next().unwrap_or(id);

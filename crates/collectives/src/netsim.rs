@@ -52,7 +52,8 @@
 
 use crate::allreduce::{Algorithm, Ordering};
 use fpna_net::{
-    Background, FabricConfig, JitterModel, LinkStats, NetSim, RouteSelect, RunStats, Topology,
+    Background, Delivery, FabricConfig, JitterModel, LinkStats, NetSim, RouteSelect, RunStats,
+    Topology,
 };
 use fpna_obs::counters::{self, Counter};
 use fpna_obs::trace;
@@ -94,6 +95,21 @@ pub struct NetConfig {
     /// one allocation per collective, which the allocation-free
     /// discipline only pays when asked (`table9 --link-stats`).
     pub collect_link_stats: bool,
+    /// NIC small-message coalescing threshold in bytes; `0` (the
+    /// default) disables it. When set, logical sends at the same
+    /// simulated instant from the same rank to the same destination
+    /// whose payload is at or below the threshold share one wire
+    /// message: one per-message latency α, summed serialization β.
+    /// This is what real NICs/NCCL do to amortize per-message cost
+    /// over heavily-segmented small chunks. Deterministic by
+    /// construction — batching keys on exact `(time, from, to)` and
+    /// sub-messages expand at delivery in injection order — and
+    /// value-invisible wherever the combine order is: the ring and
+    /// recursive doubling (order fixed by construction, every
+    /// ordering), and the tree under `RankOrder`/`Reproducible`.
+    /// The tree under `ArrivalOrder` folds in physical arrival order,
+    /// which coalescing would perturb, so it ignores the threshold.
+    pub coalesce_bytes: u64,
 }
 
 impl Default for NetConfig {
@@ -106,6 +122,7 @@ impl Default for NetConfig {
             bg_seed: 0,
             route: RouteSelect::Fixed,
             collect_link_stats: false,
+            coalesce_bytes: 0,
         }
     }
 }
@@ -136,6 +153,13 @@ impl NetConfig {
     /// into [`NetAllreduce::link_stats`].
     pub fn with_link_stats(mut self, on: bool) -> Self {
         self.collect_link_stats = on;
+        self
+    }
+
+    /// This configuration with NIC small-message coalescing at the
+    /// given byte threshold (`0` disables).
+    pub fn with_coalesce(mut self, threshold_bytes: u64) -> Self {
+        self.coalesce_bytes = threshold_bytes;
         self
     }
 
@@ -375,6 +399,181 @@ impl Payloads {
     }
 }
 
+/// Wire-message tag marking a coalesced batch. Real protocol tags
+/// never reach this value (tree tags are small, ring tags stay below
+/// `TAG_AG_BASE + 2^32`), and [`Nic::send_at`] asserts it.
+const COALESCE_TAG: u64 = u64::MAX;
+
+/// One logical send riding inside a coalesced wire message.
+#[derive(Debug, Clone, Copy)]
+struct SubMsg {
+    /// Virtual (logical) message id — what the payload slab is keyed
+    /// by and what the protocol sees at delivery.
+    virt: u64,
+    bytes: u64,
+    tag: u64,
+}
+
+/// What a wire message id expands to at delivery.
+#[derive(Debug)]
+enum WireKind {
+    /// An uncoalesced send: just remap the engine id to its virtual id.
+    Direct(u64),
+    /// A coalesced batch: expand into sub-deliveries in injection order.
+    Batch(Vec<SubMsg>),
+}
+
+/// The simulated NIC's small-message coalescing stage.
+///
+/// Protocols route every send through [`Nic::send_at`] and expand
+/// every delivery through [`Nic::expand`]. Logical sends at the same
+/// simulated instant, from the same rank, to the same destination,
+/// at or below the threshold, are merged into one wire message whose
+/// payload is the byte sum — one per-message α, summed β — and whose
+/// deliveries are replayed to the protocol in injection order at the
+/// wire message's arrival time. Batches are flushed deterministically:
+/// a send at a different instant, any send above the threshold, and
+/// the end of every injection burst ([`Nic::flush`]) all drain the
+/// open batches in first-send order, so the wire schedule is a pure
+/// function of the logical send sequence.
+///
+/// Every send — coalesced or not — gets a dense injection-ordered
+/// *virtual* id, so [`Payloads`]' sliding-window slab keeps working
+/// unchanged on top. With a threshold of 0 the NIC is a strict
+/// pass-through: virtual ids equal engine ids and no bookkeeping runs.
+#[derive(Debug, Default)]
+struct Nic {
+    /// Coalescing threshold in bytes; 0 = pass-through.
+    threshold: u64,
+    /// Next virtual message id (dense, injection-ordered).
+    next_virt: u64,
+    /// Instant the open batches belong to (NaN when none are open, so
+    /// the first send always misses the equality check and re-anchors).
+    pend_time: f64,
+    /// Open batches in first-send order: `(from, to, sub-messages)`.
+    pend: Vec<(usize, usize, Vec<SubMsg>)>,
+    /// Engine wire-message id → delivery expansion.
+    wire: std::collections::HashMap<u64, WireKind>,
+}
+
+impl Nic {
+    fn new(threshold: u64) -> Self {
+        Nic {
+            threshold,
+            pend_time: f64::NAN,
+            ..Nic::default()
+        }
+    }
+
+    /// Send (or batch) one logical message; returns its virtual id.
+    fn send_at(
+        &mut self,
+        sim: &mut NetSim<'_>,
+        at: f64,
+        from: usize,
+        to: usize,
+        bytes: u64,
+        tag: u64,
+    ) -> u64 {
+        if self.threshold == 0 {
+            return sim.send_at(at, from, to, bytes, tag);
+        }
+        assert!(tag != COALESCE_TAG, "protocol tag collides with the coalesce sentinel");
+        if at != self.pend_time {
+            self.flush(sim);
+            self.pend_time = at;
+        }
+        let virt = self.next_virt;
+        self.next_virt += 1;
+        if bytes > self.threshold {
+            // Large message: drain the open batches first so the wire
+            // injection order tracks the logical send order, then send
+            // it as its own wire message.
+            self.flush(sim);
+            self.pend_time = at;
+            let w = sim.send_at(at, from, to, bytes, tag);
+            self.wire.insert(w, WireKind::Direct(virt));
+            return virt;
+        }
+        let sub = SubMsg { virt, bytes, tag };
+        match self.pend.iter_mut().find(|(f, t, _)| *f == from && *t == to) {
+            Some((_, _, subs)) => subs.push(sub),
+            None => self.pend.push((from, to, vec![sub])),
+        }
+        virt
+    }
+
+    /// Drain every open batch onto the wire, in first-send order.
+    /// Called at the end of each injection burst (and implicitly when
+    /// a send can't join the open batches); must run before the engine
+    /// advances past the batch instant.
+    fn flush(&mut self, sim: &mut NetSim<'_>) {
+        for (from, to, subs) in self.pend.drain(..) {
+            if let [s] = subs[..] {
+                let w = sim.send_at(self.pend_time, from, to, s.bytes, s.tag);
+                self.wire.insert(w, WireKind::Direct(s.virt));
+            } else {
+                let bytes: u64 = subs.iter().map(|s| s.bytes).sum();
+                counters::add(Counter::CoalescedMsgs, subs.len() as u64 - 1);
+                counters::add(Counter::CoalescedBytesSaved, bytes - subs[0].bytes);
+                let w = sim.send_at(self.pend_time, from, to, bytes, COALESCE_TAG);
+                self.wire.insert(w, WireKind::Batch(subs));
+            }
+        }
+    }
+
+    /// Expand a wire delivery into its logical sub-deliveries, in
+    /// injection order, all at the wire message's arrival time.
+    fn expand(&mut self, d: &Delivery) -> SubDeliveries {
+        if self.threshold == 0 {
+            return SubDeliveries { base: *d, subs: None, i: 0 };
+        }
+        match self.wire.remove(&d.msg).expect("wire message with no NIC record") {
+            WireKind::Direct(virt) => SubDeliveries {
+                base: Delivery { msg: virt, ..*d },
+                subs: None,
+                i: 0,
+            },
+            WireKind::Batch(subs) => {
+                debug_assert_eq!(d.tag, COALESCE_TAG);
+                SubDeliveries { base: *d, subs: Some(subs), i: 0 }
+            }
+        }
+    }
+}
+
+/// Owning iterator over the logical deliveries of one wire message —
+/// owns its sub-message list so the [`Nic`] stays free for the sends
+/// the protocol makes while handling each sub-delivery.
+struct SubDeliveries {
+    base: Delivery,
+    subs: Option<Vec<SubMsg>>,
+    i: usize,
+}
+
+impl Iterator for SubDeliveries {
+    type Item = Delivery;
+
+    fn next(&mut self) -> Option<Delivery> {
+        match &self.subs {
+            None => (self.i == 0).then(|| {
+                self.i = 1;
+                self.base
+            }),
+            Some(subs) => {
+                let s = subs.get(self.i)?;
+                self.i += 1;
+                Some(Delivery {
+                    msg: s.virt,
+                    bytes: s.bytes,
+                    tag: s.tag,
+                    ..self.base
+                })
+            }
+        }
+    }
+}
+
 fn jitter_for(ordering: Ordering, config: &NetConfig) -> JitterModel {
     match ordering {
         Ordering::ArrivalOrder { seed } => JitterModel::uniform(config.jitter_frac, seed),
@@ -562,6 +761,16 @@ fn tree_on(
 
     let mut sim = build_sim(topo, jitter, config);
     let mut payloads = Payloads::default();
+    // The tree under `ArrivalOrder` folds children in physical arrival
+    // order, which coalescing would perturb — it ignores the threshold
+    // (see [`NetConfig::coalesce_bytes`]). `RankOrder` buffers into a
+    // deterministic order and `Reproducible` is order-blind, so both
+    // coalesce freely.
+    let mut nic = Nic::new(if matches!(ordering, Ordering::ArrivalOrder { .. }) {
+        0
+    } else {
+        config.coalesce_bytes
+    });
     let tracing = trace::enabled();
     let pid = trace::current_pid();
     // Per-chunk protocol spans: B when the protocol opens the chunk
@@ -579,22 +788,25 @@ fn tree_on(
     // Leaves inject their contribution at their staggered start time,
     // chunks back to back (equal timestamps resolve by injection
     // order, so chunk 0 hits the first link first and the rest
-    // pipeline behind it).
+    // pipeline behind it — or, under coalescing, share one wire
+    // message per leaf).
     for (v, own) in ranks.iter().enumerate().skip(1) {
         if is_leaf(v) {
             for c in 0..k {
                 let (lo, hi) = chunk_bounds(0, m, k, c);
                 let bytes = slice_wire_bytes(&own[lo..hi]);
                 let tag = ((c as u64) << 1) | TAG_UP;
-                sim.send_at(config.stagger_ns * v as f64, v, parent(v), bytes, tag);
+                nic.send_at(&mut sim, config.stagger_ns * v as f64, v, parent(v), bytes, tag);
             }
         }
     }
+    nic.flush(&mut sim);
 
     let mut result = vec![0.0f64; m];
     let mut root_chunks_done = 0usize;
     let mut elapsed = 0.0f64;
-    let stats = sim.run(|sim, d| {
+    let stats = sim.run(|sim, wire| {
+        for d in nic.expand(&wire) {
         let c = (d.tag >> 1) as usize;
         match d.tag & 1 {
             TAG_UP => {
@@ -659,13 +871,13 @@ fn tree_on(
                         elapsed = elapsed.max(d.time);
                         for child in children(0) {
                             let tag = ((c as u64) << 1) | TAG_DOWN;
-                            sim.send_at(d.time, 0, child, ((hi - lo) * 8) as u64, tag);
+                            nic.send_at(sim, d.time, 0, child, ((hi - lo) * 8) as u64, tag);
                         }
                     } else {
                         let acc = std::mem::replace(&mut nodes[v].accs[c], Values::empty());
                         let bytes = acc.wire_bytes();
                         let tag = ((c as u64) << 1) | TAG_UP;
-                        let msg = sim.send_at(d.time, v, parent(v), bytes, tag);
+                        let msg = nic.send_at(sim, d.time, v, parent(v), bytes, tag);
                         payloads.insert(msg, acc);
                     }
                 }
@@ -681,10 +893,12 @@ fn tree_on(
                     }
                 }
                 for child in children(v) {
-                    sim.send_at(d.time, v, child, d.bytes, d.tag);
+                    nic.send_at(sim, d.time, v, child, d.bytes, d.tag);
                 }
             }
         }
+        }
+        nic.flush(sim);
     });
 
     assert_eq!(root_chunks_done, k, "tree reduction never completed");
@@ -740,6 +954,9 @@ fn ring_on(
 
     let mut sim = build_sim(topo, jitter, config);
     let mut payloads = Payloads::default();
+    // The ring's combine order is fixed by the rotation, so coalescing
+    // is value-invisible under every ordering.
+    let mut nic = Nic::new(config.coalesce_bytes);
     let tracing = trace::enabled();
     let pid = trace::current_pid();
     // Step 0: every rank sends its own copy of its own segment, chunk
@@ -751,7 +968,7 @@ fn ring_on(
             let seg = pool.values_of(&own[lo..hi], exact);
             let bytes = seg.wire_bytes();
             let tag = (c as u64) << RING_CHUNK_SHIFT;
-            let msg = sim.send_at(config.stagger_ns * r as f64, r, (r + 1) % p, bytes, tag);
+            let msg = nic.send_at(&mut sim, config.stagger_ns * r as f64, r, (r + 1) % p, bytes, tag);
             payloads.insert(msg, seg);
             if tracing {
                 // Span per travelling chunk: B at injection, E at its
@@ -763,9 +980,12 @@ fn ring_on(
         }
     }
 
+    nic.flush(&mut sim);
+
     let step_mask = (1u64 << RING_CHUNK_SHIFT) - 1;
     let mut elapsed = 0.0f64;
-    let stats = sim.run(|sim, d| {
+    let stats = sim.run(|sim, wire| {
+        for d in nic.expand(&wire) {
         elapsed = elapsed.max(d.time);
         if d.tag < TAG_AG_BASE {
             // Reduce-scatter step `s`: fold our contribution under the
@@ -790,7 +1010,7 @@ fn ring_on(
             if s + 1 < p - 1 {
                 let bytes = acc.wire_bytes();
                 let tag = ((c as u64) << RING_CHUNK_SHIFT) | (s as u64 + 1);
-                let msg = sim.send_at(d.time, r, (r + 1) % p, bytes, tag);
+                let msg = nic.send_at(sim, d.time, r, (r + 1) % p, bytes, tag);
                 payloads.insert(msg, acc);
             } else {
                 // Chunk complete: single rounding, then allgather.
@@ -803,7 +1023,7 @@ fn ring_on(
                 out[lo..hi].copy_from_slice(&rounded);
                 let bytes = (rounded.len() * 8) as u64;
                 let tag = TAG_AG_BASE + (((c as u64) << RING_CHUNK_SHIFT) | z as u64);
-                let msg = sim.send_at(d.time, r, (r + 1) % p, bytes, tag);
+                let msg = nic.send_at(sim, d.time, r, (r + 1) % p, bytes, tag);
                 payloads.insert(msg, Values::Plain(rounded));
             }
         } else {
@@ -815,12 +1035,14 @@ fn ring_on(
             let acc = payloads.take(d.msg).expect("allgather segment lost");
             if (t + 1) % p != finisher {
                 let bytes = acc.wire_bytes();
-                let msg = sim.send_at(d.time, t, (t + 1) % p, bytes, d.tag);
+                let msg = nic.send_at(sim, d.time, t, (t + 1) % p, bytes, d.tag);
                 payloads.insert(msg, acc);
             } else {
                 pool.recycle(acc);
             }
         }
+        }
+        nic.flush(sim);
     });
 
     NetAllreduce {
@@ -1493,6 +1715,98 @@ mod tests {
                 b.stats.bg_deliveries > 0,
                 "{alg:?}: tenants should actually run"
             );
+        }
+    }
+
+    #[test]
+    fn coalescing_never_changes_values() {
+        // Coalescing is a wire-schedule transform: wherever it is
+        // allowed to act, the reduced bits must match the uncoalesced
+        // run exactly — for the order-fixed ring under every ordering,
+        // and for the tree under its deterministic fold orders
+        // (`ArrivalOrder` is gated off internally, so it trivially
+        // matches too — with identical timing).
+        let ranks = make_ranks(8, 64, 31);
+        let topo = hier(2, 4);
+        let base_cfg = NetConfig::default();
+        let coal_cfg = base_cfg.with_coalesce(256);
+        for k in [1usize, 4, 16] {
+            for ord in [
+                Ordering::RankOrder,
+                Ordering::ArrivalOrder { seed: 3 },
+                Ordering::Reproducible,
+            ] {
+                for alg in [
+                    Algorithm::SegmentedRing { segments: k },
+                    Algorithm::SegmentedTree { fanout: 3, segments: k },
+                ] {
+                    let base = allreduce_on(&topo, &ranks, alg, ord, &base_cfg);
+                    let coal = allreduce_on(&topo, &ranks, alg, ord, &coal_cfg);
+                    assert_eq!(bits(&coal.values), bits(&base.values), "{alg:?} {ord:?} k={k}");
+                }
+            }
+        }
+        // The gate: a coalesce-configured arrival-order tree must be
+        // byte-for-byte the uncoalesced run, timing included.
+        let ord = Ordering::ArrivalOrder { seed: 9 };
+        let alg = Algorithm::SegmentedTree { fanout: 2, segments: 8 };
+        let a = allreduce_on(&topo, &ranks, alg, ord, &base_cfg);
+        let b = allreduce_on(&topo, &ranks, alg, ord, &coal_cfg);
+        assert_eq!(a.elapsed_ns.to_bits(), b.elapsed_ns.to_bits());
+        assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn coalescing_collapses_wire_messages() {
+        // Many tiny chunks to the same next hop: coalescing merges
+        // them into a handful of wire messages, collapsing the
+        // engine's event count (the host-time win) while leaving the
+        // simulated clock essentially untouched — link occupancy is
+        // serialization, which sums to the same bytes either way, so
+        // the batch arrives when its last chunk would have.
+        let ranks = make_ranks(8, 64, 32);
+        let topo = flat(8);
+        let cfg = NetConfig {
+            jitter_frac: 0.0,
+            ..NetConfig::default()
+        };
+        let alg = Algorithm::SegmentedRing { segments: 64 };
+        let base = allreduce_on(&topo, &ranks, alg, Ordering::RankOrder, &cfg);
+        let coal = allreduce_on(&topo, &ranks, alg, Ordering::RankOrder, &cfg.with_coalesce(4096));
+        assert!(
+            coal.stats.deliveries * 4 <= base.stats.deliveries,
+            "coalescing should collapse wire messages: {} vs {}",
+            coal.stats.deliveries,
+            base.stats.deliveries
+        );
+        assert!(coal.stats.hops_traversed < base.stats.hops_traversed);
+        // Same payload bytes moved end to end, whatever the envelope.
+        assert_eq!(coal.stats.bytes_delivered, base.stats.bytes_delivered);
+        assert!(
+            (coal.elapsed_ns - base.elapsed_ns).abs() <= 0.02 * base.elapsed_ns,
+            "coalescing is a near-noop on the simulated clock: {} vs {}",
+            coal.elapsed_ns,
+            base.elapsed_ns
+        );
+        assert_eq!(bits(&coal.values), bits(&base.values));
+    }
+
+    #[test]
+    fn coalescing_replays_bitwise() {
+        // The batching rule is a pure function of the logical send
+        // sequence: same run twice → same bits, same clock, same stats.
+        let ranks = make_ranks(8, 48, 33);
+        let topo = hier(2, 4);
+        let cfg = NetConfig::default().with_coalesce(512);
+        for (alg, ord) in [
+            (Algorithm::SegmentedRing { segments: 16 }, Ordering::ArrivalOrder { seed: 5 }),
+            (Algorithm::SegmentedTree { fanout: 3, segments: 8 }, Ordering::Reproducible),
+        ] {
+            let a = allreduce_on(&topo, &ranks, alg, ord, &cfg);
+            let b = allreduce_on(&topo, &ranks, alg, ord, &cfg);
+            assert_eq!(bits(&a.values), bits(&b.values), "{alg:?}");
+            assert_eq!(a.elapsed_ns.to_bits(), b.elapsed_ns.to_bits(), "{alg:?}");
+            assert_eq!(a.stats, b.stats, "{alg:?}");
         }
     }
 

@@ -28,6 +28,16 @@
 //! unaffected by recycling). After warm-up, injecting and delivering a
 //! message touches no allocator at all.
 //!
+//! The event queue runs on a calendar/bucket queue by default
+//! ([`QueueImpl::Calendar`]) — amortized O(1) pops with buckets one
+//! link-α wide — popping in *exactly* the `(time, sequence)` order of
+//! the retained `BinaryHeap` reference ([`QueueImpl::Heap`]), so the
+//! two engines are bitwise interchangeable and the property suite
+//! diffs them continuously. Link-drain (queue-depth) accounting needs
+//! no priority queue at all: each link's serialization-finish times
+//! are already monotone, so they live in per-link FIFOs expired on
+//! entry to that link.
+//!
 //! ## Multi-tenant contention
 //!
 //! Beyond jitter, [`FabricConfig`] adds the *other* source of arrival
@@ -55,7 +65,7 @@ use fpna_obs::counters::{self, Counter};
 use fpna_obs::profile::{self, PhaseStat};
 use fpna_obs::trace;
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
 /// Per-hop timing noise: uniform in `[0, frac_of_cost · (α + β·b))` —
 /// a fraction of the hop's whole deterministic service time, because
@@ -286,8 +296,11 @@ struct Message {
     to: usize,
     bytes: u64,
     tag: u64,
-    /// Hop count of the chosen route `from → to` (the hops themselves
-    /// are read from the topology's arena per event).
+    /// Arena offset of the chosen route `from → to`
+    /// ([`Topology::route_handle`], resolved once at injection).
+    route_off: u32,
+    /// Hop count of the chosen route (the hops themselves are read
+    /// from the topology's arena per event).
     route_len: u32,
     /// Which equal-cost route this message rides
     /// ([`Topology::route_hops_nth`] slot; 0 = canonical).
@@ -341,30 +354,305 @@ impl Ord for Event {
     }
 }
 
-/// A pending "serialization finishes" edge used only for queue-depth
-/// accounting: the link's depth drops by one at `time`.
-#[derive(Debug, Clone, Copy)]
-struct DrainEv {
-    time: f64,
-    link: u32,
+/// Which priority-queue implementation backs the engine's event
+/// queue. The calendar queue is the production default; the
+/// `BinaryHeap` path is retained as the reference the property suite
+/// diffs deliveries and stats against (the PR 5/6 reference-engine
+/// pattern), so the two must stay bitwise interchangeable forever.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueueImpl {
+    /// Calendar/bucket queue: amortized O(1) push/pop with buckets
+    /// sized from the fabric's smallest positive link latency.
+    #[default]
+    Calendar,
+    /// `std::collections::BinaryHeap<Reverse<Event>>` — the original
+    /// engine's queue, kept as the bit-exact reference.
+    Heap,
 }
 
-impl PartialEq for DrainEv {
-    fn eq(&self, other: &Self) -> bool {
-        self.time.total_cmp(&other.time).is_eq() && self.link == other.link
+impl QueueImpl {
+    /// Short name used to key the `net.heap_pop@…` profile histogram.
+    pub fn name(self) -> &'static str {
+        match self {
+            QueueImpl::Calendar => "calendar",
+            QueueImpl::Heap => "heap",
+        }
     }
 }
-impl Eq for DrainEv {}
-impl PartialOrd for DrainEv {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
+
+/// Bucket slots per calendar epoch. With one-α buckets, 256 slots
+/// cover a 256-α window of near-future events; anything beyond lands
+/// on the overflow list and is promoted when the window drains.
+const CAL_BUCKETS: usize = 256;
+
+/// Calendar (bucket) queue over [`Event`]s — the classic amortized
+/// O(1) discrete-event queue. Simulated time is cut into fixed-width
+/// buckets (`width` = the fabric's smallest positive link α); an
+/// *epoch* is the `CAL_BUCKETS`-slot window starting at
+/// `epoch_start`. Inserts map a timestamp to its slot: slots inside
+/// the epoch go to `buckets[slot % CAL_BUCKETS]`, slots beyond it to
+/// the `overflow` far-future list, and slots **before** the scan
+/// cursor are clamped into the cursor's bucket (in-bucket ordering
+/// still pops them first). Pops leap to the first non-empty bucket
+/// via an occupancy bitmap, lazily sort it descending on the
+/// cursor's first visit, and take the tail — extracting minima in
+/// the exact `Reverse<Event>` order, `(time.total_cmp, seq)`, so pop
+/// order is bitwise identical to the `BinaryHeap` engine.
+/// When the epoch drains, the queue re-anchors at the earliest
+/// overflow event and promotes everything that now fits the window.
+///
+/// Why the epoch is **fixed** rather than sliding per insert: with a
+/// per-insert sliding window, an event parked in overflow (slot just
+/// past the window) could be leap-frogged by a later-slot insert
+/// that the slid window accepts into a bucket, and the bucket scan
+/// would pop the later event first. Anchoring the window only at
+/// re-anchor time makes "in overflow" a monotone property: nothing
+/// in a bucket is ever later than anything in overflow.
+/// Marker for "no bucket is currently sorted".
+const CAL_NO_SORTED: u64 = u64::MAX;
+
+#[derive(Debug)]
+struct CalendarQueue {
+    /// `1 / width` where `width` is the bucket width in simulated ns
+    /// (> 0). Stored inverted: multiplying is cheaper than dividing
+    /// and equally monotone.
+    inv_width: f64,
+    buckets: Vec<Vec<Event>>,
+    /// Bit `i` set ⇔ `buckets[i]` is non-empty — lets the pop scan
+    /// leap empty slots with `trailing_zeros` instead of walking them.
+    occupied: [u64; CAL_BUCKETS / 64],
+    /// Events whose slot falls beyond the current epoch.
+    overflow: Vec<Event>,
+    /// Next slot the pop scan starts from.
+    cur_slot: u64,
+    /// First slot of the current epoch; slots in
+    /// `[epoch_start, epoch_start + CAL_BUCKETS)` map to buckets.
+    epoch_start: u64,
+    /// Slot whose bucket is currently sorted descending (min at the
+    /// tail, so pops are `Vec::pop`); [`CAL_NO_SORTED`] when none.
+    /// Buckets are sorted lazily, once, when the cursor reaches them;
+    /// later same-slot inserts keep order via binary insertion.
+    sorted_slot: u64,
+    len: usize,
+    /// Empty slots the scan cursor leapt over (obs tally).
+    rotations: u64,
+    /// Events promoted overflow → bucket at re-anchor (obs tally).
+    promotions: u64,
+}
+
+impl CalendarQueue {
+    fn new(width: f64) -> Self {
+        debug_assert!(width > 0.0 && width.is_finite());
+        CalendarQueue {
+            inv_width: 1.0 / width,
+            buckets: (0..CAL_BUCKETS).map(|_| Vec::new()).collect(),
+            occupied: [0; CAL_BUCKETS / 64],
+            overflow: Vec::new(),
+            cur_slot: 0,
+            epoch_start: 0,
+            sorted_slot: CAL_NO_SORTED,
+            len: 0,
+            rotations: 0,
+            promotions: 0,
+        }
+    }
+
+    /// Slot of timestamp `t`. Monotone non-decreasing in `t` (IEEE
+    /// multiplication by a positive constant is monotone, truncation
+    /// is monotone, and the `as u64` cast saturates), which is all
+    /// the ordering proof needs — exact bucket boundaries don't
+    /// matter.
+    #[inline]
+    fn slot_of(&self, t: f64) -> u64 {
+        (t * self.inv_width) as u64
+    }
+
+    #[inline]
+    fn push(&mut self, ev: Event) {
+        if self.len == 0 {
+            // Fresh (or drained) queue: re-anchor the epoch here so
+            // multi-phase protocols restart with a tight window.
+            let s = self.slot_of(ev.time);
+            self.epoch_start = s;
+            self.cur_slot = s;
+            self.sorted_slot = CAL_NO_SORTED;
+        }
+        self.len += 1;
+        let s = self.slot_of(ev.time);
+        if s >= self.epoch_start + CAL_BUCKETS as u64 {
+            self.overflow.push(ev);
+            return;
+        }
+        // Timestamps at or before the cursor clamp into the cursor's
+        // bucket; in-bucket ordering still pops them first.
+        let s = s.max(self.cur_slot);
+        let b = (s % CAL_BUCKETS as u64) as usize;
+        self.occupied[b >> 6] |= 1 << (b & 63);
+        let bucket = &mut self.buckets[b];
+        if s == self.sorted_slot {
+            // The active bucket stays sorted descending: insert before
+            // the first element that orders below `ev`.
+            let pos = bucket.partition_point(|e| ev < *e);
+            bucket.insert(pos, ev);
+        } else {
+            bucket.push(ev);
+        }
+    }
+
+    /// First occupied slot in `[cur_slot, end)`, via the bitmap.
+    /// Every set bit belongs to that range (pushes clamp to
+    /// `>= cur_slot`, skipped slots can never refill), so any hit in
+    /// a word at or after the cursor's bit position is the answer.
+    #[inline]
+    fn next_occupied(&self, end: u64) -> Option<u64> {
+        let mut s = self.cur_slot;
+        while s < end {
+            let idx = (s % CAL_BUCKETS as u64) as usize;
+            let w = self.occupied[idx >> 6] >> (idx & 63);
+            if w != 0 {
+                return Some(s + u64::from(w.trailing_zeros()));
+            }
+            s += 64 - (idx & 63) as u64; // next word boundary
+        }
+        None
+    }
+
+    /// Advance the cursor to the first non-empty bucket (re-anchoring
+    /// from overflow when the epoch drains), sort it if this is the
+    /// cursor's first visit, and return its index — the minimum event
+    /// is then that bucket's tail.
+    #[inline]
+    fn find_min(&mut self) -> Option<usize> {
+        if self.len == 0 {
+            return None;
+        }
+        loop {
+            let end = self.epoch_start + CAL_BUCKETS as u64;
+            if let Some(s) = self.next_occupied(end) {
+                self.rotations += s - self.cur_slot;
+                self.cur_slot = s;
+                let b = (s % CAL_BUCKETS as u64) as usize;
+                if self.sorted_slot != s {
+                    self.sorted_slot = s;
+                    if self.buckets[b].len() > 1 {
+                        self.buckets[b].sort_unstable_by(|x, y| y.cmp(x));
+                    }
+                }
+                return Some(b);
+            }
+            // Epoch drained: everything left is in overflow.
+            // Re-anchor at the earliest overflow event and promote
+            // whatever now fits the fresh window.
+            debug_assert!(!self.overflow.is_empty());
+            let mut best = 0;
+            for i in 1..self.overflow.len() {
+                if self.overflow[i] < self.overflow[best] {
+                    best = i;
+                }
+            }
+            let anchor = self.slot_of(self.overflow[best].time);
+            self.epoch_start = anchor;
+            self.cur_slot = anchor;
+            self.sorted_slot = CAL_NO_SORTED;
+            let end = anchor + CAL_BUCKETS as u64;
+            let mut i = 0;
+            while i < self.overflow.len() {
+                let s = self.slot_of(self.overflow[i].time);
+                if s < end {
+                    let ev = self.overflow.swap_remove(i);
+                    let b = (s % CAL_BUCKETS as u64) as usize;
+                    self.occupied[b >> 6] |= 1 << (b & 63);
+                    self.buckets[b].push(ev);
+                    self.promotions += 1;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+
+    /// Remove the tail (minimum) of bucket `b`, maintaining the
+    /// occupancy bitmap.
+    #[inline]
+    fn take_tail(&mut self, b: usize) -> Event {
+        let ev = self.buckets[b].pop().expect("find_min returned a non-empty bucket");
+        if self.buckets[b].is_empty() {
+            self.occupied[b >> 6] &= !(1 << (b & 63));
+        }
+        self.len -= 1;
+        ev
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Option<Event> {
+        let b = self.find_min()?;
+        Some(self.take_tail(b))
+    }
+
+    fn peek_time(&mut self) -> Option<f64> {
+        let b = self.find_min()?;
+        Some(self.buckets[b].last().expect("non-empty").time)
     }
 }
-impl Ord for DrainEv {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.time
-            .total_cmp(&other.time)
-            .then_with(|| self.link.cmp(&other.link))
+
+/// The engine's priority queue behind a common face: the calendar
+/// queue in production, the `BinaryHeap` as the bit-exact reference
+/// (see [`QueueImpl`]).
+#[derive(Debug)]
+enum EventQueue {
+    Heap(BinaryHeap<Reverse<Event>>),
+    Calendar(CalendarQueue),
+}
+
+impl EventQueue {
+    fn new(which: QueueImpl, bucket_width: f64) -> Self {
+        match which {
+            QueueImpl::Heap => EventQueue::Heap(BinaryHeap::new()),
+            QueueImpl::Calendar => EventQueue::Calendar(CalendarQueue::new(bucket_width)),
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, ev: Event) {
+        match self {
+            EventQueue::Heap(h) => h.push(Reverse(ev)),
+            EventQueue::Calendar(c) => c.push(ev),
+        }
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Option<Event> {
+        match self {
+            EventQueue::Heap(h) => h.pop().map(|Reverse(ev)| ev),
+            EventQueue::Calendar(c) => c.pop(),
+        }
+    }
+
+    #[inline]
+    fn peek_time(&mut self) -> Option<f64> {
+        match self {
+            EventQueue::Heap(h) => h.peek().map(|&Reverse(ev)| ev.time),
+            EventQueue::Calendar(c) => c.peek_time(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            EventQueue::Heap(h) => h.len(),
+            EventQueue::Calendar(c) => c.len,
+        }
+    }
+
+    /// Take (read and reset) the calendar-side obs tallies:
+    /// `(bucket rotations, overflow promotions)`. Zero for the heap.
+    fn take_cal_tallies(&mut self) -> (u64, u64) {
+        match self {
+            EventQueue::Heap(_) => (0, 0),
+            EventQueue::Calendar(c) => (
+                std::mem::take(&mut c.rotations),
+                std::mem::take(&mut c.promotions),
+            ),
+        }
     }
 }
 
@@ -454,7 +742,9 @@ pub struct NetSim<'t> {
     topo: &'t Topology,
     jitter: JitterModel,
     fabric: FabricConfig,
-    queue: BinaryHeap<Reverse<Event>>,
+    /// Which queue implementation `queue` runs on.
+    queue_impl: QueueImpl,
+    queue: EventQueue,
     /// Slot-addressed in-flight messages; delivered slots are pushed
     /// onto `free` and reused by later sends, so the live set — not
     /// the whole run history — bounds memory.
@@ -482,9 +772,14 @@ pub struct NetSim<'t> {
     link_depth: Vec<u32>,
     /// Per-link peak of `link_depth`.
     link_max_depth: Vec<u32>,
-    /// Pending depth decrements (serialization-finish edges), drained
-    /// lazily as event time advances.
-    drains: BinaryHeap<Reverse<DrainEv>>,
+    /// Per-link serialization-finish times, oldest first. Because a
+    /// link's `busy_until` only ever grows, each link's finish times
+    /// are pushed in non-decreasing order — so expiring them is a
+    /// front-pop walk on entry to that link, no priority queue needed.
+    /// Depth decrements commute, so expiring a link's drains only when
+    /// *that* link is entered yields the same depth at every increment
+    /// (and the same peaks) as the old global drain heap.
+    link_drains: Vec<VecDeque<f64>>,
     /// Observability capture (off by default; flags sampled once at
     /// construction — see [`ObsState`]).
     obs: ObsState,
@@ -501,6 +796,20 @@ impl<'t> NetSim<'t> {
     /// traffic. `FabricConfig::default()` makes this identical to
     /// [`NetSim::new`].
     pub fn with_fabric(topo: &'t Topology, jitter: JitterModel, fabric: FabricConfig) -> Self {
+        NetSim::with_queue(topo, jitter, fabric, QueueImpl::default())
+    }
+
+    /// A fresh engine on an explicit queue implementation — the hook
+    /// the equivalence property tests and `net_engine` bench rows use
+    /// to diff the calendar queue against the `BinaryHeap` reference.
+    /// Every configuration must produce bitwise-identical deliveries
+    /// and stats under either implementation.
+    pub fn with_queue(
+        topo: &'t Topology,
+        jitter: JitterModel,
+        fabric: FabricConfig,
+        queue_impl: QueueImpl,
+    ) -> Self {
         let p = topo.ranks();
         let bgc = fabric.background;
         let bg: Vec<BgSender> = if bgc.load > 0.0 && p > 1 {
@@ -532,12 +841,17 @@ impl<'t> NetSim<'t> {
             };
             trace::name_process(obs.pid, label);
         }
+        // Bucket width for the calendar queue: the smallest positive
+        // link α (causally related events are at least one α apart),
+        // falling back to 1 ns on a latency-free fabric.
+        let width = topo.min_latency_ns().unwrap_or(1.0);
         NetSim {
             topo,
             jitter,
             fabric,
             obs,
-            queue: BinaryHeap::new(),
+            queue_impl,
+            queue: EventQueue::new(queue_impl, width),
             messages: Vec::new(),
             free: Vec::new(),
             next_id: 0,
@@ -551,8 +865,13 @@ impl<'t> NetSim<'t> {
             link_msgs: vec![0; topo.num_links()],
             link_depth: vec![0; topo.num_links()],
             link_max_depth: vec![0; topo.num_links()],
-            drains: BinaryHeap::new(),
+            link_drains: vec![VecDeque::new(); topo.num_links()],
         }
+    }
+
+    /// The queue implementation this engine runs on.
+    pub fn queue_impl(&self) -> QueueImpl {
+        self.queue_impl
     }
 
     /// The topology this engine simulates.
@@ -652,7 +971,7 @@ impl<'t> NetSim<'t> {
         let id = self.next_id;
         self.next_id += 1;
         let route_k = self.pick_route(id, from, to);
-        let route_len = self.topo.route_hops_nth(from, to, route_k as usize).len() as u32;
+        let (route_off, route_len) = self.topo.route_handle(from, to, route_k as usize);
         if self.obs.counting {
             self.obs.route_lookups += 1;
         }
@@ -680,6 +999,7 @@ impl<'t> NetSim<'t> {
             to,
             bytes,
             tag,
+            route_off,
             route_len,
             route_k,
             background,
@@ -696,12 +1016,12 @@ impl<'t> NetSim<'t> {
         };
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Reverse(Event {
+        self.queue.push(Event {
             time: at_ns,
             seq,
             slot,
             hop: 0,
-        }));
+        });
         self.note_push();
         id
     }
@@ -714,20 +1034,19 @@ impl<'t> NetSim<'t> {
         if self.bg.is_empty() || self.live_ticks > 0 || self.fg_live == 0 {
             return;
         }
-        let Some(&Reverse(first)) = self.queue.peek() else {
+        let Some(t0) = self.queue.peek_time() else {
             return;
         };
-        let t0 = first.time;
         for s in 0..self.bg.len() {
             let delay = self.bg[s].rng.next_f64() * self.bg[s].pause_ns;
             let seq = self.seq;
             self.seq += 1;
-            self.queue.push(Reverse(Event {
+            self.queue.push(Event {
                 time: t0 + delay,
                 seq,
                 slot: BG_TICK,
                 hop: s as u32,
-            }));
+            });
             self.note_push();
             self.live_ticks += 1;
         }
@@ -788,12 +1107,12 @@ impl<'t> NetSim<'t> {
         let next = at_ns + base * (0.5 + s.rng.next_f64());
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Reverse(Event {
+        self.queue.push(Event {
             time: next,
             seq,
             slot: BG_TICK,
             hop: sender as u32,
-        }));
+        });
         self.note_push();
     }
 
@@ -822,7 +1141,7 @@ impl<'t> NetSim<'t> {
             } else {
                 self.queue.pop()
             };
-            let Some(Reverse(ev)) = popped else { break };
+            let Some(ev) = popped else { break };
             if self.obs.counting {
                 self.obs.pops += 1;
             }
@@ -873,16 +1192,14 @@ impl<'t> NetSim<'t> {
             }
             // Enter the next link: wait for it to free, hold it for the
             // serialization time, then propagate (+ jitter).
-            let hop = self.topo.route_hops_nth(m.from, m.to, m.route_k as usize)[ev.hop as usize];
+            let hop = self.topo.route_slice((m.route_off, m.route_len))[ev.hop as usize];
             let l = hop.link_id as usize;
-            // Queue-depth accounting: retire every serialization that
-            // finished by now, then count this message as queued.
-            while let Some(&Reverse(d)) = self.drains.peek() {
-                if d.time > ev.time {
-                    break;
-                }
-                self.link_depth[d.link as usize] -= 1;
-                self.drains.pop();
+            // Queue-depth accounting: retire every serialization on
+            // *this* link that finished by now, then count this
+            // message as queued.
+            let dq = &mut self.link_drains[l];
+            while dq.front().is_some_and(|&t| t <= ev.time) {
+                dq.pop_front();
             }
             let busy = &mut self.link_busy_until[l];
             let start = ev.time.max(*busy);
@@ -893,19 +1210,17 @@ impl<'t> NetSim<'t> {
                 self.jitter
                     .sample_ns(m.id, u64::from(ev.hop), serialize + hop.link.latency_ns);
             let arrive = start + serialize + hop.link.latency_ns + jitter;
-            self.link_depth[l] += 1;
-            if self.link_depth[l] > self.link_max_depth[l] {
-                self.link_max_depth[l] = self.link_depth[l];
+            self.link_drains[l].push_back(start + serialize);
+            let depth = self.link_drains[l].len() as u32;
+            self.link_depth[l] = depth;
+            if depth > self.link_max_depth[l] {
+                self.link_max_depth[l] = depth;
             }
-            if self.link_depth[l] > self.stats.max_queue_depth {
-                self.stats.max_queue_depth = self.link_depth[l];
+            if depth > self.stats.max_queue_depth {
+                self.stats.max_queue_depth = depth;
             }
             self.link_wait_ns[l] += wait;
             self.link_msgs[l] += 1;
-            self.drains.push(Reverse(DrainEv {
-                time: start + serialize,
-                link: hop.link_id,
-            }));
             if m.background {
                 self.stats.bg_hops_traversed += 1;
             } else {
@@ -923,12 +1238,12 @@ impl<'t> NetSim<'t> {
             }
             let seq = self.seq;
             self.seq += 1;
-            self.queue.push(Reverse(Event {
+            self.queue.push(Event {
                 time: arrive,
                 seq,
                 slot: ev.slot,
                 hop: ev.hop + 1,
-            }));
+            });
             self.note_push();
         }
         self.flush_obs(run_t0);
@@ -977,9 +1292,15 @@ impl<'t> NetSim<'t> {
             counters::add(Counter::NetRunWallNs, dt);
             profile::record("net.run", dt);
             if self.obs.pop_stat.count > 0 {
-                // Key the pop histogram by offered load so one report
-                // answers "does pop dominate at high load?" directly.
-                let key = format!("net.heap_pop@load={:.2}", self.fabric.background.load);
+                // Key the pop histogram by offered load and queue
+                // implementation, so one report answers both "does pop
+                // dominate at high load?" and "did the calendar queue
+                // actually shrink the pop cost?" directly.
+                let key = format!(
+                    "net.heap_pop@load={:.2},queue={}",
+                    self.fabric.background.load,
+                    self.queue_impl.name()
+                );
                 profile::merge(&key, &self.obs.pop_stat);
                 counters::add(Counter::HeapPopWallNs, self.obs.pop_stat.total_ns);
                 self.obs.pop_stat = PhaseStat::default();
@@ -991,6 +1312,9 @@ impl<'t> NetSim<'t> {
             counters::record_heap_peak(std::mem::take(&mut self.obs.peak));
             counters::add(Counter::RouteLookup, std::mem::take(&mut self.obs.route_lookups));
             counters::add(Counter::WireBytes, std::mem::take(&mut self.obs.wire_bytes));
+            let (rot_q, promo_q) = self.queue.take_cal_tallies();
+            counters::add(Counter::BucketRotation, rot_q);
+            counters::add(Counter::OverflowPromotion, promo_q);
         }
     }
 

@@ -434,6 +434,24 @@ impl Topology {
         self.num_links
     }
 
+    /// Smallest strictly-positive link propagation latency (α) in the
+    /// fabric, or `None` when there are no links (or every link has
+    /// zero latency). The engine's calendar queue sizes its bucket
+    /// width from this: α is the natural spacing between causally
+    /// related events, so one-α buckets stay shallow without
+    /// scattering a burst across thousands of empty slots.
+    pub fn min_latency_ns(&self) -> Option<f64> {
+        let mut best = f64::INFINITY;
+        for row in &self.adj {
+            for &(_, spec, _) in row {
+                if spec.latency_ns > 0.0 && spec.latency_ns < best {
+                    best = spec.latency_ns;
+                }
+            }
+        }
+        (best != f64::INFINITY).then_some(best)
+    }
+
     /// The `(from, to)` vertex pair of a directed link — the inverse
     /// of [`Hop::link_id`].
     ///
@@ -525,6 +543,43 @@ impl Topology {
             "route {k} out of range for rank pair ({from}, {to}): {count} equal-cost paths"
         );
         let (offset, len) = self.ecmp_slots[group_offset as usize + k];
+        &self.route_arena[offset as usize..offset as usize + len as usize]
+    }
+
+    /// `(offset, len)` handle of the `k`-th equal-cost route into the
+    /// shared route arena — resolve once per message, then read hops
+    /// with [`Topology::route_slice`]. `route_slice(route_handle(f, t,
+    /// k))` is the same slice `route_hops_nth(f, t, k)` returns; the
+    /// handle form just lets the engine skip the rank-pair resolution
+    /// on every event of an in-flight message.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either rank is out of range or
+    /// `k >= route_count(from, to)`.
+    #[inline]
+    pub fn route_handle(&self, from: usize, to: usize, k: usize) -> (u32, u32) {
+        let p = self.rank_vertex.len();
+        assert!(from < p && to < p, "rank out of range");
+        if k == 0 {
+            return self.route_index[from * p + to];
+        }
+        let g = self.ecmp_index[from * p + to];
+        assert!(
+            g != u32::MAX,
+            "route {k} out of range for rank pair ({from}, {to}): path is unique"
+        );
+        let (group_offset, count) = self.ecmp_groups[g as usize];
+        assert!(
+            k < count as usize,
+            "route {k} out of range for rank pair ({from}, {to}): {count} equal-cost paths"
+        );
+        self.ecmp_slots[group_offset as usize + k]
+    }
+
+    /// The hops a [`Topology::route_handle`] refers to.
+    #[inline]
+    pub fn route_slice(&self, (offset, len): (u32, u32)) -> &[Hop] {
         &self.route_arena[offset as usize..offset as usize + len as usize]
     }
 

@@ -38,9 +38,22 @@ pub enum Counter {
     RouteLookup,
     /// Bytes serialized onto links (every hop counts the full message).
     WireBytes,
+    /// Calendar-queue scan-cursor advances over empty bucket slots
+    /// ("rotations") — the price of sparse occupancy.
+    BucketRotation,
+    /// Calendar-queue events promoted from the far-future overflow
+    /// list into buckets when an epoch drains and re-anchors.
+    OverflowPromotion,
+    /// Logical sub-messages that shared an already-open coalesced wire
+    /// message (each is one per-message α the NIC did not pay).
+    CoalescedMsgs,
+    /// Payload bytes carried by those absorbed sub-messages — bytes
+    /// that rode a shared wire message instead of paying their own
+    /// per-message overhead.
+    CoalescedBytesSaved,
 }
 
-const N_COUNTERS: usize = 8;
+const N_COUNTERS: usize = 12;
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
 static COUNTS: [AtomicU64; N_COUNTERS] = [const { AtomicU64::new(0) }; N_COUNTERS];
@@ -94,6 +107,10 @@ pub struct Snapshot {
     pub pool_miss: u64,
     pub route_lookups: u64,
     pub wire_bytes: u64,
+    pub bucket_rotations: u64,
+    pub overflow_promotions: u64,
+    pub coalesced_msgs: u64,
+    pub coalesced_bytes_saved: u64,
 }
 
 impl Snapshot {
@@ -121,6 +138,10 @@ pub fn snapshot() -> Snapshot {
         pool_miss: get(Counter::PoolMiss),
         route_lookups: get(Counter::RouteLookup),
         wire_bytes: get(Counter::WireBytes),
+        bucket_rotations: get(Counter::BucketRotation),
+        overflow_promotions: get(Counter::OverflowPromotion),
+        coalesced_msgs: get(Counter::CoalescedMsgs),
+        coalesced_bytes_saved: get(Counter::CoalescedBytesSaved),
     }
 }
 

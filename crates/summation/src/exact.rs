@@ -155,15 +155,169 @@ impl ExactAccumulator {
     /// elements. The mantissa magnitude is below 2⁵³, so 1024 signed
     /// adds can never overflow a bin.
     ///
+    /// The element loop is written as two fixed-width lane passes so
+    /// it autovectorizes: pass 1 extracts `(exponent, ±mantissa)` and
+    /// the block's exponent hull for a 64-element lane block
+    /// branch-free (pure shifts/masks plus a min/max reduction — SIMD
+    /// across lanes), pass 2 scatters into **8 interleaved sub-bins
+    /// per exponent** (`bins[8e + (i mod 8)]`, unrolled), which breaks
+    /// the store-to-load dependency chain a run of same-exponent
+    /// elements would otherwise serialize on. Integer addition is
+    /// associative and commutative and no sub-bin can overflow (≤ 1024
+    /// summands below 2⁵³), so summing the sub-bins at flush
+    /// reproduces the single-bin total bit for bit — the canonical
+    /// state is **bitwise identical** to
+    /// [`ExactAccumulator::add_slice_scalar`] (the property suite
+    /// diffs them on adversarial streams).
+    ///
+    /// The bin table is a thread-local scratch reused across calls.
+    /// That reuse is sound because the table is all-zero at every exit
+    /// point: each flush re-zeroes exactly the hull its batch wrote,
+    /// and the only panic (the finiteness check, read off the fused
+    /// hull max) re-zeroes whatever hull its batch had scattered
+    /// before it fires.
+    ///
     /// # Panics
     ///
     /// Panics on NaN or infinite input.
     pub fn add_slice(&mut self, xs: &[f64]) {
         /// Elements per bin-flush cycle: `1024 · (2⁵³ − 1) < 2⁶³` keeps
-        /// every bin exactly representable.
+        /// every bin (and every sub-bin) exactly representable.
         const FLUSH_EVERY: usize = 1024;
-        /// Below this length the binned path's setup (a zeroed
-        /// 2048-entry table) is not worth it.
+        /// Below this length the binned path's setup is not worth it.
+        const BINNED_MIN: usize = 1024;
+        /// Extraction-pass lane width.
+        const LANES: usize = 64;
+        /// Interleaved sub-bins per exponent — enough independent
+        /// accumulation chains to hide store-forwarding latency.
+        const WAYS: usize = 8;
+        if xs.len() < BINNED_MIN {
+            for &x in xs {
+                self.add(x);
+            }
+            return;
+        }
+        std::thread_local! {
+            /// WAYS sub-bins per biased exponent (0..=2046; 2047 is
+            /// non-finite and rejected per batch below). All-zero
+            /// between `add_slice` calls — see the method docs.
+            static BINS: std::cell::RefCell<Vec<i64>> =
+                std::cell::RefCell::new(vec![0i64; 2048 * WAYS]);
+        }
+        BINS.with(|cell| {
+            let mut bins_guard = cell.borrow_mut();
+            let bins = bins_guard.as_mut_slice();
+            let mut es = [0u32; LANES];
+            let mut ms = [0i64; LANES];
+            for batch in xs.chunks(FLUSH_EVERY) {
+                let mut blo = 2048usize;
+                let mut bhi = 0usize;
+                for chunk in batch.chunks(LANES) {
+                    let n = chunk.len();
+                    // Pass 1: branch-free field extraction into fixed
+                    // lanes (`(m ^ s) − s` is the branchless
+                    // ±mantissa) with a fused exponent-hull reduction.
+                    let (mut clo, mut chi) = (0x7ffu32, 0u32);
+                    for (j, &x) in chunk.iter().enumerate() {
+                        let bits = x.to_bits();
+                        let e = ((bits >> 52) & 0x7ff) as u32;
+                        let frac = bits & 0x000f_ffff_ffff_ffff;
+                        let mant = (frac | (u64::from(e != 0) << 52)) as i64;
+                        let sm = -((bits >> 63) as i64);
+                        es[j] = e;
+                        ms[j] = (mant ^ sm) - sm;
+                        clo = clo.min(e);
+                        chi = chi.max(e);
+                    }
+                    // Finiteness check for free off the fused hull max
+                    // (a NaN/inf has biased exponent 0x7ff), *before*
+                    // this chunk scatters. Earlier chunks of the batch
+                    // may have written `bins` already, so the cold
+                    // panic path re-zeroes the hull written so far to
+                    // keep the thread-local table clean.
+                    if chi == 0x7ff {
+                        if blo < bhi {
+                            bins[blo * WAYS..bhi * WAYS].fill(0);
+                        }
+                        panic!("ExactAccumulator::add requires finite input");
+                    }
+                    blo = blo.min(clo as usize);
+                    bhi = bhi.max(chi as usize + 1);
+                    // Pass 2: scatter through WAYS independent chains.
+                    // The full-block arm is unrolled so each sub-bin
+                    // stream is explicit; the tail arm computes the
+                    // same `j mod WAYS` mapping.
+                    if n == LANES {
+                        for g in 0..LANES / WAYS {
+                            let j = g * WAYS;
+                            bins[es[j] as usize * WAYS] += ms[j];
+                            bins[es[j + 1] as usize * WAYS + 1] += ms[j + 1];
+                            bins[es[j + 2] as usize * WAYS + 2] += ms[j + 2];
+                            bins[es[j + 3] as usize * WAYS + 3] += ms[j + 3];
+                            bins[es[j + 4] as usize * WAYS + 4] += ms[j + 4];
+                            bins[es[j + 5] as usize * WAYS + 5] += ms[j + 5];
+                            bins[es[j + 6] as usize * WAYS + 6] += ms[j + 6];
+                            bins[es[j + 7] as usize * WAYS + 7] += ms[j + 7];
+                        }
+                    } else {
+                        for j in 0..n {
+                            bins[(es[j] as usize) * WAYS + (j & (WAYS - 1))] += ms[j];
+                        }
+                    }
+                }
+                // Scatter the touched exponent hull into the limbs.
+                // Each bin total is a signed multiple of
+                // 2^(offset − 1074) below 2⁶³ in magnitude, so it
+                // lands in three consecutive limbs exactly like a
+                // single add (lower digits zero-extended, top digit
+                // arithmetic so it carries the sign) and charges one
+                // unit of normalization headroom.
+                let mut flushed = 0u32;
+                let mut lo = self.lo;
+                let mut hi = self.hi;
+                for i in blo..bhi.max(blo) {
+                    // Refold the sub-bins: same summands, integer adds
+                    // — exactly the single-bin total. Sub-bins that
+                    // cancel to zero still need resetting.
+                    let w = &mut bins[i * WAYS..(i + 1) * WAYS];
+                    let msum = w.iter().sum::<i64>();
+                    w.fill(0);
+                    if msum == 0 {
+                        continue;
+                    }
+                    let offset = (i as u32).saturating_sub(1);
+                    // `offset ≤ 2046` ⇒ `limb ≤ 63`; the mask is a
+                    // no-op that lets the compiler drop the slice
+                    // bounds check.
+                    let limb = ((offset / LIMB_BITS) as usize) & 63;
+                    let shift = offset % LIMB_BITS;
+                    let chunk = (msum as i128) << shift; // ≤ 94 bits
+                    let window = &mut self.limbs[limb..limb + 3];
+                    window[0] += (chunk as u32) as i64;
+                    window[1] += ((chunk >> LIMB_BITS) as u32) as i64;
+                    window[2] += (chunk >> (2 * LIMB_BITS)) as i64;
+                    lo = lo.min(limb as u32);
+                    hi = hi.max(limb as u32 + 3);
+                    flushed += 1;
+                }
+                self.lo = lo;
+                self.hi = hi;
+                self.pending = self.pending.saturating_add(flushed);
+                if self.pending >= NORMALIZE_EVERY {
+                    self.normalize();
+                }
+            }
+        });
+    }
+
+    /// The pre-lane-loop `add_slice`: single-bin exponent binning with
+    /// a scalar element loop. Kept verbatim as the reference the
+    /// property suite diffs the vectorized [`ExactAccumulator::add_slice`]
+    /// against — the two must leave **bitwise identical** state for
+    /// every finite input stream.
+    #[doc(hidden)]
+    pub fn add_slice_scalar(&mut self, xs: &[f64]) {
+        const FLUSH_EVERY: usize = 1024;
         const BINNED_MIN: usize = 1024;
         if xs.len() < BINNED_MIN {
             for &x in xs {
@@ -171,13 +325,8 @@ impl ExactAccumulator {
             }
             return;
         }
-        // One bin per biased exponent (0..=2046; 2047 is non-finite and
-        // rejected below). The allocation is fresh-zeroed pages — cheap
-        // next to the element loop it amortizes over.
         let mut bins = vec![0i64; 2048];
         for batch in xs.chunks(FLUSH_EVERY) {
-            // Hoisted finiteness check: one vectorizable pre-scan per
-            // batch instead of a test-and-branch per element.
             assert!(
                 batch.iter().all(|x| x.is_finite()),
                 "ExactAccumulator::add requires finite input"
@@ -189,19 +338,11 @@ impl ExactAccumulator {
                 let e = ((bits >> 52) & 0x7ff) as usize;
                 let frac = bits & 0x000f_ffff_ffff_ffff;
                 let mant = (frac | ((u64::from(e != 0)) << 52)) as i64;
-                // Branchless ±mantissa: `(m ^ s) − s` with an
-                // all-ones/zero mask.
                 let sm = -((bits >> 63) as i64);
                 bins[e] += (mant ^ sm) - sm;
                 blo = blo.min(e);
                 bhi = bhi.max(e + 1);
             }
-            // Scatter the touched exponent hull into the limbs. Each
-            // bin is a signed multiple of 2^(offset − 1074) below 2⁶³
-            // in magnitude, so it lands in three consecutive limbs
-            // exactly like a single add (lower digits zero-extended,
-            // top digit arithmetic so it carries the sign) and charges
-            // one unit of normalization headroom.
             let mut flushed = 0u32;
             let mut lo = self.lo;
             let mut hi = self.hi;
@@ -212,11 +353,9 @@ impl ExactAccumulator {
                 }
                 *bin = 0;
                 let offset = ((blo + i) as u32).saturating_sub(1);
-                // `offset ≤ 2046` ⇒ `limb ≤ 63`; the mask is a no-op
-                // that lets the compiler drop the slice bounds check.
                 let limb = ((offset / LIMB_BITS) as usize) & 63;
                 let shift = offset % LIMB_BITS;
-                let chunk = (msum as i128) << shift; // ≤ 94 bits
+                let chunk = (msum as i128) << shift;
                 let window = &mut self.limbs[limb..limb + 3];
                 window[0] += (chunk as u32) as i64;
                 window[1] += ((chunk >> LIMB_BITS) as u32) as i64;
@@ -301,12 +440,38 @@ impl ExactAccumulator {
         }
         let lo = self.lo as usize;
         let hi = self.hi as usize;
+        // Pass 1: independent per-limb digit/carry split — `d ∈ [0,
+        // 2³²)` by mask, `c` the floor quotient by arithmetic shift.
+        // No cross-limb dependency, so the wide-integer work runs as
+        // straight-line SIMD lanes over the span.
+        let mut ds = [0i64; LIMBS];
+        let mut cs = [0i64; LIMBS];
+        for i in lo..hi {
+            ds[i] = self.limbs[i] & MASK;
+            cs[i] = self.limbs[i] >> LIMB_BITS;
+        }
+        // Pass 2: the serial carry fold, now over small digits. With
+        // `v = limbs[i] + carry = (c·2³² + d) + carry`, masking gives
+        // `v & MASK = (d + carry) & MASK` and the quotient splits as
+        // `v >> 32 = c + ((d + carry) >> 32)` — so the digit written
+        // and the carry recurrence are those of the one-pass walk
+        // ([`ExactAccumulator::normalize_scalar`]) exactly, but the
+        // loop-carried chain is a short add/mask/compare.
         let mut carry = 0i64;
-        let mut i = lo;
-        while i < hi || (carry != 0 && i < LIMBS) {
+        for i in lo..hi {
+            let x = ds[i] + carry;
+            let r = x & MASK; // in [0, 2^32)
+            let adj = i64::from(r >= HALF);
+            self.limbs[i] = r - (adj << LIMB_BITS);
+            carry = cs[i] + (x >> LIMB_BITS) + adj;
+        }
+        // Carry ripple past the span (pass 1 never touched these
+        // limbs, so this continues the one-pass walk verbatim).
+        let mut i = hi;
+        while carry != 0 && i < LIMBS {
             let v = self.limbs[i] + carry;
-            let r = v & MASK; // in [0, 2^32)
-            let q = v >> LIMB_BITS; // floor quotient
+            let r = v & MASK;
+            let q = v >> LIMB_BITS;
             let adj = i64::from(r >= HALF);
             self.limbs[i] = r - (adj << LIMB_BITS);
             carry = q + adj;
@@ -314,6 +479,53 @@ impl ExactAccumulator {
         }
         debug_assert_eq!(carry, 0, "accumulator overflow");
         // Tighten to the exact nonzero hull.
+        let mut new_lo = lo;
+        let mut new_hi = i;
+        while new_lo < new_hi && self.limbs[new_lo] == 0 {
+            new_lo += 1;
+        }
+        while new_hi > new_lo && self.limbs[new_hi - 1] == 0 {
+            new_hi -= 1;
+        }
+        if new_lo >= new_hi {
+            self.lo = LIMBS as u32;
+            self.hi = 0;
+        } else {
+            self.lo = new_lo as u32;
+            self.hi = new_hi as u32;
+        }
+    }
+
+    /// The pre-two-pass `normalize`: one serial walk carrying
+    /// digit-split and carry fold together. Kept verbatim as the
+    /// reference the property suite diffs the two-pass
+    /// [`ExactAccumulator::normalize`] against — both must produce the
+    /// identical canonical state from any reachable raw state.
+    #[doc(hidden)]
+    pub fn normalize_scalar(&mut self) {
+        const BASE: i64 = 1i64 << LIMB_BITS;
+        const HALF: i64 = BASE / 2;
+        const MASK: i64 = BASE - 1;
+        self.pending = 0;
+        if self.lo >= self.hi {
+            self.lo = LIMBS as u32;
+            self.hi = 0;
+            return;
+        }
+        let lo = self.lo as usize;
+        let hi = self.hi as usize;
+        let mut carry = 0i64;
+        let mut i = lo;
+        while i < hi || (carry != 0 && i < LIMBS) {
+            let v = self.limbs[i] + carry;
+            let r = v & MASK;
+            let q = v >> LIMB_BITS;
+            let adj = i64::from(r >= HALF);
+            self.limbs[i] = r - (adj << LIMB_BITS);
+            carry = q + adj;
+            i += 1;
+        }
+        debug_assert_eq!(carry, 0, "accumulator overflow");
         let mut new_lo = lo;
         let mut new_hi = i;
         while new_lo < new_hi && self.limbs[new_lo] == 0 {
@@ -647,6 +859,30 @@ mod tests {
     #[should_panic(expected = "finite")]
     fn nan_panics() {
         ExactAccumulator::new().add(f64::NAN);
+    }
+
+    #[test]
+    fn bulk_nan_panics_and_leaves_scratch_clean() {
+        // A NaN deep inside a bulk batch must (a) panic with the same
+        // message as the per-element path and (b) re-zero whatever the
+        // batch had already scattered into the thread-local bin table —
+        // a later add_slice on this thread must still be bitwise right.
+        let mut poisoned: Vec<f64> = (0..3000).map(|i| i as f64).collect();
+        poisoned[2500] = f64::NAN;
+        let err = std::panic::catch_unwind(|| {
+            ExactAccumulator::new().add_slice(&poisoned);
+        })
+        .unwrap_err();
+        assert!(err.downcast_ref::<&str>().is_some_and(|m| m.contains("finite")));
+        let xs: Vec<f64> = (0..3000).map(|i| (i as f64) * 0.1 - 7.0).collect();
+        let mut bulk = ExactAccumulator::new();
+        bulk.add_slice(&xs);
+        let mut scalar = ExactAccumulator::new();
+        scalar.add_slice_scalar(&xs);
+        assert_eq!(bulk.round().to_bits(), scalar.round().to_bits());
+        bulk.normalize();
+        scalar.normalize();
+        assert!(bulk.state_eq(&scalar));
     }
 
     #[test]

@@ -20,6 +20,22 @@ fn summable() -> impl Strategy<Value = f64> {
     ]
 }
 
+/// The adversarial stream for the vectorized-kernel equivalence
+/// suites: everything `summable()` covers plus subnormals (zero
+/// biased exponent — the lane extraction's implicit-bit edge) and
+/// near-overflow magnitudes (the top of the bin table).
+fn adversarial() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        summable(),
+        // Subnormals of either sign, including f64::MIN_POSITIVE / 2⁵².
+        (1u64..1 << 52).prop_map(f64::from_bits),
+        (1u64..1 << 52).prop_map(|b| -f64::from_bits(b)),
+        // Huge magnitudes near the top of the exponent range.
+        1e300..1e308f64,
+        -1e308..-1e300f64,
+    ]
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(96))]
 
@@ -177,6 +193,64 @@ proptest! {
         a.normalize();
         b.normalize();
         prop_assert!(a.state_eq(&b));
+    }
+
+    /// The lane-vectorized `add_slice` (two-pass extraction + 8-way
+    /// interleaved sub-bins) is bitwise equivalent to the retained
+    /// single-bin scalar reference on adversarial streams: subnormals,
+    /// extreme magnitudes, signed zeros, and exact cancellation (the
+    /// appended negated copy drives every bin — and every sub-bin
+    /// pattern that sums to zero — through the flush path).
+    #[test]
+    fn lane_add_slice_matches_scalar_reference(
+        xs in vec(adversarial(), 0..2600),
+        cancel in any::<bool>(),
+    ) {
+        let mut xs = xs;
+        if cancel {
+            let neg: Vec<f64> = xs.iter().map(|&x| -x).collect();
+            xs.extend(neg);
+        }
+        let mut lanes = ExactAccumulator::new();
+        lanes.add_slice(&xs);
+        let mut scalar = ExactAccumulator::new();
+        scalar.add_slice_scalar(&xs);
+        prop_assert!(lanes.span_covers_nonzero());
+        prop_assert_eq!(lanes.round().to_bits(), scalar.round().to_bits());
+        lanes.normalize();
+        scalar.normalize();
+        prop_assert!(lanes.state_eq(&scalar), "lane and scalar canonical states differ");
+    }
+
+    /// The two-pass `normalize` (vectorizable digit/carry split + one
+    /// serial carry fold) lands in the identical canonical state as
+    /// the retained one-pass scalar walk, starting from arbitrarily
+    /// messy pre-normalization states.
+    #[test]
+    fn two_pass_normalize_matches_scalar_reference(
+        xs in vec(adversarial(), 0..600),
+        cuts in vec(0usize..600, 0..6),
+    ) {
+        // Interleave bulk adds and per-element adds so the accumulator
+        // carries a mix of binned flushes and single-add deposits when
+        // normalization runs.
+        let mut a = ExactAccumulator::new();
+        let mut b = ExactAccumulator::new();
+        let mut prev = 0usize;
+        for &cut in cuts.iter().chain(std::iter::once(&xs.len())) {
+            let cut = cut.min(xs.len());
+            if cut > prev {
+                a.add_slice(&xs[prev..cut]);
+                for &x in &xs[prev..cut] {
+                    b.add(x);
+                }
+                prev = cut;
+            }
+        }
+        a.normalize();
+        b.normalize_scalar();
+        prop_assert!(a.state_eq(&b), "two-pass and scalar normalize states differ");
+        prop_assert_eq!(a.round().to_bits(), b.round().to_bits());
     }
 
     /// The intra-run parallel reproducible sum is bitwise equal to the
