@@ -9,58 +9,88 @@
 //!
 //! `cargo run --release -p fpna-bench --bin fig1 [--arrays 20] [--runs 200] [--bins 41]
 //!  [--threads N] [--paper-scale]`
+//!
+//! Speaks the sweep protocol (`--emit-spec` / `--shard-id …` /
+//! `--from-shards …`, see `fpna-sweep`): runs are seeded by global run
+//! index, so any process sharding merges to byte-identical output.
 
 use fpna_gpu_sim::{GpuDevice, GpuModel, KernelParams, ReduceKernel, ScheduleKind};
 use fpna_stats::histogram::Histogram;
 use fpna_stats::kl::kl_vs_fitted_normal;
 use fpna_stats::normality::jarque_bera;
 use fpna_stats::samplers::{Distribution, Sampler};
+use fpna_sweep::{SweepRows, SweepSpec};
 
 const N: usize = 1_000_000;
 
-fn main() {
-    let args = fpna_bench::ExperimentArgs::parse();
-    let arrays = args.size("arrays", 20, 100);
-    let runs = args.size("runs", 200, 10_000);
-    let bins = fpna_bench::arg_usize("bins", 41);
-    let seed = fpna_bench::arg_u64("seed", 10);
-    fpna_bench::banner(
-        "Fig 1",
-        "PDF of Vs for SPA sums of 1M FP64 on V100 (Nt=64, Nb=7813)",
-        &format!("{arrays} arrays x {runs} runs (paper: 100 x 10000)"),
-    );
+const DISTS: [fn() -> Distribution; 2] = [
+    Distribution::standard_normal,
+    Distribution::paper_uniform,
+];
+
+fn cell(di: usize, a: usize) -> String {
+    format!("d{di}/a{a}")
+}
+
+/// Per-run `Vs` for every (distribution, array) cell, global runs in
+/// `range` only. References (the input arrays and their deterministic
+/// SPTR sums) are pure functions of the spec, recomputed per process —
+/// cheap next to the run sweep they anchor.
+fn compute(
+    range: std::ops::Range<usize>,
+    arrays: usize,
+    seed: u64,
+    executor: &fpna_core::executor::RunExecutor,
+) -> SweepRows {
     let device = GpuDevice::new(GpuModel::V100);
     let params = KernelParams::fig1();
-    let executor = args.executor();
-
-    for dist in [Distribution::standard_normal(), Distribution::paper_uniform()] {
-        let mut vs_samples = Vec::with_capacity(arrays * runs);
+    let mut rows = SweepRows::new();
+    for (di, dist) in DISTS.iter().enumerate() {
         for a in 0..arrays {
-            let mut sampler = Sampler::new(dist, seed ^ ((a as u64) << 20));
+            let mut sampler = Sampler::new(dist(), seed ^ ((a as u64) << 20));
             let xs = sampler.sample_vec(N);
             let det = device
                 .reduce(ReduceKernel::Sptr, &xs, params, &ScheduleKind::InOrder)
                 .unwrap()
                 .value;
             let outcomes = device
-                .reduce_runs(
+                .reduce_runs_range(
                     ReduceKernel::Spa,
                     &xs,
                     params,
                     &ScheduleKind::Seeded(seed ^ (a as u64)),
-                    runs,
-                    &executor,
+                    range.clone(),
+                    executor,
                 )
                 .unwrap();
-            vs_samples.extend(
-                outcomes
-                    .iter()
-                    .map(|out| fpna_core::metrics::scalar_variability(out.value, det)),
-            );
+            for (i, out) in outcomes.iter().enumerate() {
+                rows.push(
+                    &cell(di, a),
+                    range.start + i,
+                    vec![fpna_core::metrics::scalar_variability(out.value, det)],
+                );
+            }
+        }
+    }
+    rows
+}
+
+/// Print the figure from rows alone — a pure function of the row set,
+/// so merged shards render byte-identically to a single process.
+fn report(rows: &SweepRows, arrays: usize, runs: usize, bins: usize) {
+    fpna_bench::banner(
+        "Fig 1",
+        "PDF of Vs for SPA sums of 1M FP64 on V100 (Nt=64, Nb=7813)",
+        &format!("{arrays} arrays x {runs} runs (paper: 100 x 10000)"),
+    );
+    for (di, dist) in DISTS.iter().enumerate() {
+        let mut vs_samples = Vec::with_capacity(arrays * runs);
+        for a in 0..arrays {
+            vs_samples.extend(rows.column(&cell(di, a), 0));
         }
         let scaled: Vec<f64> = vs_samples.iter().map(|v| v * 1e16).collect();
         let h = Histogram::from_data(&scaled, bins);
-        println!("--- xi ~ {} ---", dist.label());
+        println!("--- xi ~ {} ---", dist().label());
         println!("Vs x 1e16        density");
         for (center, density) in h.density_series() {
             let bar = "#".repeat((density * 400.0).min(60.0) as usize);
@@ -82,5 +112,30 @@ fn main() {
         );
         println!();
     }
+}
+
+fn main() {
+    let args = fpna_bench::ExperimentArgs::parse();
+    let arrays = args.size("arrays", 20, 100);
+    let runs = args.size("runs", 200, 10_000);
+    let bins = fpna_bench::arg_usize("bins", 41);
+    let seed = fpna_bench::arg_u64("seed", 10);
+
+    let spec = SweepSpec::new("fig1", runs)
+        .arg("arrays", arrays)
+        .arg("bins", bins)
+        .arg("seed", seed);
+    if args.sweep.emit_spec(&spec) {
+        return;
+    }
+    let rows = match args.sweep.compute_range(spec.runs) {
+        Some(range) => compute(range, arrays, seed, &args.executor()),
+        None => args.sweep.load_rows_or_exit(&spec),
+    };
+    if args.sweep.finish_shard_or_exit(&spec, &rows) {
+        args.finish();
+        return;
+    }
+    report(&rows, arrays, runs, bins);
     args.finish();
 }

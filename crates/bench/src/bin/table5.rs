@@ -5,23 +5,56 @@
 //! runs per configuration (`--runs`).
 //!
 //! `cargo run --release -p fpna-bench --bin table5 [--runs 40] [--threads N] [--paper-scale]`
+//!
+//! Speaks the sweep protocol (`--emit-spec` / `--shard-id …` /
+//! `--from-shards …`, see `fpna-sweep`): every (op, configuration)
+//! cell is seeded by global run index, so any process sharding of
+//! `0..runs` merges to byte-identical output.
 
 use fpna_core::report::Table;
 use fpna_gpu_sim::GpuModel;
-use fpna_tensor::sweep::table5_sweep;
+use fpna_sweep::{SweepRows, SweepSpec};
+use fpna_tensor::sweep::{table5_cells, table5_reduce};
 
-fn main() {
-    let args = fpna_bench::ExperimentArgs::parse();
-    let runs = args.size("runs", 40, 10_000);
-    let seed = fpna_bench::arg_u64("seed", 55);
+/// Per-run comparison metrics for every (op, configuration) cell,
+/// global runs in `range` only. Cell inputs and references are pure
+/// functions of the spec, recomputed per process — cheap next to the
+/// run sweep they anchor.
+fn compute(
+    range: std::ops::Range<usize>,
+    seed: u64,
+    executor: &fpna_core::executor::RunExecutor,
+) -> SweepRows {
+    let mut rows = SweepRows::new();
+    for cell in table5_cells(GpuModel::H100, seed) {
+        for (i, c) in cell.comparisons_range(range.clone(), executor) {
+            rows.push(
+                &cell.name,
+                i,
+                vec![c.vermv, c.vc, c.max_abs_diff, c.len as f64],
+            );
+        }
+    }
+    rows
+}
+
+/// Print the table from rows alone — a pure function of the row set,
+/// so merged shards render byte-identically to a single process. (The
+/// cell walk here only provides op order and row keys; its references
+/// are recomputed but never run the sweep.)
+fn report(rows: &SweepRows, runs: usize, seed: u64) {
     fpna_bench::banner(
         "Table 5",
         "max and min variability for non-deterministic PyTorch operations",
         &format!("{runs} runs per configuration (paper: 10000), simulated H100"),
     );
-    let rows = table5_sweep(GpuModel::H100, runs, seed, &args.executor());
+    let cells = table5_cells(GpuModel::H100, seed);
+    let means: Vec<(&'static str, f64)> = cells
+        .iter()
+        .map(|cell| (cell.op, rows.variability_report(&cell.name).vermv.mean))
+        .collect();
     let mut table = Table::new(["Operation", "min(Vermv)", "max(Vermv)", "configs"]);
-    for row in rows {
+    for row in table5_reduce(&means) {
         table.push_row([
             row.op.to_string(),
             format!("{:.2e}", row.min_vermv),
@@ -40,5 +73,25 @@ fn main() {
          raced element in any precision; their Vermv reflects the collision \
          rate of the index tensor instead."
     );
+}
+
+fn main() {
+    let args = fpna_bench::ExperimentArgs::parse();
+    let runs = args.size("runs", 40, 10_000);
+    let seed = fpna_bench::arg_u64("seed", 55);
+
+    let spec = SweepSpec::new("table5", runs).arg("seed", seed);
+    if args.sweep.emit_spec(&spec) {
+        return;
+    }
+    let rows = match args.sweep.compute_range(spec.runs) {
+        Some(range) => compute(range, seed, &args.executor()),
+        None => args.sweep.load_rows_or_exit(&spec),
+    };
+    if args.sweep.finish_shard_or_exit(&spec, &rows) {
+        args.finish();
+        return;
+    }
+    report(&rows, runs, seed);
     args.finish();
 }

@@ -40,20 +40,32 @@
 //! 0.1): messages carried, total queue wait, and peak queue depth —
 //! the [`fpna_net::NetSim::link_stats`] view, labelled by endpoint.
 //!
+//! Speaks the sweep protocol (`--emit-spec` / `--shard-id …` /
+//! `--from-shards …`, see `fpna-sweep`): every (rank count, topology,
+//! segment count, load, schedule) cell is seeded by global run index,
+//! so any process sharding of `0..runs` merges to byte-identical
+//! output — including the acceptance checks and the exit code, which
+//! are pure functions of the merged rows.
+//!
 //! `cargo run --release -p fpna-bench --bin table9 [--len 4096] [--runs 25] [--fanout 4] [--seed 9]
 //!  [--segments 1,8,32] [--load 0,0.3,0.8] [--route fixed|ecmp] [--link-stats]
 //!  [--threads N] [--paper-scale] [--trace out.json] [--profile]`
 
 use fpna_collectives::{allreduce_on, Algorithm, NetConfig, Ordering};
-use fpna_core::metrics::scalar_variability;
+use fpna_core::executor::RunExecutor;
+use fpna_core::harness::RunSummary;
+use fpna_core::metrics::{scalar_variability, ArrayComparison};
 use fpna_core::report::{mean_std, Table};
 use fpna_core::rng::{derive_seed, SplitMix64};
-use fpna_net::{sweep_seeds, CostModel, LinkSpec, RouteSelect, SeedSweep, Topology};
+use fpna_net::{CostModel, LinkSpec, RouteSelect, SeedSweep, Topology};
 use fpna_summation::exact::ExactAccumulator;
+use fpna_sweep::{SweepRows, SweepSpec};
 
 /// Index of the fat tree in [`topologies`] — the fabric the
 /// variability-vs-offered-load check reads.
 const FAT_TREE_IDX: usize = 1;
+
+const JITTER_LEVELS: [f64; 2] = [0.1, 0.3];
 
 fn topologies(p: usize) -> Vec<Topology> {
     assert!(p.is_multiple_of(8), "the sweep assumes rank counts divisible by 8");
@@ -70,6 +82,522 @@ fn topologies(p: usize) -> Vec<Topology> {
             LinkSpec::new(5_000.0, 25.0), // inter-node (IB-ish)
         ),
     ]
+}
+
+/// Everything that parameterises the sweep — one value per spec arg.
+struct Cfg {
+    len: usize,
+    runs: usize,
+    fanout: usize,
+    seed: u64,
+    segments: Vec<usize>,
+    loads: Vec<f64>,
+    link_stats: bool,
+    ecmp: bool,
+}
+
+impl Cfg {
+    fn alg(&self) -> Algorithm {
+        Algorithm::KAryTree { fanout: self.fanout }
+    }
+
+    /// Seeded route choice per message stream: a pure function of the
+    /// sweep seed, so every run replays.
+    fn route_for(&self, s: u64) -> RouteSelect {
+        if self.ecmp {
+            RouteSelect::SeededEcmp { seed: derive_seed(s, 0xEC) }
+        } else {
+            RouteSelect::Fixed
+        }
+    }
+
+    /// The per-rank input vectors for rank count `p` — a pure function
+    /// of `(seed, p, len)`, recomputed identically by every process.
+    fn ranks(&self, p: usize) -> Vec<Vec<f64>> {
+        let mut rng = SplitMix64::new(derive_seed(self.seed, p as u64));
+        (0..p)
+            .map(|_| (0..self.len).map(|_| rng.next_f64() * 1e8 - 5e7).collect())
+            .collect()
+    }
+}
+
+fn cell_sched(p: usize, ti: usize, segs: usize, li: usize) -> String {
+    format!("p{p}/t{ti}/k{segs}/l{li}/sched")
+}
+
+fn cell_arrival(p: usize, ti: usize, segs: usize, li: usize, j: usize) -> String {
+    format!("p{p}/t{ti}/k{segs}/l{li}/ao{j}")
+}
+
+fn cell_repro(p: usize, ti: usize, segs: usize, li: usize) -> String {
+    format!("p{p}/t{ti}/k{segs}/l{li}/repro")
+}
+
+/// Per-run comparison metrics for every sweep cell, global runs in
+/// `range` only. Each cell's reference (the rank-order run, the seed-0
+/// arrival-order run, or the network-free exact allreduce) is a pure
+/// function of the spec, recomputed per process — one extra run per
+/// cell, cheap next to the run sweep it anchors.
+///
+/// Row columns: `[vermv, vc, max_abs_diff, len, elapsed_ns]`, plus
+/// `|Vs[0]|` as a sixth column on arrival-order cells.
+fn compute(cfg: &Cfg, range: std::ops::Range<usize>, executor: &RunExecutor) -> SweepRows {
+    let alg = cfg.alg();
+    let seed = cfg.seed;
+    let mut rows = SweepRows::new();
+    for p in [32usize, 64] {
+        let ranks = cfg.ranks(p);
+        let exact_reference = fpna_collectives::allreduce(&ranks, alg, Ordering::Reproducible);
+        for (ti, topo) in topologies(p).into_iter().enumerate() {
+            for &segs in &cfg.segments {
+                // `SegmentedTree` at one chunk is the plain tree; values
+                // are bitwise those of the unsegmented algorithm at every
+                // chunk count — segmentation only pipelines the clock.
+                let alg = if segs == 1 {
+                    alg
+                } else {
+                    Algorithm::SegmentedTree { fanout: cfg.fanout, segments: segs }
+                };
+                for (li, &load) in cfg.loads.iter().enumerate() {
+                    // -- software-scheduled: zero jitter, rank-ordered folds --
+                    // One bg/route seed for the whole row: the tenants replay
+                    // identically every run, so the bitwise + zero-timing-
+                    // spread guarantee must survive any offered load.
+                    let base_cfg = NetConfig::default()
+                        .with_load(load, derive_seed(seed, 0xB6))
+                        .with_route(cfg.route_for(derive_seed(seed, 0xB6)));
+                    let reference =
+                        allreduce_on(&topo, &ranks, alg, Ordering::RankOrder, &base_cfg).values;
+                    let outputs = executor.map_run_range(range.clone(), |_| {
+                        let out = allreduce_on(&topo, &ranks, alg, Ordering::RankOrder, &base_cfg);
+                        (out.values, out.elapsed_ns)
+                    });
+                    for (i, (v, dt)) in outputs.iter().enumerate() {
+                        let c = ArrayComparison::compare(&reference, v);
+                        rows.push(
+                            &cell_sched(p, ti, segs, li),
+                            range.start + i,
+                            vec![c.vermv, c.vc, c.max_abs_diff, c.len as f64, *dt],
+                        );
+                    }
+
+                    // -- arrival order at each jitter level --
+                    for (j, &frac) in JITTER_LEVELS.iter().enumerate() {
+                        let run = |s: u64| {
+                            // The tenants (and, under ECMP, the route draws)
+                            // differ per run, exactly like the jitter seed:
+                            // each run is a different day on a shared fabric.
+                            let net_cfg = NetConfig {
+                                jitter_frac: frac,
+                                ..NetConfig::default()
+                            }
+                            .with_load(load, derive_seed(s, 0x10AD))
+                            .with_route(cfg.route_for(s));
+                            let out = allreduce_on(
+                                &topo,
+                                &ranks,
+                                alg,
+                                Ordering::ArrivalOrder { seed: derive_seed(seed, s) },
+                                &net_cfg,
+                            );
+                            (out.values, out.elapsed_ns)
+                        };
+                        // Seed 0 is the reference; global run r uses seed
+                        // r + 1, matching the unsharded seed list 1..=runs.
+                        let (reference, _) = run(0);
+                        let outputs =
+                            executor.map_run_range(range.clone(), |r| run(r as u64 + 1));
+                        for (i, (v, dt)) in outputs.iter().enumerate() {
+                            let c = ArrayComparison::compare(&reference, v);
+                            let vs0 = scalar_variability(v[0], reference[0]).abs();
+                            rows.push(
+                                &cell_arrival(p, ti, segs, li, j),
+                                range.start + i,
+                                vec![c.vermv, c.vc, c.max_abs_diff, c.len as f64, *dt, vs0],
+                            );
+                        }
+                    }
+
+                    // -- reproducible: exact accumulators on a jittered fabric --
+                    let outputs = executor.map_run_range(range.clone(), |r| {
+                        let s = derive_seed(seed ^ 0xE4A7, r as u64);
+                        let net_cfg = NetConfig::default()
+                            .with_jitter_seed(s)
+                            .with_load(load, derive_seed(s, 0x10AD))
+                            .with_route(cfg.route_for(s));
+                        let out = allreduce_on(&topo, &ranks, alg, Ordering::Reproducible, &net_cfg);
+                        (out.values, out.elapsed_ns)
+                    });
+                    for (i, (v, dt)) in outputs.iter().enumerate() {
+                        let c = ArrayComparison::compare(&exact_reference, v);
+                        rows.push(
+                            &cell_repro(p, ti, segs, li),
+                            range.start + i,
+                            vec![c.vermv, c.vc, c.max_abs_diff, c.len as f64, *dt],
+                        );
+                    }
+                }
+            }
+        }
+    }
+    rows
+}
+
+/// Rebuild the joint variability/cost summary of one cell from its
+/// rows — bitwise the [`SeedSweep`] a single process computes.
+fn seed_sweep(rows: &SweepRows, cell: &str) -> SeedSweep {
+    SeedSweep {
+        variability: rows.variability_report(cell),
+        elapsed_ns: RunSummary::from_values(&rows.column(cell, 4)),
+    }
+}
+
+/// Print the tables and acceptance checks from rows alone (plus the
+/// seeded representative runs behind `--link-stats`), returning
+/// whether every check passed. A pure function of the row set, so
+/// merged shards render byte-identically to a single process.
+fn report(cfg: &Cfg, rows: &SweepRows) -> bool {
+    let alg = cfg.alg();
+    let seed = cfg.seed;
+    let runs = cfg.runs;
+    // Keep the default (unsegmented) banner text byte-stable.
+    let seg_note = if cfg.segments == [1] {
+        String::new()
+    } else {
+        format!(
+            ", segment sweep {{{}}}",
+            cfg.segments.iter().map(|k| k.to_string()).collect::<Vec<_>>().join(",")
+        )
+    };
+    let load_note = if cfg.loads == [0.0] {
+        String::new()
+    } else {
+        format!(
+            ", offered-load sweep {{{}}}",
+            cfg.loads.iter().map(|l| l.to_string()).collect::<Vec<_>>().join(",")
+        )
+    };
+    let route_note = if cfg.ecmp { ", seeded ECMP routing" } else { "" };
+    fpna_bench::banner(
+        "Table 9 (interconnect)",
+        "timing-driven allreduce variability vs cost, by topology depth",
+        &format!(
+            "{}-element vectors, {runs} runs/config, fanout-{} tree{seg_note}{load_note}{route_note}",
+            cfg.len, cfg.fanout,
+        ),
+    );
+
+    let mut all_checks_pass = true;
+    for p in [32usize, 64] {
+        let ranks = cfg.ranks(p);
+
+        // Measured span-encoded payload sizes per element: what the
+        // reduce (up) phase actually ships. A leaf message carries one
+        // value's accumulator; the payload grows toward the root as
+        // contributions widen the occupied limb span, so the converged
+        // (all-ranks) accumulator is the widest payload any hop sees.
+        // Both sit far below the dense WIRE_BYTES upper bound for
+        // narrow-dynamic-range data.
+        let mean_wire = |per_elem: &dyn Fn(usize) -> ExactAccumulator| -> f64 {
+            let total: usize = (0..cfg.len)
+                .map(|i| {
+                    let mut acc = per_elem(i);
+                    acc.normalize();
+                    acc.wire_len()
+                })
+                .sum();
+            total as f64 / cfg.len as f64
+        };
+        let leaf_payload = mean_wire(&|i| {
+            let mut a = ExactAccumulator::new();
+            a.add(ranks[0][i]);
+            a
+        });
+        let converged_payload = mean_wire(&|i| {
+            let mut a = ExactAccumulator::new();
+            for r in &ranks {
+                a.add(r[i]);
+            }
+            a
+        });
+        println!(
+            "measured wire payload (span-encoded): leaf {leaf_payload:.1} B/elem, \
+             converged {converged_payload:.1} B/elem; dense upper bound {} B/elem",
+            ExactAccumulator::WIRE_BYTES
+        );
+        println!();
+
+        let mut table = Table::new([
+            "topology",
+            "hops",
+            "schedule",
+            "seg",
+            "jitter",
+            "load",
+            "differing",
+            "mean Vc",
+            "mean Vermv",
+            "max |Vs[0]|",
+            "elapsed µs",
+            "overhead",
+        ])
+        .with_title(format!("p = {p} ranks"));
+
+        // mean Vc per (jitter level, segment count, topology) for the
+        // depth-growth check — quiet-fabric rows only, since contention
+        // reshapes the depth profile.
+        let mut growth: Vec<Vec<Vec<f64>>> =
+            vec![vec![Vec::new(); cfg.segments.len()]; JITTER_LEVELS.len()];
+        // mean Vc per (jitter level, segment count, load) on the fat
+        // tree, in `loads` order, for the variability-vs-offered-load
+        // check.
+        let mut load_vc: Vec<Vec<Vec<f64>>> =
+            vec![vec![Vec::new(); cfg.segments.len()]; JITTER_LEVELS.len()];
+
+        for (ti, topo) in topologies(p).into_iter().enumerate() {
+            let hops = topo.diameter_hops();
+            for (ki, &segs) in cfg.segments.iter().enumerate() {
+                for (li, &load) in cfg.loads.iter().enumerate() {
+                    let sched = seed_sweep(rows, &cell_sched(p, ti, segs, li));
+                    let plain_elapsed = sched.elapsed_ns.mean;
+                    // "zero timing spread" = every run took the identical
+                    // simulated time (min == max exactly; the std estimate
+                    // itself carries rounding noise).
+                    let zero_spread =
+                        sched.elapsed_ns.min.to_bits() == sched.elapsed_ns.max.to_bits();
+                    if !sched.bitwise_reproducible() || !zero_spread {
+                        all_checks_pass = false;
+                    }
+                    table.push_row([
+                        topo.name().to_string(),
+                        hops.to_string(),
+                        "sw-scheduled".into(),
+                        segs.to_string(),
+                        "0".into(),
+                        format!("{load}"),
+                        format!("0/{runs}"),
+                        format!("{:.4}", sched.variability.vc.mean),
+                        format!("{:.3e}", sched.variability.vermv.mean),
+                        "0".into(),
+                        mean_std(sched.elapsed_ns.mean / 1e3, sched.elapsed_ns.std_dev / 1e3, 1),
+                        "1.00x".into(),
+                    ]);
+
+                    for (j, &frac) in JITTER_LEVELS.iter().enumerate() {
+                        let cell = cell_arrival(p, ti, segs, li, j);
+                        let sweep = seed_sweep(rows, &cell);
+                        let vs_max = rows.column(&cell, 5).into_iter().fold(0.0f64, f64::max);
+                        if load == 0.0 {
+                            growth[j][ki].push(sweep.variability.vc.mean);
+                        }
+                        if ti == FAT_TREE_IDX {
+                            load_vc[j][ki].push(sweep.variability.vc.mean);
+                        }
+                        table.push_row([
+                            topo.name().to_string(),
+                            hops.to_string(),
+                            "arrival order".into(),
+                            segs.to_string(),
+                            format!("{frac}"),
+                            format!("{load}"),
+                            format!(
+                                "{}/{runs}",
+                                runs - sweep.variability.bitwise_identical_runs
+                            ),
+                            format!("{:.4}", sweep.variability.vc.mean),
+                            format!("{:.3e}", sweep.variability.vermv.mean),
+                            format!("{vs_max:.3e}"),
+                            mean_std(
+                                sweep.elapsed_ns.mean / 1e3,
+                                sweep.elapsed_ns.std_dev / 1e3,
+                                1,
+                            ),
+                            format!("{:.2}x", sweep.elapsed_ns.mean / plain_elapsed),
+                        ]);
+                    }
+
+                    let repro = seed_sweep(rows, &cell_repro(p, ti, segs, li));
+                    if !repro.bitwise_reproducible() {
+                        all_checks_pass = false;
+                    }
+                    // Only the reduce (up) phase ships accumulators; the
+                    // broadcast carries rounded f64s. So the inflating part is
+                    // the up-phase bandwidth term (half the model's symmetric
+                    // bandwidth), and everything else (latencies both ways +
+                    // down-phase bandwidth) is charged at plain size.
+                    let cost = CostModel::from_topology(&topo);
+                    let depth = CostModel::tree_depth(p, cfg.fanout) as f64;
+                    let (plain_total_ns, up_bandwidth_ns) = if segs == 1 {
+                        (
+                            cost.tree_allreduce_ns(p, cfg.fanout, (cfg.len * 8) as u64),
+                            depth
+                                * cfg.fanout as f64
+                                * (cfg.len * 8) as f64
+                                * cost.beta_ns_per_byte,
+                        )
+                    } else {
+                        let stages = 2.0 * depth + (segs as f64 - 1.0);
+                        let total_bw = stages
+                            * cfg.fanout as f64
+                            * (cfg.len * 8) as f64
+                            * cost.beta_ns_per_byte
+                            / segs as f64;
+                        (
+                            cost.segmented_tree_allreduce_ns(
+                                p,
+                                cfg.fanout,
+                                (cfg.len * 8) as u64,
+                                segs,
+                            ),
+                            total_bw / 2.0,
+                        )
+                    };
+                    // Payload-accurate model: price the up phase at the
+                    // measured converged span-encoded size (the widest payload
+                    // any hop carries) instead of the dense worst case.
+                    let modeled = CostModel::reproducible_overhead(
+                        plain_total_ns - up_bandwidth_ns,
+                        up_bandwidth_ns,
+                        converged_payload.ceil() as usize,
+                    );
+                    table.push_row([
+                        topo.name().to_string(),
+                        hops.to_string(),
+                        "reproducible".into(),
+                        segs.to_string(),
+                        format!("{}", NetConfig::default().jitter_frac),
+                        format!("{load}"),
+                        format!("0/{runs}"),
+                        format!("{:.4}", repro.variability.vc.mean),
+                        format!("{:.3e}", repro.variability.vermv.mean),
+                        "0".into(),
+                        mean_std(repro.elapsed_ns.mean / 1e3, repro.elapsed_ns.std_dev / 1e3, 1),
+                        format!(
+                            "{:.2}x (model {modeled:.2}x)",
+                            repro.elapsed_ns.mean / plain_elapsed
+                        ),
+                    ]);
+                }
+            }
+        }
+
+        println!("{}", table.render());
+
+        // --link-stats: per-link queueing view of one representative
+        // contended run per topology (highest offered load, jitter
+        // 0.1, arrival order) — which links actually back up.
+        if cfg.link_stats {
+            let load = *cfg.loads.last().unwrap();
+            for topo in topologies(p) {
+                let net_cfg = NetConfig {
+                    jitter_frac: 0.1,
+                    ..NetConfig::default()
+                }
+                .with_load(load, derive_seed(seed, 0x10AD))
+                .with_route(cfg.route_for(seed))
+                .with_link_stats(true);
+                let out = allreduce_on(
+                    &topo,
+                    &ranks,
+                    alg,
+                    Ordering::ArrivalOrder { seed: derive_seed(seed, 1) },
+                    &net_cfg,
+                );
+                let stats = out
+                    .link_stats
+                    .expect("with_link_stats(true) collects per-link stats");
+                let mut busiest: Vec<(usize, &fpna_net::LinkStats)> =
+                    stats.iter().enumerate().filter(|(_, s)| s.messages > 0).collect();
+                busiest.sort_by(|(la, a), (lb, b)| {
+                    b.wait_ns
+                        .partial_cmp(&a.wait_ns)
+                        .unwrap()
+                        .then_with(|| b.messages.cmp(&a.messages))
+                        .then_with(|| la.cmp(lb))
+                });
+                let active = busiest.len();
+                busiest.truncate(10);
+                let mut lt = Table::new(["link", "messages", "wait µs", "max depth"]).with_title(
+                    format!(
+                        "{} — busiest links (load {load}, jitter 0.1, {active}/{} links active)",
+                        topo.name(),
+                        topo.num_links(),
+                    ),
+                );
+                for (l, s) in busiest {
+                    lt.push_row([
+                        format!("L{l} {}", topo.link_label(l)),
+                        s.messages.to_string(),
+                        format!("{:.1}", s.wait_ns / 1e3),
+                        s.max_depth.to_string(),
+                    ]);
+                }
+                println!("{}", lt.render());
+            }
+        }
+
+        // Accumulated path jitter grows strictly with fabric depth, so
+        // at every jitter level mean Vc must be monotone in hop count
+        // and nonzero on the deepest fabric (shallow fabrics may stay
+        // at exactly zero below their reorder threshold — that *is*
+        // the depth transition).
+        for (j, &frac) in JITTER_LEVELS.iter().enumerate() {
+            for (ki, &segs) in cfg.segments.iter().enumerate() {
+                let seg_note = if cfg.segments == [1] {
+                    String::new()
+                } else {
+                    format!(", segments {segs}")
+                };
+                // Depth growth is a quiet-fabric property; it is only
+                // collected (and checked) when 0 is among the loads.
+                let vcs = &growth[j][ki];
+                if !vcs.is_empty() {
+                    let monotone = vcs.windows(2).all(|w| w[0] <= w[1] + 1e-12);
+                    let nonzero_deep = *vcs.last().unwrap() > 0.0;
+                    if !monotone || !nonzero_deep {
+                        all_checks_pass = false;
+                    }
+                    println!(
+                        "growth check (jitter {frac}{seg_note}): mean Vc by depth = {} -> {}",
+                        vcs.iter()
+                            .map(|v| format!("{v:.4}"))
+                            .collect::<Vec<_>>()
+                            .join(" <= "),
+                        if monotone && nonzero_deep { "PASS" } else { "FAIL" }
+                    );
+                }
+                // Contention is a *second* nondeterminism source: on the
+                // fat tree, arrival-order variability must strictly grow
+                // with offered load.
+                if cfg.loads.len() > 1 {
+                    let vcs = &load_vc[j][ki];
+                    let strictly_growing = vcs.windows(2).all(|w| w[1] > w[0]);
+                    if !strictly_growing {
+                        all_checks_pass = false;
+                    }
+                    println!(
+                        "load check (jitter {frac}{seg_note}): fat-tree mean Vc by offered load = {} -> {}",
+                        vcs.iter()
+                            .map(|v| format!("{v:.4}"))
+                            .collect::<Vec<_>>()
+                            .join(" < "),
+                        if strictly_growing { "PASS" } else { "FAIL" }
+                    );
+                }
+            }
+        }
+        println!();
+    }
+
+    println!(
+        "summary: software-scheduled runs bit-identical with zero timing spread; \
+         arrival-order variability grows with fabric depth; reproducible mode \
+         bit-identical across every topology and jitter seed at a bandwidth-\n\
+         dominated overhead (span-encoded accumulators on the wire vs 8B plain; \
+         dense upper bound {}B/element).",
+        ExactAccumulator::WIRE_BYTES
+    );
+    all_checks_pass
 }
 
 fn main() {
@@ -119,402 +647,36 @@ fn main() {
         Some("ecmp") => true,
         Some(other) => panic!("--route expects fixed|ecmp, got {other}"),
     };
-    // Seeded route choice per message stream: a pure function of the
-    // sweep seed, so every run replays.
-    let route_for = |s: u64| {
-        if ecmp {
-            RouteSelect::SeededEcmp { seed: derive_seed(s, 0xEC) }
-        } else {
-            RouteSelect::Fixed
-        }
-    };
-    // Keep the default (unsegmented) banner text byte-stable.
-    let seg_note = if segments == [1] {
-        String::new()
-    } else {
-        format!(
-            ", segment sweep {{{}}}",
-            segments.iter().map(|k| k.to_string()).collect::<Vec<_>>().join(",")
+    let cfg = Cfg { len, runs, fanout, seed, segments, loads, link_stats, ecmp };
+
+    let mut spec = SweepSpec::new("table9", runs)
+        .arg("len", cfg.len)
+        .arg("fanout", cfg.fanout)
+        .arg("seed", cfg.seed)
+        .arg(
+            "segments",
+            cfg.segments.iter().map(|k| k.to_string()).collect::<Vec<_>>().join(","),
         )
-    };
-    let load_note = if loads == [0.0] {
-        String::new()
-    } else {
-        format!(
-            ", offered-load sweep {{{}}}",
-            loads.iter().map(|l| l.to_string()).collect::<Vec<_>>().join(",")
-        )
-    };
-    let route_note = if ecmp { ", seeded ECMP routing" } else { "" };
-    fpna_bench::banner(
-        "Table 9 (interconnect)",
-        "timing-driven allreduce variability vs cost, by topology depth",
-        &format!(
-            "{len}-element vectors, {runs} runs/config, fanout-{fanout} tree{seg_note}{load_note}{route_note}"
-        ),
-    );
-
-    let alg = Algorithm::KAryTree { fanout };
-    let jitter_levels = [0.1, 0.3];
-    let mut all_checks_pass = true;
-
-    for p in [32usize, 64] {
-        let mut rng = SplitMix64::new(derive_seed(seed, p as u64));
-        let ranks: Vec<Vec<f64>> = (0..p)
-            .map(|_| (0..len).map(|_| rng.next_f64() * 1e8 - 5e7).collect())
-            .collect();
-        // The one true answer every reproducible run must hit, bit for
-        // bit — computed without any network at all.
-        let exact_reference = fpna_collectives::allreduce(&ranks, alg, Ordering::Reproducible);
-
-        // Measured span-encoded payload sizes per element: what the
-        // reduce (up) phase actually ships. A leaf message carries one
-        // value's accumulator; the payload grows toward the root as
-        // contributions widen the occupied limb span, so the converged
-        // (all-ranks) accumulator is the widest payload any hop sees.
-        // Both sit far below the dense WIRE_BYTES upper bound for
-        // narrow-dynamic-range data.
-        let mean_wire = |per_elem: &dyn Fn(usize) -> ExactAccumulator| -> f64 {
-            let total: usize = (0..len)
-                .map(|i| {
-                    let mut acc = per_elem(i);
-                    acc.normalize();
-                    acc.wire_len()
-                })
-                .sum();
-            total as f64 / len as f64
-        };
-        let leaf_payload = mean_wire(&|i| {
-            let mut a = ExactAccumulator::new();
-            a.add(ranks[0][i]);
-            a
-        });
-        let converged_payload = mean_wire(&|i| {
-            let mut a = ExactAccumulator::new();
-            for r in &ranks {
-                a.add(r[i]);
-            }
-            a
-        });
-        println!(
-            "measured wire payload (span-encoded): leaf {leaf_payload:.1} B/elem, \
-             converged {converged_payload:.1} B/elem; dense upper bound {} B/elem",
-            ExactAccumulator::WIRE_BYTES
-        );
-        println!();
-
-        let mut table = Table::new([
-            "topology",
-            "hops",
-            "schedule",
-            "seg",
-            "jitter",
+        .arg(
             "load",
-            "differing",
-            "mean Vc",
-            "mean Vermv",
-            "max |Vs[0]|",
-            "elapsed µs",
-            "overhead",
-        ])
-        .with_title(format!("p = {p} ranks"));
-
-        // mean Vc per (jitter level, segment count, topology) for the
-        // depth-growth check — quiet-fabric rows only, since contention
-        // reshapes the depth profile.
-        let mut growth: Vec<Vec<Vec<f64>>> =
-            vec![vec![Vec::new(); segments.len()]; jitter_levels.len()];
-        // mean Vc per (jitter level, segment count, load) on the fat
-        // tree, in `loads` order, for the variability-vs-offered-load
-        // check.
-        let mut load_vc: Vec<Vec<Vec<f64>>> =
-            vec![vec![Vec::new(); segments.len()]; jitter_levels.len()];
-
-        for (ti, topo) in topologies(p).into_iter().enumerate() {
-            let hops = topo.diameter_hops();
-            for (ki, &segs) in segments.iter().enumerate() {
-                // `SegmentedTree` at one chunk is the plain tree; values
-                // are bitwise those of the unsegmented algorithm at every
-                // chunk count — segmentation only pipelines the clock.
-                let alg = if segs == 1 { alg } else { Algorithm::SegmentedTree { fanout, segments: segs } };
-
-                for &load in &loads {
-                // -- software-scheduled: zero jitter, rank-ordered folds --
-                // One bg/route seed for the whole row: the tenants replay
-                // identically every run, so the bitwise + zero-timing-
-                // spread guarantee must survive any offered load.
-                let base_cfg = NetConfig::default()
-                    .with_load(load, derive_seed(seed, 0xB6))
-                    .with_route(route_for(derive_seed(seed, 0xB6)));
-                let sched = sweep_seeds(
-                    &executor,
-                    &allreduce_on(&topo, &ranks, alg, Ordering::RankOrder, &base_cfg).values,
-                    &(0..runs as u64).collect::<Vec<_>>(),
-                    |_| {
-                        let out = allreduce_on(&topo, &ranks, alg, Ordering::RankOrder, &base_cfg);
-                        (out.values, out.elapsed_ns)
-                    },
-                );
-                let plain_elapsed = sched.elapsed_ns.mean;
-                // "zero timing spread" = every run took the identical
-                // simulated time (min == max exactly; the std estimate
-                // itself carries rounding noise).
-                let zero_spread = sched.elapsed_ns.min.to_bits() == sched.elapsed_ns.max.to_bits();
-                if !sched.bitwise_reproducible() || !zero_spread {
-                    all_checks_pass = false;
-                }
-                table.push_row([
-                    topo.name().to_string(),
-                    hops.to_string(),
-                    "sw-scheduled".into(),
-                    segs.to_string(),
-                    "0".into(),
-                    format!("{load}"),
-                    format!("0/{runs}"),
-                    format!("{:.4}", sched.variability.vc.mean),
-                    format!("{:.3e}", sched.variability.vermv.mean),
-                    "0".into(),
-                    mean_std(sched.elapsed_ns.mean / 1e3, sched.elapsed_ns.std_dev / 1e3, 1),
-                    "1.00x".into(),
-                ]);
-
-                // -- arrival order at each jitter level --
-                for (j, &frac) in jitter_levels.iter().enumerate() {
-                    let run = |s: u64| {
-                        // The tenants (and, under ECMP, the route draws)
-                        // differ per run, exactly like the jitter seed:
-                        // each run is a different day on a shared fabric.
-                        let cfg = NetConfig {
-                            jitter_frac: frac,
-                            ..NetConfig::default()
-                        }
-                        .with_load(load, derive_seed(s, 0x10AD))
-                        .with_route(route_for(s));
-                        let out = allreduce_on(
-                            &topo,
-                            &ranks,
-                            alg,
-                            Ordering::ArrivalOrder { seed: derive_seed(seed, s) },
-                            &cfg,
-                        );
-                        (out.values, out.elapsed_ns)
-                    };
-                    let (reference, _) = run(0);
-                    let seeds: Vec<u64> = (1..=runs as u64).collect();
-                    // Collect the raw outputs (in seed order) so the extra
-                    // first-element |Vs| statistic comes from the same runs
-                    // the report summarises.
-                    let outputs = executor.map_runs(seeds.len(), |i| run(seeds[i]));
-                    let vs_max = outputs
-                        .iter()
-                        .map(|(v, _)| scalar_variability(v[0], reference[0]).abs())
-                        .fold(0.0f64, f64::max);
-                    let sweep = SeedSweep::from_outputs(&reference, &outputs);
-                    if load == 0.0 {
-                        growth[j][ki].push(sweep.variability.vc.mean);
-                    }
-                    if ti == FAT_TREE_IDX {
-                        load_vc[j][ki].push(sweep.variability.vc.mean);
-                    }
-                    table.push_row([
-                        topo.name().to_string(),
-                        hops.to_string(),
-                        "arrival order".into(),
-                        segs.to_string(),
-                        format!("{frac}"),
-                        format!("{load}"),
-                        format!(
-                            "{}/{runs}",
-                            runs - sweep.variability.bitwise_identical_runs
-                        ),
-                        format!("{:.4}", sweep.variability.vc.mean),
-                        format!("{:.3e}", sweep.variability.vermv.mean),
-                        format!("{vs_max:.3e}"),
-                        mean_std(sweep.elapsed_ns.mean / 1e3, sweep.elapsed_ns.std_dev / 1e3, 1),
-                        format!("{:.2}x", sweep.elapsed_ns.mean / plain_elapsed),
-                    ]);
-                }
-
-                // -- reproducible: exact accumulators on a jittered fabric --
-                let seeds: Vec<u64> = (0..runs as u64).map(|s| derive_seed(seed ^ 0xE4A7, s)).collect();
-                let repro = sweep_seeds(&executor, &exact_reference, &seeds, |s| {
-                    let cfg = NetConfig::default()
-                        .with_jitter_seed(s)
-                        .with_load(load, derive_seed(s, 0x10AD))
-                        .with_route(route_for(s));
-                    let out =
-                        allreduce_on(&topo, &ranks, alg, Ordering::Reproducible, &cfg);
-                    (out.values, out.elapsed_ns)
-                });
-                if !repro.bitwise_reproducible() {
-                    all_checks_pass = false;
-                }
-                // Only the reduce (up) phase ships accumulators; the
-                // broadcast carries rounded f64s. So the inflating part is
-                // the up-phase bandwidth term (half the model's symmetric
-                // bandwidth), and everything else (latencies both ways +
-                // down-phase bandwidth) is charged at plain size.
-                let cost = CostModel::from_topology(&topo);
-                let depth = CostModel::tree_depth(p, fanout) as f64;
-                let (plain_total_ns, up_bandwidth_ns) = if segs == 1 {
-                    (
-                        cost.tree_allreduce_ns(p, fanout, (len * 8) as u64),
-                        depth * fanout as f64 * (len * 8) as f64 * cost.beta_ns_per_byte,
-                    )
-                } else {
-                    let stages = 2.0 * depth + (segs as f64 - 1.0);
-                    let total_bw =
-                        stages * fanout as f64 * (len * 8) as f64 * cost.beta_ns_per_byte / segs as f64;
-                    (
-                        cost.segmented_tree_allreduce_ns(p, fanout, (len * 8) as u64, segs),
-                        total_bw / 2.0,
-                    )
-                };
-                // Payload-accurate model: price the up phase at the
-                // measured converged span-encoded size (the widest payload
-                // any hop carries) instead of the dense worst case.
-                let modeled = CostModel::reproducible_overhead(
-                    plain_total_ns - up_bandwidth_ns,
-                    up_bandwidth_ns,
-                    converged_payload.ceil() as usize,
-                );
-                table.push_row([
-                    topo.name().to_string(),
-                    hops.to_string(),
-                    "reproducible".into(),
-                    segs.to_string(),
-                    format!("{}", NetConfig::default().jitter_frac),
-                    format!("{load}"),
-                    format!("0/{runs}"),
-                    format!("{:.4}", repro.variability.vc.mean),
-                    format!("{:.3e}", repro.variability.vermv.mean),
-                    "0".into(),
-                    mean_std(repro.elapsed_ns.mean / 1e3, repro.elapsed_ns.std_dev / 1e3, 1),
-                    format!(
-                        "{:.2}x (model {modeled:.2}x)",
-                        repro.elapsed_ns.mean / plain_elapsed
-                    ),
-                ]);
-                }
-            }
-        }
-
-        println!("{}", table.render());
-
-        // --link-stats: per-link queueing view of one representative
-        // contended run per topology (highest offered load, jitter
-        // 0.1, arrival order) — which links actually back up.
-        if link_stats {
-            let load = *loads.last().unwrap();
-            for topo in topologies(p) {
-                let cfg = NetConfig {
-                    jitter_frac: 0.1,
-                    ..NetConfig::default()
-                }
-                .with_load(load, derive_seed(seed, 0x10AD))
-                .with_route(route_for(seed))
-                .with_link_stats(true);
-                let out = allreduce_on(
-                    &topo,
-                    &ranks,
-                    alg,
-                    Ordering::ArrivalOrder { seed: derive_seed(seed, 1) },
-                    &cfg,
-                );
-                let stats = out
-                    .link_stats
-                    .expect("with_link_stats(true) collects per-link stats");
-                let mut busiest: Vec<(usize, &fpna_net::LinkStats)> =
-                    stats.iter().enumerate().filter(|(_, s)| s.messages > 0).collect();
-                busiest.sort_by(|(la, a), (lb, b)| {
-                    b.wait_ns
-                        .partial_cmp(&a.wait_ns)
-                        .unwrap()
-                        .then_with(|| b.messages.cmp(&a.messages))
-                        .then_with(|| la.cmp(lb))
-                });
-                let active = busiest.len();
-                busiest.truncate(10);
-                let mut lt = Table::new(["link", "messages", "wait µs", "max depth"]).with_title(
-                    format!(
-                        "{} — busiest links (load {load}, jitter 0.1, {active}/{} links active)",
-                        topo.name(),
-                        topo.num_links(),
-                    ),
-                );
-                for (l, s) in busiest {
-                    lt.push_row([
-                        format!("L{l} {}", topo.link_label(l)),
-                        s.messages.to_string(),
-                        format!("{:.1}", s.wait_ns / 1e3),
-                        s.max_depth.to_string(),
-                    ]);
-                }
-                println!("{}", lt.render());
-            }
-        }
-
-        // Accumulated path jitter grows strictly with fabric depth, so
-        // at every jitter level mean Vc must be monotone in hop count
-        // and nonzero on the deepest fabric (shallow fabrics may stay
-        // at exactly zero below their reorder threshold — that *is*
-        // the depth transition).
-        for (j, &frac) in jitter_levels.iter().enumerate() {
-            for (ki, &segs) in segments.iter().enumerate() {
-                let seg_note = if segments == [1] {
-                    String::new()
-                } else {
-                    format!(", segments {segs}")
-                };
-                // Depth growth is a quiet-fabric property; it is only
-                // collected (and checked) when 0 is among the loads.
-                let vcs = &growth[j][ki];
-                if !vcs.is_empty() {
-                    let monotone = vcs.windows(2).all(|w| w[0] <= w[1] + 1e-12);
-                    let nonzero_deep = *vcs.last().unwrap() > 0.0;
-                    if !monotone || !nonzero_deep {
-                        all_checks_pass = false;
-                    }
-                    println!(
-                        "growth check (jitter {frac}{seg_note}): mean Vc by depth = {} -> {}",
-                        vcs.iter()
-                            .map(|v| format!("{v:.4}"))
-                            .collect::<Vec<_>>()
-                            .join(" <= "),
-                        if monotone && nonzero_deep { "PASS" } else { "FAIL" }
-                    );
-                }
-                // Contention is a *second* nondeterminism source: on the
-                // fat tree, arrival-order variability must strictly grow
-                // with offered load.
-                if loads.len() > 1 {
-                    let vcs = &load_vc[j][ki];
-                    let strictly_growing = vcs.windows(2).all(|w| w[1] > w[0]);
-                    if !strictly_growing {
-                        all_checks_pass = false;
-                    }
-                    println!(
-                        "load check (jitter {frac}{seg_note}): fat-tree mean Vc by offered load = {} -> {}",
-                        vcs.iter()
-                            .map(|v| format!("{v:.4}"))
-                            .collect::<Vec<_>>()
-                            .join(" < "),
-                        if strictly_growing { "PASS" } else { "FAIL" }
-                    );
-                }
-            }
-        }
-        println!();
+            cfg.loads.iter().map(|l| l.to_string()).collect::<Vec<_>>().join(","),
+        )
+        .arg("route", if cfg.ecmp { "ecmp" } else { "fixed" });
+    if cfg.link_stats {
+        spec = spec.flag("link-stats");
     }
-
-    println!(
-        "summary: software-scheduled runs bit-identical with zero timing spread; \
-         arrival-order variability grows with fabric depth; reproducible mode \
-         bit-identical across every topology and jitter seed at a bandwidth-\n\
-         dominated overhead (span-encoded accumulators on the wire vs 8B plain; \
-         dense upper bound {}B/element).",
-        ExactAccumulator::WIRE_BYTES
-    );
+    if args.sweep.emit_spec(&spec) {
+        return;
+    }
+    let rows = match args.sweep.compute_range(spec.runs) {
+        Some(range) => compute(&cfg, range, &executor),
+        None => args.sweep.load_rows_or_exit(&spec),
+    };
+    if args.sweep.finish_shard_or_exit(&spec, &rows) {
+        args.finish();
+        return;
+    }
+    let all_checks_pass = report(&cfg, &rows);
     args.finish();
     if all_checks_pass {
         println!("all acceptance checks PASS");

@@ -52,6 +52,7 @@ use std::fmt::Write as _;
 use std::path::PathBuf;
 
 use fpna_core::executor::RunExecutor;
+use fpna_sweep::SweepMode;
 
 /// Shared per-binary experiment arguments: worker threads, run
 /// batching, the paper-scale preset switch, and the observability
@@ -74,6 +75,13 @@ pub struct ExperimentArgs {
     /// `--profile`: enable counters + wall-clock phase profiling; the
     /// JSON report lands in `target/obs/<bin>.profile.json`.
     pub profile: bool,
+    /// Which [`SweepMode`] the process runs in (`--emit-spec`,
+    /// `--shard-id …`, `--from-shards …`, or plain Full mode). Drives
+    /// the `sweep` coordinator's process sharding; in shard mode the
+    /// observability outputs are namespaced per shard (see
+    /// [`ExperimentArgs::finish`]) so concurrent shard processes of
+    /// the same binary never clobber each other under `target/obs/`.
+    pub sweep: SweepMode,
 }
 
 impl ExperimentArgs {
@@ -105,13 +113,29 @@ impl ExperimentArgs {
             fpna_obs::profile::reset();
             fpna_obs::profile::set_enabled(true);
         }
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        let sweep = SweepMode::from_args_or_exit(&argv);
+        if profile {
+            if let Some(id) = sweep.shard_id() {
+                fpna_obs::profile::set_context(Some(format!("shard-{id}")));
+            }
+        }
         ExperimentArgs {
             threads,
             run_batch,
             paper_scale: arg_flag("paper-scale"),
             trace,
             profile,
+            sweep,
         }
+    }
+
+    /// `true` when this process prints a report on stdout (Full or
+    /// merge mode). Shard and `--emit-spec` processes must keep stdout
+    /// silent apart from the protocol payload, so binaries guard every
+    /// `println!` on this.
+    pub fn reporting(&self) -> bool {
+        self.sweep.reports()
     }
 
     /// Flush the observability outputs requested on the command line:
@@ -120,20 +144,42 @@ impl ExperimentArgs {
     /// of `main` (before any early `exit`). All messaging goes to
     /// stderr so stdout stays byte-identical with and without the
     /// observability flags.
+    /// In shard mode, reports additionally carry a `.shard-<id>`
+    /// suffix (`target/obs/<bin>.shard-<id>.profile.json`, and
+    /// `--trace out.json` becomes `out.shard-<id>.json`) so concurrent
+    /// shard processes of the same binary cannot overwrite each
+    /// other's files.
     pub fn finish(&self) {
         if let Some(path) = &self.trace {
-            match fpna_obs::trace::write_json(path) {
+            let path = self.shard_qualified(path);
+            match fpna_obs::trace::write_json(&path) {
                 Ok(n) => eprintln!("[obs] trace: {n} events -> {}", path.display()),
                 Err(e) => eprintln!("[obs] trace: FAILED writing {}: {e}", path.display()),
             }
             fpna_obs::trace::stop();
         }
         if self.profile {
-            let path = PathBuf::from("target/obs").join(format!("{}.profile.json", bin_name()));
+            let name = match self.sweep.shard_id() {
+                Some(id) => format!("{}.shard-{id}.profile.json", bin_name()),
+                None => format!("{}.profile.json", bin_name()),
+            };
+            let path = PathBuf::from("target/obs").join(name);
             match fpna_obs::profile::write_report(&path) {
                 Ok(()) => eprintln!("[obs] profile report -> {}", path.display()),
                 Err(e) => eprintln!("[obs] profile: FAILED writing {}: {e}", path.display()),
             }
+        }
+    }
+
+    /// Insert `.shard-<id>` before `path`'s extension when running as
+    /// a shard; the unchanged path otherwise.
+    fn shard_qualified(&self, path: &std::path::Path) -> PathBuf {
+        let Some(id) = self.sweep.shard_id() else {
+            return path.to_path_buf();
+        };
+        match path.extension().and_then(|e| e.to_str()) {
+            Some(ext) => path.with_extension(format!("shard-{id}.{ext}")),
+            None => path.with_extension(format!("shard-{id}")),
         }
     }
 
@@ -289,19 +335,48 @@ mod tests {
             paper_scale: false,
             trace: None,
             profile: false,
+            sweep: SweepMode::Full,
         };
         assert_eq!(scaled.size("not-a-flag", 40, 10_000), 40);
         assert_eq!(scaled.scale_label(), "scaled-down default");
+        assert!(scaled.reporting());
         let paper = ExperimentArgs {
             threads: 4,
             run_batch: 8,
             paper_scale: true,
             trace: None,
             profile: false,
+            sweep: SweepMode::Full,
         };
         assert_eq!(paper.size("not-a-flag", 40, 10_000), 10_000);
         assert_eq!(paper.executor().threads, 4);
         assert_eq!(paper.executor().batch, 8);
         assert_eq!(paper.scale_label(), "paper-scale");
+    }
+
+    #[test]
+    fn shard_mode_namespaces_obs_outputs() {
+        let shard = ExperimentArgs {
+            threads: 1,
+            run_batch: 1,
+            paper_scale: false,
+            trace: None,
+            profile: false,
+            sweep: SweepMode::Shard { id: 3, start: 0, end: 5, out: None },
+        };
+        assert!(!shard.reporting());
+        assert_eq!(
+            shard.shard_qualified(std::path::Path::new("target/obs/t9.json")),
+            PathBuf::from("target/obs/t9.shard-3.json")
+        );
+        assert_eq!(
+            shard.shard_qualified(std::path::Path::new("trace")),
+            PathBuf::from("trace.shard-3")
+        );
+        let full = ExperimentArgs { sweep: SweepMode::Full, ..shard };
+        assert_eq!(
+            full.shard_qualified(std::path::Path::new("target/obs/t9.json")),
+            PathBuf::from("target/obs/t9.json")
+        );
     }
 }

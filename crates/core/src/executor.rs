@@ -334,6 +334,25 @@ impl RunExecutor {
         crate::rng::derive_seed(base_seed, run as u64)
     }
 
+    /// Execute `run(i)` for every **global** run index `i` in `range`
+    /// and return the results in index order.
+    ///
+    /// This is the process-sharding primitive: a shard owning
+    /// `range = a..b` of an `0..runs` sweep calls its closure with the
+    /// *global* indices `a, a+1, …, b−1`, so index-keyed seeding
+    /// ([`RunExecutor::run_seed`] /
+    /// [`crate::rng::derive_seed`]) hands every run the seed it would
+    /// have received in a single-process execution — shard boundaries
+    /// can change freely without moving one bit of any run.
+    pub fn map_run_range<T, F>(&self, range: Range<usize>, run: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let start = range.start;
+        self.map_runs(range.len(), |i| run(start + i))
+    }
+
     /// Execute `run(0), run(1), …, run(runs − 1)` and return the
     /// results in run-index order.
     ///
@@ -429,6 +448,26 @@ mod tests {
                 .zip(&got)
                 .all(|(a, b)| a.to_bits() == b.to_bits());
             assert!(same, "threads={threads} must match serial bitwise");
+        }
+    }
+
+    #[test]
+    fn map_run_range_passes_global_indices() {
+        let work = |i: usize| (i as f64).sqrt() * 1e3 + i as f64;
+        let full: Vec<f64> = RunExecutor::serial().map_runs(50, work);
+        for threads in [1usize, 3, 8] {
+            let ex = RunExecutor::new(threads);
+            // Any partition of 0..50 must reproduce the matching slice
+            // of the full sweep bitwise.
+            for (a, b) in [(0usize, 50usize), (0, 17), (17, 33), (33, 50), (49, 50), (20, 20)] {
+                let part = ex.map_run_range(a..b, work);
+                assert_eq!(part.len(), b - a);
+                let same = full[a..b]
+                    .iter()
+                    .zip(&part)
+                    .all(|(x, y)| x.to_bits() == y.to_bits());
+                assert!(same, "range {a}..{b} threads={threads}");
+            }
         }
     }
 

@@ -161,11 +161,31 @@ impl VariabilityHarness {
     where
         F: Fn(usize) -> Vec<f64> + Sync,
     {
-        let comparisons = self.executor.map_runs(self.runs, |i| {
+        let comparisons = self.comparisons_range(reference, 0..self.runs, run);
+        VariabilityReport::from_comparisons(&comparisons)
+    }
+
+    /// Per-run comparisons for the **global** run indices in `range` —
+    /// the shardable slice of [`VariabilityHarness::array`]. `run(i)`
+    /// receives the global index, so a shard computing `a..b` of an
+    /// `0..runs` experiment produces bit-for-bit the comparisons a
+    /// single process would have produced at those indices; a report
+    /// assembled from the concatenation (in index order) of any
+    /// partition equals the single-process report.
+    pub fn comparisons_range<F>(
+        &self,
+        reference: &[f64],
+        range: std::ops::Range<usize>,
+        run: F,
+    ) -> Vec<ArrayComparison>
+    where
+        F: Fn(usize) -> Vec<f64> + Sync,
+    {
+        debug_assert!(range.end <= self.runs, "range beyond the experiment's runs");
+        self.executor.map_run_range(range, |i| {
             let out = run(i);
             ArrayComparison::compare(reference, &out)
-        });
-        VariabilityReport::from_comparisons(&comparisons)
+        })
     }
 
     /// Array experiment for ops *without* a deterministic kernel: the

@@ -165,6 +165,23 @@ impl ArrayComparison {
     pub fn bitwise_identical(&self) -> bool {
         self.vc == 0.0
     }
+
+    /// Rebuild a comparison from its stored metric values — the
+    /// deserialization side of shard result files, which persist
+    /// `(vermv, vc, max_abs_diff, len)` per run instead of the raw
+    /// output vectors. Round-trips [`ArrayComparison::compare`]
+    /// exactly: every field (and therefore every downstream
+    /// [`crate::harness::VariabilityReport`] statistic) is bitwise the
+    /// original.
+    #[inline]
+    pub fn from_parts(vermv: f64, vc: f64, max_abs_diff: f64, len: usize) -> Self {
+        ArrayComparison {
+            vermv,
+            vc,
+            max_abs_diff,
+            len,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -109,8 +109,25 @@ impl GpuDevice {
         runs: usize,
         executor: &RunExecutor,
     ) -> Result<Vec<ReduceOutcome>> {
+        self.reduce_runs_range(kernel, data, params, base, 0..runs, executor)
+    }
+
+    /// [`GpuDevice::reduce_runs`] restricted to the **global** run
+    /// indices in `range` — the process-sharding entry point. The
+    /// schedule of run `r` is `base.for_run(r)` with the global index,
+    /// so any partition of `0..runs` across shards reproduces exactly
+    /// the outcomes of the full sweep at the covered indices.
+    pub fn reduce_runs_range(
+        &self,
+        kernel: ReduceKernel,
+        data: &[f64],
+        params: KernelParams,
+        base: &ScheduleKind,
+        range: std::ops::Range<usize>,
+        executor: &RunExecutor,
+    ) -> Result<Vec<ReduceOutcome>> {
         executor
-            .map_runs(runs, |r| {
+            .map_run_range(range, |r| {
                 self.reduce(kernel, data, params, &base.for_run(r as u64))
             })
             .into_iter()

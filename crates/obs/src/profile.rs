@@ -80,6 +80,21 @@ impl PhaseStat {
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
 static PHASES: Mutex<BTreeMap<String, PhaseStat>> = Mutex::new(BTreeMap::new());
+static CONTEXT: Mutex<Option<String>> = Mutex::new(None);
+
+/// Label the process's profile report (e.g. `"shard-3"` when running
+/// as one shard of a coordinated sweep). Included as a `"context"`
+/// field in [`report_json`], so reports from several processes of the
+/// same binary stay distinguishable after collection. `None` clears
+/// it.
+pub fn set_context(label: Option<String>) {
+    *CONTEXT.lock().unwrap_or_else(|e| e.into_inner()) = label;
+}
+
+/// The current report context label, if any.
+pub fn context() -> Option<String> {
+    CONTEXT.lock().unwrap_or_else(|e| e.into_inner()).clone()
+}
 
 /// Whether profiling is on. Hot loops cache this once per run.
 #[inline(always)]
@@ -179,7 +194,11 @@ fn render_stat(name: &str, s: &PhaseStat, out: &mut String) {
 /// snapshot (including the heap-pop wall-time share when available).
 pub fn report_json() -> String {
     use std::fmt::Write;
-    let mut out = String::from("{\n  \"phases\": {\n");
+    let mut out = String::from("{\n");
+    if let Some(label) = context() {
+        let _ = writeln!(out, "  \"context\": \"{}\",", label.replace('"', "\\\""));
+    }
+    out.push_str("  \"phases\": {\n");
     let all = phases();
     for (i, (name, stat)) in all.iter().enumerate() {
         render_stat(name, stat, &mut out);
@@ -257,6 +276,15 @@ mod tests {
         assert!(report.contains("\"count\":2"));
         assert!(report.contains("executor.run"));
         assert!(report.contains("\"counters\""));
+    }
+
+    #[test]
+    fn context_label_lands_in_report() {
+        let _g = LOCK.lock().unwrap();
+        set_context(Some("shard-3".into()));
+        assert!(report_json().contains("\"context\": \"shard-3\""));
+        set_context(None);
+        assert!(!report_json().contains("\"context\""));
     }
 
     #[test]

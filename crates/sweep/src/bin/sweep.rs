@@ -1,0 +1,131 @@
+//! `sweep` — the fleet-scale experiment coordinator.
+//!
+//! ```text
+//! sweep --bin <experiment> [--shards N] [--jobs J] [--store DIR]
+//!       [--bin-dir DIR] [--refresh] [--no-cache] [--manifest PATH]
+//!       -- <experiment args...>
+//! ```
+//!
+//! Shards the experiment's runs across OS processes, resumes from any
+//! shard files already in the store, merges in shard-index order, and
+//! prints a report **byte-identical** to running the experiment binary
+//! directly with the same arguments. Progress goes to stderr; stdout
+//! carries only the merged report.
+//!
+//! `--manifest PATH` writes the `(shard_id, base_seed, run_range)`
+//! manifest JSON (or prints it for `-`) instead of running — the
+//! hand-off format for splitting one sweep across machines.
+
+use std::process::exit;
+
+use fpna_sweep::coordinator::Coordinator;
+use fpna_sweep::store::SweepStore;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: sweep --bin <experiment> [--shards N] [--jobs J] [--store DIR] \
+         [--bin-dir DIR] [--refresh] [--no-cache] [--manifest PATH] -- <experiment args...>"
+    );
+    exit(2)
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let (own, user_args) = match argv.iter().position(|a| a == "--") {
+        Some(i) => (argv[..i].to_vec(), argv[i + 1..].to_vec()),
+        None => (argv, Vec::new()),
+    };
+
+    let mut bin: Option<String> = None;
+    let mut shards = 2usize;
+    let mut jobs: Option<usize> = None;
+    let mut store: Option<String> = None;
+    let mut bin_dir: Option<String> = None;
+    let mut refresh = false;
+    let mut no_cache = false;
+    let mut manifest: Option<String> = None;
+
+    let mut it = own.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || -> String {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("error: {flag} needs a value");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--bin" => bin = Some(value()),
+            "--shards" => {
+                shards = value().parse().unwrap_or_else(|e| {
+                    eprintln!("error: --shards: {e}");
+                    usage()
+                })
+            }
+            "--jobs" => {
+                jobs = Some(value().parse().unwrap_or_else(|e| {
+                    eprintln!("error: --jobs: {e}");
+                    usage()
+                }))
+            }
+            "--store" => store = Some(value()),
+            "--bin-dir" => bin_dir = Some(value()),
+            "--refresh" => refresh = true,
+            "--no-cache" => no_cache = true,
+            "--manifest" => manifest = Some(value()),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("error: unknown flag {other} (experiment args go after --)");
+                usage()
+            }
+        }
+    }
+    let Some(bin) = bin else {
+        eprintln!("error: --bin is required");
+        usage()
+    };
+    if shards == 0 {
+        eprintln!("error: --shards must be at least 1");
+        usage()
+    }
+
+    let mut coordinator = Coordinator::new(bin, user_args, shards);
+    if let Some(j) = jobs {
+        coordinator.jobs = j.max(1);
+    }
+    if let Some(dir) = store {
+        coordinator.store = SweepStore::new(dir);
+    }
+    coordinator.bin_dir = bin_dir.map(Into::into);
+    coordinator.refresh = refresh;
+    coordinator.no_cache = no_cache;
+
+    if let Some(path) = manifest {
+        let text = coordinator.manifest().unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            exit(1)
+        });
+        if path == "-" {
+            println!("{text}");
+        } else if let Err(e) =
+            fpna_sweep::store::write_atomic(std::path::Path::new(&path), text.as_bytes())
+        {
+            eprintln!("error: cannot write manifest: {e}");
+            exit(1)
+        }
+        return;
+    }
+
+    match coordinator.run() {
+        Ok(outcome) => {
+            use std::io::Write as _;
+            std::io::stdout()
+                .write_all(&outcome.report)
+                .expect("writing report to stdout");
+            exit(outcome.merge_status);
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            exit(1)
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Ref-counted in-process shard sharing.
+//!
+//! When several sweep requests run inside one process (a notebook-like
+//! driver, a test harness, a long-lived analysis service) and their
+//! shard sets overlap, each shard should be computed **once** and its
+//! rows shared. [`SweepService`] provides that: requests ask for a
+//! shard by `(spec, run range)` and get back a [`ShardHandle`];
+//! concurrent requests for the same shard block on the single
+//! in-flight computation instead of duplicating it, and the cached
+//! rows live exactly as long as at least one handle does (the registry
+//! holds only weak references, so dropping the last handle frees the
+//! memory).
+//!
+//! Because rows are index-pure, sharing computed shards across
+//! requests cannot change any report — it only removes duplicate work.
+
+use std::collections::HashMap;
+use std::ops::Range;
+use std::sync::{Arc, Mutex, OnceLock, Weak};
+
+use crate::rows::SweepRows;
+use crate::spec::SweepSpec;
+
+type ShardKey = (String, usize, usize);
+
+#[derive(Debug, Default)]
+struct ShardCell {
+    rows: OnceLock<SweepRows>,
+}
+
+/// Shared registry of in-flight / in-use shard computations.
+#[derive(Debug, Default)]
+pub struct SweepService {
+    cells: Mutex<HashMap<ShardKey, Weak<ShardCell>>>,
+}
+
+/// A live reference to one shard's rows. Clone-cheap; the underlying
+/// rows are freed when the last handle for the shard drops.
+#[derive(Debug, Clone)]
+pub struct ShardHandle {
+    cell: Arc<ShardCell>,
+}
+
+impl ShardHandle {
+    /// The shard's rows.
+    pub fn rows(&self) -> &SweepRows {
+        self.cell.rows.get().expect("initialized before handing out")
+    }
+}
+
+impl SweepService {
+    /// An empty service.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get the rows for `(spec, range)`, computing them with `compute`
+    /// only if no live or in-flight copy exists. Concurrent callers
+    /// for the same shard block until the one computation finishes and
+    /// then share its result.
+    pub fn shard<F>(&self, spec: &SweepSpec, range: Range<usize>, compute: F) -> ShardHandle
+    where
+        F: FnOnce() -> SweepRows,
+    {
+        let key: ShardKey = (spec.hash_hex(), range.start, range.end);
+        let cell = {
+            let mut cells = self.cells.lock().unwrap_or_else(|e| e.into_inner());
+            cells.retain(|_, weak| weak.strong_count() > 0);
+            match cells.get(&key).and_then(Weak::upgrade) {
+                Some(cell) => cell,
+                None => {
+                    let cell = Arc::new(ShardCell::default());
+                    cells.insert(key, Arc::downgrade(&cell));
+                    cell
+                }
+            }
+        };
+        // OnceLock::get_or_init blocks every concurrent requester on
+        // the single in-flight `compute`, which is exactly the "shared
+        // shards compute once" contract. The registry lock is NOT held
+        // here, so unrelated shards compute in parallel.
+        cell.rows.get_or_init(compute);
+        ShardHandle { cell }
+    }
+
+    /// Number of shards currently alive (still referenced by at least
+    /// one handle). For tests and diagnostics.
+    pub fn live_shards(&self) -> usize {
+        let mut cells = self.cells.lock().unwrap_or_else(|e| e.into_inner());
+        cells.retain(|_, weak| weak.strong_count() > 0);
+        cells.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn spec() -> SweepSpec {
+        SweepSpec::new("svc", 12).arg("seed", 3)
+    }
+
+    fn rows_for(range: Range<usize>) -> SweepRows {
+        let mut rows = SweepRows::new();
+        for run in range {
+            rows.push("c", run, vec![run as f64]);
+        }
+        rows
+    }
+
+    #[test]
+    fn shared_shards_compute_once_across_threads() {
+        let service = Arc::new(SweepService::new());
+        let computes = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let service = Arc::clone(&service);
+                let computes = Arc::clone(&computes);
+                std::thread::spawn(move || {
+                    let h = service.shard(&spec(), 0..6, || {
+                        computes.fetch_add(1, Ordering::SeqCst);
+                        rows_for(0..6)
+                    });
+                    assert_eq!(h.rows(), &rows_for(0..6));
+                    h
+                })
+            })
+            .collect();
+        let held: Vec<ShardHandle> = handles.into_iter().map(|t| t.join().unwrap()).collect();
+        assert_eq!(computes.load(Ordering::SeqCst), 1);
+        assert_eq!(service.live_shards(), 1);
+        drop(held);
+        assert_eq!(service.live_shards(), 0);
+    }
+
+    #[test]
+    fn distinct_ranges_and_specs_are_distinct_shards() {
+        let service = SweepService::new();
+        let computes = AtomicUsize::new(0);
+        let mk = |r: Range<usize>| {
+            service.shard(&spec(), r.clone(), || {
+                computes.fetch_add(1, Ordering::SeqCst);
+                rows_for(r)
+            })
+        };
+        let a = mk(0..6);
+        let b = mk(6..12);
+        let a2 = mk(0..6); // shared with `a`, no recompute
+        assert_eq!(computes.load(Ordering::SeqCst), 2);
+        assert_eq!(a.rows(), a2.rows());
+        assert_ne!(a.rows(), b.rows());
+
+        let other = spec().arg("seed", 4);
+        let c = service.shard(&other, 0..6, || {
+            computes.fetch_add(1, Ordering::SeqCst);
+            rows_for(0..6)
+        });
+        assert_eq!(computes.load(Ordering::SeqCst), 3);
+        assert_eq!(service.live_shards(), 3);
+        drop((a, b, a2, c));
+        assert_eq!(service.live_shards(), 0);
+    }
+
+    #[test]
+    fn recompute_after_all_handles_drop() {
+        let service = SweepService::new();
+        let computes = AtomicUsize::new(0);
+        let h = service.shard(&spec(), 0..3, || {
+            computes.fetch_add(1, Ordering::SeqCst);
+            rows_for(0..3)
+        });
+        drop(h);
+        let _h2 = service.shard(&spec(), 0..3, || {
+            computes.fetch_add(1, Ordering::SeqCst);
+            rows_for(0..3)
+        });
+        // memory was released, so the shard is computed again
+        assert_eq!(computes.load(Ordering::SeqCst), 2);
+    }
+}

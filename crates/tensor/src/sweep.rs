@@ -12,6 +12,7 @@
 
 use fpna_core::executor::RunExecutor;
 use fpna_core::harness::{VariabilityHarness, VariabilityReport};
+use fpna_core::metrics::ArrayComparison;
 use fpna_core::rng::SplitMix64;
 use fpna_gpu_sim::GpuModel;
 
@@ -84,18 +85,59 @@ fn report_mean_vermv(report: &VariabilityReport) -> f64 {
     report.vermv.mean
 }
 
-/// Run the full Table 5 sweep. `runs` non-deterministic executions per
-/// configuration (the paper used 10 000 on an H100; the default bench
-/// uses fewer and documents the scaling). Runs execute through
-/// `executor`; the rows are bitwise identical at any thread count.
-pub fn table5_sweep(
-    model: GpuModel,
-    runs: usize,
-    seed: u64,
-    executor: &RunExecutor,
-) -> Vec<SweepRow> {
-    let harness = VariabilityHarness::new(runs).with_executor(*executor);
-    let mut rows = Vec::new();
+/// One (operation, hyperparameter configuration) cell of the Table 5
+/// sweep, with its inputs and reference baked in at construction.
+///
+/// `run(i)` executes the non-deterministic kernel at **global** run
+/// index `i`; since inputs and per-run seeds are pure functions of the
+/// sweep seed and the index, any process can recompute any slice of
+/// any cell bit-for-bit — the unit of work the `fpna-sweep` shard
+/// protocol distributes.
+pub struct Table5Cell {
+    /// Table 5 operation this cell belongs to.
+    pub op: &'static str,
+    /// Stable cell name `"<op>/c<k>"` (`k` = 1-based configuration
+    /// index within the op) — the row key in sharded sweeps.
+    pub name: String,
+    /// Whether the reference is the first non-deterministic run
+    /// (paper §IV protocol for ops without a deterministic kernel).
+    /// Such cells have no comparison row at global run 0.
+    pub self_referenced: bool,
+    reference: Vec<f64>,
+    run: Box<dyn Fn(usize) -> Vec<f64> + Send + Sync>,
+}
+
+impl Table5Cell {
+    /// Comparisons for the global run indices in `range`, as
+    /// `(global_run, comparison)` pairs in index order. For
+    /// self-referenced cells run 0 *is* the reference, so pairs start
+    /// at `max(range.start, 1)`; a report assembled from any exact
+    /// partition of `0..runs` equals the single-process report.
+    pub fn comparisons_range(
+        &self,
+        range: std::ops::Range<usize>,
+        executor: &RunExecutor,
+    ) -> Vec<(usize, ArrayComparison)> {
+        let start = if self.self_referenced {
+            range.start.max(1)
+        } else {
+            range.start
+        };
+        let range = start..range.end.max(start);
+        let comparisons = executor.map_run_range(range.clone(), |i| {
+            ArrayComparison::compare(&self.reference, &(self.run)(i))
+        });
+        range.zip(comparisons).collect()
+    }
+}
+
+/// Materialise every Table 5 cell, in table order. Deterministic
+/// references (and, for self-referenced ops, run 0) are computed
+/// eagerly here: they are pure functions of `(model, seed)` and cheap
+/// next to the run sweep they anchor, so each shard process just
+/// recomputes them.
+pub fn table5_cells(model: GpuModel, seed: u64) -> Vec<Table5Cell> {
+    let mut cells = Vec::new();
 
     // --- ConvTranspose1d/2d/3d ------------------------------------
     for (name, rank, sizes) in [
@@ -103,8 +145,6 @@ pub fn table5_sweep(
         ("ConvTranspose2d", 2, &[8, 16][..]),
         ("ConvTranspose3d", 3, &[4, 6][..]),
     ] {
-        let mut min_v = f64::INFINITY;
-        let mut max_v = f64::NEG_INFINITY;
         let mut configs = 0usize;
         for &size in sizes {
             for (kernel, stride, padding) in [(2usize, 1usize, 0usize), (3, 2, 1), (5, 1, 2)] {
@@ -119,81 +159,74 @@ pub fn table5_sweep(
                 let input = wide_random(in_shape, seed ^ (configs as u64) << 8);
                 let weight = wide_random(w_shape, seed ^ 0xABCD ^ (configs as u64));
                 let params = ConvParams::uniform(rank, stride, padding);
-                let ctx = GpuContext::new(model, seed).with_determinism(Some(true));
-                let run_conv = |c: &GpuContext| match rank {
-                    1 => conv_transpose1d(c, &input, &weight, None, &params),
-                    2 => conv_transpose2d(c, &input, &weight, None, &params),
-                    _ => conv_transpose3d(c, &input, &weight, None, &params),
+                let run_conv = move |c: &GpuContext, input: &Tensor, weight: &Tensor| match rank {
+                    1 => conv_transpose1d(c, input, weight, None, &params),
+                    2 => conv_transpose2d(c, input, weight, None, &params),
+                    _ => conv_transpose3d(c, input, weight, None, &params),
                 };
-                let reference = run_conv(&ctx).expect("det conv").into_data();
+                let det = GpuContext::new(model, seed).with_determinism(Some(true));
+                let reference = run_conv(&det, &input, &weight).expect("det conv").into_data();
                 let nd = GpuContext::new(model, seed).with_determinism(Some(false));
-                let report = harness.array(&reference, |i| {
-                    run_conv(&nd.for_run(i as u64)).expect("nd conv").into_data()
+                cells.push(Table5Cell {
+                    op: name,
+                    name: format!("{name}/c{configs}"),
+                    self_referenced: false,
+                    reference,
+                    run: Box::new(move |i| {
+                        run_conv(&nd.for_run(i as u64), &input, &weight)
+                            .expect("nd conv")
+                            .into_data()
+                    }),
                 });
-                let v = report_mean_vermv(&report);
-                min_v = min_v.min(v);
-                max_v = max_v.max(v);
             }
         }
-        rows.push(SweepRow {
-            op: name,
-            min_vermv: min_v,
-            max_vermv: max_v,
-            configs,
-        });
     }
 
     // --- cumsum ----------------------------------------------------
     {
-        let mut min_v = f64::INFINITY;
-        let mut max_v = f64::NEG_INFINITY;
-        let mut configs = 0;
+        let mut configs = 0usize;
         for &n in &[128usize, 4096, 65_536] {
             configs += 1;
             let x = wide_random(vec![n], seed ^ 0x10 ^ n as u64);
             let det = GpuContext::new(model, seed).with_determinism(Some(true));
             let reference = cumsum(&det, &x).expect("det cumsum").into_data();
             let nd = GpuContext::new(model, seed).with_determinism(Some(false));
-            let report = harness.array(&reference, |i| {
-                cumsum(&nd.for_run(i as u64), &x).expect("nd cumsum").into_data()
+            cells.push(Table5Cell {
+                op: "cumsum",
+                name: format!("cumsum/c{configs}"),
+                self_referenced: false,
+                reference,
+                run: Box::new(move |i| {
+                    cumsum(&nd.for_run(i as u64), &x).expect("nd cumsum").into_data()
+                }),
             });
-            let v = report_mean_vermv(&report);
-            min_v = min_v.min(v);
-            max_v = max_v.max(v);
         }
-        rows.push(SweepRow {
-            op: "cumsum",
-            min_vermv: min_v,
-            max_vermv: max_v,
-            configs,
-        });
     }
 
     // --- index_add / index_copy / index_put ------------------------
     {
-        let mut rows_ic: Vec<(&'static str, f64, f64, usize)> = vec![
-            ("index_add", f64::INFINITY, f64::NEG_INFINITY, 0),
-            ("index_copy", f64::INFINITY, f64::NEG_INFINITY, 0),
-            ("index_put", f64::INFINITY, f64::NEG_INFINITY, 0),
-        ];
+        let mut configs = 0usize;
         for &(n, rows_out) in &[(512usize, 8usize), (4096, 64), (16_384, 16)] {
-            let src = wide_random(vec![n], seed ^ 0x20 ^ n as u64);
-            let index = random_index(n, rows_out, seed ^ 0x21 ^ n as u64);
-            let dst = Tensor::zeros(vec![rows_out]);
+            configs += 1;
             let det = GpuContext::new(model, seed).with_determinism(Some(true));
-            let nd = GpuContext::new(model, seed).with_determinism(Some(false));
             // index_add: det reference
             {
+                let src = wide_random(vec![n], seed ^ 0x20 ^ n as u64);
+                let index = random_index(n, rows_out, seed ^ 0x21 ^ n as u64);
+                let dst = Tensor::zeros(vec![rows_out]);
                 let reference = index_add(&det, &dst, &index, &src).unwrap().into_data();
-                let report = harness.array(&reference, |i| {
-                    index_add(&nd.for_run(i as u64), &dst, &index, &src)
-                        .unwrap()
-                        .into_data()
+                let nd = GpuContext::new(model, seed).with_determinism(Some(false));
+                cells.push(Table5Cell {
+                    op: "index_add",
+                    name: format!("index_add/c{configs}"),
+                    self_referenced: false,
+                    reference,
+                    run: Box::new(move |i| {
+                        index_add(&nd.for_run(i as u64), &dst, &index, &src)
+                            .unwrap()
+                            .into_data()
+                    }),
                 });
-                let v = report_mean_vermv(&report);
-                rows_ic[0].1 = rows_ic[0].1.min(v);
-                rows_ic[0].2 = rows_ic[0].2.max(v);
-                rows_ic[0].3 += 1;
             }
             // Write-race ops get a nearly-unique index tensor (a
             // permutation with a handful of duplicates) and bounded
@@ -201,100 +234,153 @@ pub fn table5_sweep(
             // element by O(1), so the mean variability is small — the
             // regime the paper's Table 5 magnitudes imply.
             let wide_index = nearly_unique_index(n, 4, seed ^ 0x23 ^ n as u64);
-            let wide_dst = Tensor::zeros(vec![n]);
             // index_copy: det reference
             {
+                let wide_dst = Tensor::zeros(vec![n]);
+                let wide_index = wide_index.clone();
                 let src2 = bounded_random(vec![n], seed ^ 0x22 ^ n as u64);
                 let reference = index_copy(&det, &wide_dst, &wide_index, &src2)
                     .unwrap()
                     .into_data();
-                let report = harness.array(&reference, |i| {
-                    index_copy(&nd.for_run(i as u64), &wide_dst, &wide_index, &src2)
-                        .unwrap()
-                        .into_data()
+                let nd = GpuContext::new(model, seed).with_determinism(Some(false));
+                cells.push(Table5Cell {
+                    op: "index_copy",
+                    name: format!("index_copy/c{configs}"),
+                    self_referenced: false,
+                    reference,
+                    run: Box::new(move |i| {
+                        index_copy(&nd.for_run(i as u64), &wide_dst, &wide_index, &src2)
+                            .unwrap()
+                            .into_data()
+                    }),
                 });
-                let v = report_mean_vermv(&report);
-                rows_ic[1].1 = rows_ic[1].1.min(v);
-                rows_ic[1].2 = rows_ic[1].2.max(v);
-                rows_ic[1].3 += 1;
             }
             // index_put: det reference (flat indices into a vector)
             {
+                let wide_dst = Tensor::zeros(vec![n]);
                 let values: Vec<f64> =
                     bounded_random(vec![n], seed ^ 0x24 ^ n as u64).into_data();
                 let reference = index_put(&det, &wide_dst, &wide_index, &values)
                     .unwrap()
                     .into_data();
-                let report = harness.array(&reference, |i| {
-                    index_put(&nd.for_run(i as u64), &wide_dst, &wide_index, &values)
-                        .unwrap()
-                        .into_data()
+                let nd = GpuContext::new(model, seed).with_determinism(Some(false));
+                cells.push(Table5Cell {
+                    op: "index_put",
+                    name: format!("index_put/c{configs}"),
+                    self_referenced: false,
+                    reference,
+                    run: Box::new(move |i| {
+                        index_put(&nd.for_run(i as u64), &wide_dst, &wide_index, &values)
+                            .unwrap()
+                            .into_data()
+                    }),
                 });
-                let v = report_mean_vermv(&report);
-                rows_ic[2].1 = rows_ic[2].1.min(v);
-                rows_ic[2].2 = rows_ic[2].2.max(v);
-                rows_ic[2].3 += 1;
             }
-        }
-        for (op, min_v, max_v, configs) in rows_ic {
-            rows.push(SweepRow {
-                op,
-                min_vermv: min_v,
-                max_vermv: max_v,
-                configs,
-            });
         }
     }
 
     // --- scatter / scatter_reduce (self-referenced: no det kernel) --
     {
-        let mut s_min = f64::INFINITY;
-        let mut s_max = f64::NEG_INFINITY;
-        let mut sr_min = f64::INFINITY;
-        let mut sr_max = f64::NEG_INFINITY;
-        let mut configs = 0;
+        let mut configs = 0usize;
         for &(n, rows_out) in &[(512usize, 8usize), (4096, 64), (16_384, 16)] {
             configs += 1;
-            let src = wide_random(vec![n], seed ^ 0x30 ^ n as u64);
-            let index = random_index(n, rows_out, seed ^ 0x31 ^ n as u64);
-            let dst = Tensor::zeros(vec![rows_out]);
-            let nd = GpuContext::new(model, seed).with_determinism(Some(false));
             // scatter is a write race: nearly-unique indices and
             // bounded values (see the index_copy comment above).
-            let wide_index = nearly_unique_index(n, 4, seed ^ 0x32 ^ n as u64);
-            let wide_dst = Tensor::zeros(vec![n]);
-            let wide_src = bounded_random(vec![n], seed ^ 0x33 ^ n as u64);
-            let report = harness.array_self_referenced(|i| {
-                scatter(&nd.for_run(i as u64), &wide_dst, &wide_index, &wide_src)
-                    .unwrap()
-                    .into_data()
-            });
-            let v = report_mean_vermv(&report);
-            s_min = s_min.min(v);
-            s_max = s_max.max(v);
-            let report = harness.array_self_referenced(|i| {
-                scatter_reduce(&nd.for_run(i as u64), &dst, &index, &src, ReduceOp::Sum)
-                    .unwrap()
-                    .into_data()
-            });
-            let v = report_mean_vermv(&report);
-            sr_min = sr_min.min(v);
-            sr_max = sr_max.max(v);
+            {
+                let wide_index = nearly_unique_index(n, 4, seed ^ 0x32 ^ n as u64);
+                let wide_dst = Tensor::zeros(vec![n]);
+                let wide_src = bounded_random(vec![n], seed ^ 0x33 ^ n as u64);
+                let nd = GpuContext::new(model, seed).with_determinism(Some(false));
+                let run = Box::new(move |i: usize| {
+                    scatter(&nd.for_run(i as u64), &wide_dst, &wide_index, &wide_src)
+                        .unwrap()
+                        .into_data()
+                });
+                cells.push(Table5Cell {
+                    op: "scatter",
+                    name: format!("scatter/c{configs}"),
+                    self_referenced: true,
+                    reference: run(0),
+                    run,
+                });
+            }
+            {
+                let src = wide_random(vec![n], seed ^ 0x30 ^ n as u64);
+                let index = random_index(n, rows_out, seed ^ 0x31 ^ n as u64);
+                let dst = Tensor::zeros(vec![rows_out]);
+                let nd = GpuContext::new(model, seed).with_determinism(Some(false));
+                let run = Box::new(move |i: usize| {
+                    scatter_reduce(&nd.for_run(i as u64), &dst, &index, &src, ReduceOp::Sum)
+                        .unwrap()
+                        .into_data()
+                });
+                cells.push(Table5Cell {
+                    op: "scatter_reduce",
+                    name: format!("scatter_reduce/c{configs}"),
+                    self_referenced: true,
+                    reference: run(0),
+                    run,
+                });
+            }
         }
-        rows.push(SweepRow {
-            op: "scatter",
-            min_vermv: s_min,
-            max_vermv: s_max,
-            configs,
-        });
-        rows.push(SweepRow {
-            op: "scatter_reduce",
-            min_vermv: sr_min,
-            max_vermv: sr_max,
-            configs,
-        });
+    }
+    cells
+}
+
+/// Fold per-configuration mean-`Vermv` values — in cell (sweep) order —
+/// into Table 5 rows: min/max per operation, ops in first-appearance
+/// order. This is the merge step of a sharded Table 5 sweep; feeding it
+/// the full-sweep cell means reproduces [`table5_sweep`] bitwise.
+pub fn table5_reduce(cell_means: &[(&'static str, f64)]) -> Vec<SweepRow> {
+    let mut rows: Vec<SweepRow> = Vec::new();
+    for &(op, v) in cell_means {
+        let row = match rows.iter_mut().find(|r| r.op == op) {
+            Some(r) => r,
+            None => {
+                rows.push(SweepRow {
+                    op,
+                    min_vermv: f64::INFINITY,
+                    max_vermv: f64::NEG_INFINITY,
+                    configs: 0,
+                });
+                rows.last_mut().expect("just pushed")
+            }
+        };
+        row.min_vermv = row.min_vermv.min(v);
+        row.max_vermv = row.max_vermv.max(v);
+        row.configs += 1;
     }
     rows
+}
+
+/// Run the full Table 5 sweep. `runs` non-deterministic executions per
+/// configuration (the paper used 10 000 on an H100; the default bench
+/// uses fewer and documents the scaling). Runs execute through
+/// `executor`; the rows are bitwise identical at any thread count.
+///
+/// Equivalent to walking [`table5_cells`] over the full `0..runs`
+/// range and folding with [`table5_reduce`] — the decomposition the
+/// `fpna-sweep` coordinator uses to shard this sweep across processes.
+pub fn table5_sweep(
+    model: GpuModel,
+    runs: usize,
+    seed: u64,
+    executor: &RunExecutor,
+) -> Vec<SweepRow> {
+    let cells = table5_cells(model, seed);
+    let means: Vec<(&'static str, f64)> = cells
+        .iter()
+        .map(|cell| {
+            let comparisons: Vec<ArrayComparison> = cell
+                .comparisons_range(0..runs, executor)
+                .into_iter()
+                .map(|(_, c)| c)
+                .collect();
+            let report = VariabilityReport::from_comparisons(&comparisons);
+            (cell.op, report_mean_vermv(&report))
+        })
+        .collect();
+    table5_reduce(&means)
 }
 
 /// Which operation a reduction-ratio experiment exercises.

@@ -36,7 +36,11 @@
 //!   timing-driven arrival order on top of [`net`];
 //! * [`obs`] *(fpna-obs)* — always-compiled, off-by-default
 //!   observability: simulated-clock Chrome/Perfetto tracing,
-//!   near-zero-cost counters, and wall-clock phase profiling.
+//!   near-zero-cost counters, and wall-clock phase profiling;
+//! * [`sweep`] *(fpna-sweep)* — fleet-scale sweep coordination:
+//!   process-sharded experiments with byte-identical merged reports, a
+//!   resumable content-addressed results store, and the `sweep`
+//!   coordinator binary.
 //!
 //! ```
 //! use fpna::core::metrics::scalar_variability;
@@ -57,4 +61,5 @@ pub use fpna_obs as obs;
 pub use fpna_solvers as solvers;
 pub use fpna_stats as stats;
 pub use fpna_summation as summation;
+pub use fpna_sweep as sweep;
 pub use fpna_tensor as tensor;
