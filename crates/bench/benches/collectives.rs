@@ -141,6 +141,29 @@ fn bench_net_sim(c: &mut Criterion) {
             })
         });
     }
+    // Topology-aware placement A/B on the deep fabric: the
+    // hierarchical reduce against the oblivious fanout-4 tree it
+    // replaces (same ordering, same fabric). Fewer NIC/spine events
+    // per payload should also be a host-time win, which these rows
+    // price against the gate baseline — plus the other aware variants
+    // for bit-rot coverage.
+    for (alg, name) in [
+        (Algorithm::Hierarchical { intra: 4, inter: 4 }, "hier_aware"),
+        (Algorithm::FabricRing, "fabricring_aware"),
+        (Algorithm::DoubleBinaryTree, "dbt_aware"),
+    ] {
+        group.bench_with_input(BenchmarkId::new(name, "hier"), &ranks, |b, ranks| {
+            b.iter(|| {
+                allreduce_on(
+                    &hier,
+                    std::hint::black_box(ranks),
+                    alg,
+                    Ordering::ArrivalOrder { seed: 42 },
+                    &cfg,
+                )
+            })
+        });
+    }
     // Contended fabric: seeded background tenants at 25% offered load
     // plus seeded ECMP over a 2-spine fat tree — the multi-tenant path
     // (tenant event injection, admission check, per-link queue/wait

@@ -1,30 +1,84 @@
 //! Table 2: properties of the six parallel-sum implementations.
 //!
 //! `cargo run -p fpna-bench --bin table2`
+//!
+//! Speaks the sweep protocol (`--emit-spec` / `--shard-id …` /
+//! `--from-shards …`, see `fpna-sweep`): each global run index is one
+//! kernel's property row, so even this static table exercises the full
+//! emit-spec / shard / merge path — the protocol's smallest, fastest
+//! conformance surface.
 
 use fpna_core::report::Table;
 use fpna_gpu_sim::ReduceKernel;
+use fpna_sweep::{SweepRows, SweepSpec};
 
-fn main() {
-    // No run loop here — parsed for the uniform flag surface
-    // (`--threads`/`--paper-scale` are accepted by every binary).
-    let args = fpna_bench::ExperimentArgs::parse();
+/// Synchronisation methods of Table 2, indexed by the code stored in
+/// row column 2.
+const SYNC_METHODS: [&str; 3] = ["__threadfence", "stream synchronization", "atomicAdd"];
+
+/// Property rows for the kernels at global run indices in `range`:
+/// `[deterministic (0/1), kernel count (-1 for the library call),
+/// sync-method code]`.
+fn compute(range: std::ops::Range<usize>) -> SweepRows {
+    let kernels = ReduceKernel::all();
+    let mut rows = SweepRows::new();
+    for i in range {
+        let k = kernels[i];
+        let sync = SYNC_METHODS
+            .iter()
+            .position(|&s| s == k.sync_method())
+            .expect("every kernel's sync method is in SYNC_METHODS") as f64;
+        rows.push(
+            "kernels",
+            i,
+            vec![
+                if k.is_deterministic() { 1.0 } else { 0.0 },
+                k.kernel_count().map(f64::from).unwrap_or(-1.0),
+                sync,
+            ],
+        );
+    }
+    rows
+}
+
+/// Print the table from rows alone (kernel names come from the enum
+/// walk, every property cell from the row values) — so merged shards
+/// render byte-identically to a single process.
+fn report(rows: &SweepRows) {
     fpna_bench::banner(
         "Table 2",
         "different implementations of the parallel sum in CUDA",
         "",
     );
     let mut table = Table::new(["Method", "deterministic", "# of kernels", "synchronization"]);
-    for k in ReduceKernel::all() {
+    for (i, k) in ReduceKernel::all().iter().enumerate() {
+        let v = rows
+            .values("kernels", i)
+            .unwrap_or_else(|| panic!("missing row for kernel {i}"));
         table.push_row([
             k.name().to_string(),
-            if k.is_deterministic() { "Yes" } else { "No" }.to_string(),
-            k.kernel_count()
-                .map(|c| c.to_string())
-                .unwrap_or_else(|| "-".to_string()),
-            k.sync_method().to_string(),
+            if v[0] != 0.0 { "Yes" } else { "No" }.to_string(),
+            if v[1] < 0.0 { "-".to_string() } else { format!("{}", v[1] as u32) },
+            SYNC_METHODS[v[2] as usize].to_string(),
         ]);
     }
     println!("{}", table.render());
+}
+
+fn main() {
+    let args = fpna_bench::ExperimentArgs::parse();
+    let spec = SweepSpec::new("table2", ReduceKernel::all().len());
+    if args.sweep.emit_spec(&spec) {
+        return;
+    }
+    let rows = match args.sweep.compute_range(spec.runs) {
+        Some(range) => compute(range),
+        None => args.sweep.load_rows_or_exit(&spec),
+    };
+    if args.sweep.finish_shard_or_exit(&spec, &rows) {
+        args.finish();
+        return;
+    }
+    report(&rows);
     args.finish();
 }

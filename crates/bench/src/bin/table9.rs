@@ -35,6 +35,16 @@
 //! `--route ecmp` additionally routes every message over a seeded
 //! equal-cost path choice (the fat tree here has 4 spines).
 //!
+//! `--place aware` appends, per topology × load, a placement A/B: the
+//! oblivious fanout-k tree vs the topology-aware hierarchical reduce
+//! (`Algorithm::Hierarchical`, reduce within each fabric group before
+//! crossing the NIC/spine). Reports modeled cost from the per-leg α–β
+//! extractors, measured elapsed medians, NIC-crossing byte counts
+//! (the engine's cross-group counters), and the arrival-order
+//! variability delta; self-checks that aware placement beats the
+//! oblivious tree on both modeled cost and NIC bytes wherever the
+//! fabric has more than one group.
+//!
 //! `--link-stats` appends, per topology, a table of the busiest links
 //! of one representative contended run (highest offered load, jitter
 //! 0.1): messages carried, total queue wait, and peak queue depth —
@@ -48,7 +58,7 @@
 //! are pure functions of the merged rows.
 //!
 //! `cargo run --release -p fpna-bench --bin table9 [--len 4096] [--runs 25] [--fanout 4] [--seed 9]
-//!  [--segments 1,8,32] [--load 0,0.3,0.8] [--route fixed|ecmp] [--link-stats]
+//!  [--segments 1,8,32] [--load 0,0.3,0.8] [--route fixed|ecmp] [--place oblivious|aware] [--link-stats]
 //!  [--threads N] [--paper-scale] [--trace out.json] [--profile]`
 
 use fpna_collectives::{allreduce_on, Algorithm, NetConfig, Ordering};
@@ -94,6 +104,10 @@ struct Cfg {
     loads: Vec<f64>,
     link_stats: bool,
     ecmp: bool,
+    /// `--place aware`: additionally A/B the topology-aware placement
+    /// (hierarchical reduce) against the oblivious tree per topology —
+    /// measured + modeled cost, NIC-crossing bytes, variability delta.
+    aware: bool,
 }
 
 impl Cfg {
@@ -131,6 +145,12 @@ fn cell_arrival(p: usize, ti: usize, segs: usize, li: usize, j: usize) -> String
 
 fn cell_repro(p: usize, ti: usize, segs: usize, li: usize) -> String {
     format!("p{p}/t{ti}/k{segs}/l{li}/repro")
+}
+
+/// Placement A/B cells (`--place aware` only): `pl` is `"obl"` for the
+/// oblivious tree or `"awr"` for the topology-aware hierarchical run.
+fn cell_place(p: usize, ti: usize, li: usize, pl: &str) -> String {
+    format!("p{p}/t{ti}/l{li}/{pl}")
 }
 
 /// Per-run comparison metrics for every sweep cell, global runs in
@@ -239,8 +259,61 @@ fn compute(cfg: &Cfg, range: std::ops::Range<usize>, executor: &RunExecutor) -> 
                 }
             }
         }
+        // -- placement A/B (aware mode only): per topology × load, the
+        // oblivious fanout-k tree vs the topology-aware hierarchical
+        // reduce on a jittered fabric. Row: [Vc vs the placement's
+        // seed-0 run, elapsed_ns, NIC-crossing bytes].
+        if cfg.aware {
+            for (ti, topo) in topologies(p).into_iter().enumerate() {
+                for (li, &load) in cfg.loads.iter().enumerate() {
+                    for (pl, alg) in [
+                        ("obl", alg),
+                        ("awr", Algorithm::Hierarchical { intra: cfg.fanout, inter: cfg.fanout }),
+                    ] {
+                        let run = |s: u64| {
+                            let net_cfg = NetConfig {
+                                jitter_frac: JITTER_LEVELS[0],
+                                ..NetConfig::default()
+                            }
+                            .with_load(load, derive_seed(s, 0x10AD))
+                            .with_route(cfg.route_for(s));
+                            allreduce_on(
+                                &topo,
+                                &ranks,
+                                alg,
+                                Ordering::ArrivalOrder { seed: derive_seed(seed ^ 0x9ACE, s) },
+                                &net_cfg,
+                            )
+                        };
+                        let reference = run(0).values;
+                        let outputs = executor.map_run_range(range.clone(), |r| {
+                            let out = run(r as u64 + 1);
+                            (out.values, out.elapsed_ns, out.stats.nic_bytes)
+                        });
+                        for (i, (v, dt, nic)) in outputs.iter().enumerate() {
+                            let c = ArrayComparison::compare(&reference, v);
+                            rows.push(
+                                &cell_place(p, ti, li, pl),
+                                range.start + i,
+                                vec![c.vc, *dt, *nic as f64],
+                            );
+                        }
+                    }
+                }
+            }
+        }
     }
     rows
+}
+
+/// Median of a per-run column (rows arrive ordered by run index).
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(f64::total_cmp);
+    let n = xs.len();
+    if n == 0 {
+        return 0.0;
+    }
+    if n % 2 == 1 { xs[n / 2] } else { (xs[n / 2 - 1] + xs[n / 2]) / 2.0 }
 }
 
 /// Rebuild the joint variability/cost summary of one cell from its
@@ -536,6 +609,94 @@ fn report(cfg: &Cfg, rows: &SweepRows) -> bool {
             }
         }
 
+        // --place aware: A/B the oblivious tree against hierarchical
+        // placement per topology × load — modeled cost from the
+        // per-leg α–β extractors, measured medians and NIC-crossing
+        // bytes from the sweep rows. On fabrics with real group
+        // structure (fat tree, hierarchy) aware placement must beat
+        // the oblivious tree on both the model and the NIC bytes.
+        if cfg.aware {
+            let bytes = (cfg.len * 8) as u64;
+            let mut pt = Table::new([
+                "topology",
+                "load",
+                "placement",
+                "modeled µs",
+                "median µs",
+                "NIC KB",
+                "mean Vc",
+            ])
+            .with_title(format!("p = {p} ranks — placement A/B (jitter {})", JITTER_LEVELS[0]));
+            let mut check_lines: Vec<String> = Vec::new();
+            for (ti, topo) in topologies(p).into_iter().enumerate() {
+                let cost = CostModel::from_topology(&topo);
+                let intra = CostModel::intra_group(&topo);
+                let inter = CostModel::inter_group(&topo);
+                let groups = topo.num_groups();
+                let group_size =
+                    (0..groups).map(|g| topo.group_ranks(g).len()).max().unwrap_or(1);
+                let modeled = [
+                    cost.tree_allreduce_ns(p, cfg.fanout, bytes),
+                    CostModel::hierarchical_allreduce_ns(
+                        intra, inter, groups, group_size, cfg.fanout, cfg.fanout, bytes,
+                    ),
+                ];
+                for (li, &load) in cfg.loads.iter().enumerate() {
+                    let mut measured = [(0.0f64, 0.0f64, 0.0f64); 2];
+                    for (pi, pl) in ["obl", "awr"].iter().enumerate() {
+                        let cell = cell_place(p, ti, li, pl);
+                        let med = median(rows.column(&cell, 1));
+                        let nic = RunSummary::from_values(&rows.column(&cell, 2)).mean;
+                        let vc = RunSummary::from_values(&rows.column(&cell, 0)).mean;
+                        measured[pi] = (med, nic, vc);
+                        pt.push_row([
+                            topo.name().to_string(),
+                            format!("{load}"),
+                            if pi == 0 { "oblivious tree" } else { "aware hier" }.into(),
+                            format!("{:.1}", modeled[pi] / 1e3),
+                            format!("{:.1}", med / 1e3),
+                            format!("{:.1}", nic / 1e3),
+                            format!("{:.4}", vc),
+                        ]);
+                    }
+                    let grouped = groups > 1;
+                    let model_ok = !grouped || modeled[1] < modeled[0];
+                    let nic_ok = !grouped || measured[1].1 < measured[0].1;
+                    if !model_ok || !nic_ok {
+                        all_checks_pass = false;
+                    }
+                    check_lines.push(format!(
+                        "placement check ({}, load {load}): model {:.1} -> {:.1} µs, \
+                         NIC {:.1} -> {:.1} KB, dVc {:+.4} -> {}",
+                        topo.name(),
+                        modeled[0] / 1e3,
+                        modeled[1] / 1e3,
+                        measured[0].1 / 1e3,
+                        measured[1].1 / 1e3,
+                        measured[1].2 - measured[0].2,
+                        if !grouped {
+                            "SKIP (single fabric group)"
+                        } else if model_ok && nic_ok {
+                            "PASS"
+                        } else {
+                            "FAIL"
+                        }
+                    ));
+                }
+                check_lines.push(format!(
+                    "aware extras ({}, modeled): double binary tree {:.1} µs, fabric ring {:.1} µs",
+                    topo.name(),
+                    cost.double_binary_tree_allreduce_ns(p, bytes) / 1e3,
+                    CostModel::fabric_ring_allreduce_ns(intra, inter, p, groups, bytes) / 1e3,
+                ));
+            }
+            println!("{}", pt.render());
+            for line in check_lines {
+                println!("{line}");
+            }
+            println!();
+        }
+
         // Accumulated path jitter grows strictly with fabric depth, so
         // at every jitter level mean Vc must be monotone in hop count
         // and nonzero on the deepest fabric (shallow fabrics may stay
@@ -647,7 +808,16 @@ fn main() {
         Some("ecmp") => true,
         Some(other) => panic!("--route expects fixed|ecmp, got {other}"),
     };
-    let cfg = Cfg { len, runs, fanout, seed, segments, loads, link_stats, ecmp };
+    let aware = match fpna_bench::arg_string("place").as_deref() {
+        None | Some("oblivious") => false,
+        Some("aware") => true,
+        Some(other) => panic!("--place expects oblivious|aware, got {other}"),
+    };
+    assert!(
+        !aware || segments == [1],
+        "--place aware does not combine with --segments (placement A/B runs unsegmented)"
+    );
+    let cfg = Cfg { len, runs, fanout, seed, segments, loads, link_stats, ecmp, aware };
 
     let mut spec = SweepSpec::new("table9", runs)
         .arg("len", cfg.len)
@@ -661,7 +831,8 @@ fn main() {
             "load",
             cfg.loads.iter().map(|l| l.to_string()).collect::<Vec<_>>().join(","),
         )
-        .arg("route", if cfg.ecmp { "ecmp" } else { "fixed" });
+        .arg("route", if cfg.ecmp { "ecmp" } else { "fixed" })
+        .arg("place", if cfg.aware { "aware" } else { "oblivious" });
     if cfg.link_stats {
         spec = spec.flag("link-stats");
     }

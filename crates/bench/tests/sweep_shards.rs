@@ -1,7 +1,8 @@
-//! Shard ≡ single-process, at the real-binary level: drive `table5`
-//! and `table9` through the raw sweep protocol (`--emit-spec`, one
-//! process per `--shard-id`, `--from-shards` merge) and require the
-//! merged stdout to be byte-identical to a plain run. The
+//! Shard ≡ single-process, at the real-binary level: drive the
+//! protocol-speaking binaries through the raw sweep protocol
+//! (`--emit-spec`, one process per `--shard-id`, `--from-shards`
+//! merge) and require the merged stdout to be byte-identical to a
+//! plain run. The
 //! coordinator's own orchestration (caching, resume, stale-shard
 //! pruning) is covered in `fpna-sweep`'s tests; this one pins the
 //! contract the experiment binaries themselves export.
@@ -93,6 +94,30 @@ fn table9_shards_merge_to_the_single_process_bytes() {
     let store = temp_store("t9");
     let merged = sharded_stdout(env!("CARGO_BIN_EXE_table9"), args, 3, &store);
     assert_eq!(single, merged, "table9 diverged at 3 shards");
+    std::fs::remove_dir_all(&store).expect("clear store");
+}
+
+#[test]
+fn table2_shards_merge_to_the_single_process_bytes() {
+    // Static table, 6 kernel rows: the protocol's smallest conformance
+    // surface — including the one-run-per-shard degenerate partition.
+    let args: &[&str] = &[];
+    let single = stdout_of(env!("CARGO_BIN_EXE_table2"), args);
+    let store = temp_store("t2");
+    for shards in [2usize, 6] {
+        let merged = sharded_stdout(env!("CARGO_BIN_EXE_table2"), args, shards, &store);
+        assert_eq!(single, merged, "table2 diverged at {shards} shards");
+        std::fs::remove_dir_all(&store).expect("clear store between shard counts");
+    }
+}
+
+#[test]
+fn table7_shards_merge_to_the_single_process_bytes() {
+    let args = &["--models", "4", "--epochs", "3", "--seed", "77"];
+    let single = stdout_of(env!("CARGO_BIN_EXE_table7"), args);
+    let store = temp_store("t7");
+    let merged = sharded_stdout(env!("CARGO_BIN_EXE_table7"), args, 2, &store);
+    assert_eq!(single, merged, "table7 diverged at 2 shards");
     std::fs::remove_dir_all(&store).expect("clear store");
 }
 

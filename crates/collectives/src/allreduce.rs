@@ -10,6 +10,9 @@
 //! | k-ary tree, arrival order | seeded shuffle per node | **no** |
 //! | recursive doubling | (lower, upper) pairs | yes |
 //! | segmented ring / tree | as their unsegmented base | as their base (chunking is a timing knob) |
+//! | hierarchical | per-group tree, then leader tree | as the tree (per ordering) |
+//! | fabric ring | ring rotation over fabric order | yes (always) |
+//! | double binary tree | two mirrored binary trees, half payload each | as the tree (per ordering) |
 //! | any algorithm, reproducible | exact accumulators | yes, and identical across algorithms |
 //!
 //! Note the subtlety the tests pin down: ring and tree are each
@@ -57,6 +60,35 @@ pub enum Algorithm {
         /// Pipeline chunk count (≥ 1; 1 means unsegmented).
         segments: usize,
     },
+    /// Topology-aware hierarchical allreduce, NCCL/MPI-style: an
+    /// `intra`-ary reduction tree *inside* each fabric group (node) to
+    /// the group leader, an `inter`-ary allreduce among the leaders
+    /// only, then an intra-group broadcast — so bulk traffic stays off
+    /// the NIC/spine links and only leaders ever cross. The network
+    /// path takes the grouping from the topology (fabric groups,
+    /// `Topology::group_of`); the in-memory path, having no fabric,
+    /// uses the trivial single-group partition (one intra tree over
+    /// everyone, no inter phase).
+    Hierarchical {
+        /// Children per node of the within-group reduction tree (≥ 2).
+        intra: usize,
+        /// Children per node of the leader allreduce tree (≥ 2).
+        inter: usize,
+    },
+    /// [`Algorithm::Ring`] with the rotation laid over the physical
+    /// fabric order (`Topology::fabric_ring_order`) instead of rank
+    /// ids, so consecutive ring neighbours share a fabric group
+    /// everywhere except the unavoidable one-seam-per-group crossings.
+    /// The combine order is still a fixed rotation — deterministic
+    /// under every ordering. In memory (no fabric) the order is the
+    /// identity, i.e. exactly [`Algorithm::Ring`].
+    FabricRing,
+    /// Double binary tree, NCCL-style: two complementary binary trees
+    /// run concurrently, the first carrying the lower half of the
+    /// payload over ranks in identity order, the second the upper half
+    /// over ranks in *mirrored* order (`v ↔ p−1−v`), so each tree's
+    /// bandwidth bottleneck sees only half the bytes.
+    DoubleBinaryTree,
 }
 
 /// Combine-order policy at each reduction point.
@@ -122,6 +154,22 @@ pub fn allreduce(ranks: &[Vec<f64>], algorithm: Algorithm, ordering: Ordering) -
             );
             recursive_doubling(ranks, m)
         }
+        Algorithm::Hierarchical { intra, inter } => {
+            assert!(intra >= 2 && inter >= 2, "tree fanout must be at least 2");
+            // No fabric in memory: the trivial single-group partition
+            // (every rank in one group, no inter phase).
+            let everyone: Vec<usize> = (0..ranks.len()).collect();
+            hierarchical_in_memory(ranks, &[everyone], intra, inter, order_seed(ordering))
+        }
+        Algorithm::FabricRing => {
+            // No fabric in memory: fabric order is the identity, so
+            // this is exactly the plain ring.
+            let identity: Vec<usize> = (0..ranks.len()).collect();
+            ring_in_order(ranks, m, &identity)
+        }
+        Algorithm::DoubleBinaryTree => {
+            double_binary_tree_in_memory(ranks, order_seed(ordering))
+        }
     }
 }
 
@@ -164,35 +212,150 @@ fn ring(ranks: &[Vec<f64>], m: usize) -> Vec<f64> {
 /// resident), then child results — in rank order or in seeded arrival
 /// order.
 fn tree(ranks: &[Vec<f64>], fanout: usize, arrival_seed: Option<u64>) -> Vec<f64> {
-    fn reduce_node(
+    let m = ranks[0].len();
+    tree_fold(ranks, |v| v, ranks.len(), 0, m, fanout, arrival_seed, 0)
+}
+
+/// Salts decorrelating the per-node arrival-order shuffles of the
+/// topology-aware variants' distinct tree phases (salt 0 is the plain
+/// k-ary tree's keying, kept bit-identical).
+const HIER_INTRA_SALT: u64 = 0x48_0001;
+const HIER_INTER_SALT: u64 = 0x48_FFFF;
+const DBT_SALT_LOWER: u64 = 0xDB70;
+const DBT_SALT_UPPER: u64 = 0xDB71;
+
+/// The k-ary tree fold over `count` *virtual* nodes: virtual node `i`
+/// reads columns `lo..hi` of `buffers[phys(i)]`, children of `i` are
+/// `f·i + 1 ..= f·i + f` (clipped to `count`), and every node folds its
+/// own buffer first, then children — ascending, or seeded-shuffled per
+/// node under arrival order (`salt` keeps distinct tree instances'
+/// shuffles decorrelated). This is the shared value semantics of the
+/// plain tree (`phys` = identity), the hierarchical variant's two
+/// phases, and each double-binary-tree half.
+#[allow(clippy::too_many_arguments)]
+fn tree_fold<F: Fn(usize) -> usize + Copy>(
+    buffers: &[Vec<f64>],
+    phys: F,
+    count: usize,
+    lo: usize,
+    hi: usize,
+    fanout: usize,
+    arrival_seed: Option<u64>,
+    salt: u64,
+) -> Vec<f64> {
+    #[allow(clippy::too_many_arguments)]
+    fn reduce_node<F: Fn(usize) -> usize + Copy>(
         v: usize,
-        ranks: &[Vec<f64>],
+        buffers: &[Vec<f64>],
+        phys: F,
+        count: usize,
+        lo: usize,
+        hi: usize,
         fanout: usize,
         arrival_seed: Option<u64>,
+        salt: u64,
     ) -> Vec<f64> {
-        let p = ranks.len();
         let mut children: Vec<usize> = (1..=fanout)
             .map(|k| fanout * v + k)
-            .filter(|&c| c < p)
+            .filter(|&c| c < count)
             .collect();
-        let mut acc = ranks[v].clone();
+        let mut acc = buffers[phys(v)][lo..hi].to_vec();
         if children.is_empty() {
             return acc;
         }
         if let Some(seed) = arrival_seed {
             // arrival order: a per-node seeded shuffle
-            let mut rng = SplitMix64::new(seed ^ (v as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let mut rng = SplitMix64::new(
+                seed ^ salt.wrapping_mul(0xC2B2_AE3D_27D4_EB4F)
+                    ^ (v as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            );
             shuffle(&mut children, &mut rng);
         }
         for c in children {
-            let child = reduce_node(c, ranks, fanout, arrival_seed);
+            let child = reduce_node(c, buffers, phys, count, lo, hi, fanout, arrival_seed, salt);
             for (a, b) in acc.iter_mut().zip(&child) {
                 *a += b;
             }
         }
         acc
     }
-    reduce_node(0, ranks, fanout, arrival_seed)
+    reduce_node(0, buffers, phys, count, lo, hi, fanout, arrival_seed, salt)
+}
+
+/// Hierarchical fold over an explicit group partition: an `intra`-ary
+/// tree inside each group (virtual node `i` = the group's `i`-th
+/// member, so the group leader `members[0]` is each tree's root), then
+/// an `inter`-ary tree over the leader accumulators in group order.
+/// The network path's value semantics under `RankOrder` — netsim's
+/// property tests diff its protocol against this function with the
+/// topology's fabric groups; [`allreduce`] uses the trivial
+/// single-group partition.
+pub(crate) fn hierarchical_in_memory(
+    ranks: &[Vec<f64>],
+    groups: &[Vec<usize>],
+    intra: usize,
+    inter: usize,
+    arrival_seed: Option<u64>,
+) -> Vec<f64> {
+    let m = ranks[0].len();
+    let leader_accs: Vec<Vec<f64>> = groups
+        .iter()
+        .enumerate()
+        .map(|(g, members)| {
+            tree_fold(
+                ranks,
+                |i| members[i],
+                members.len(),
+                0,
+                m,
+                intra,
+                arrival_seed,
+                HIER_INTRA_SALT + g as u64,
+            )
+        })
+        .collect();
+    tree_fold(&leader_accs, |g| g, groups.len(), 0, m, inter, arrival_seed, HIER_INTER_SALT)
+}
+
+/// Ring fold over an explicit rank order: ring position `s` is rank
+/// `order[s]`, segment `s` (the `s`-th element block) accumulates
+/// around the permuted ring starting at its owner `order[s]`. With the
+/// identity order this is bitwise [`ring`] — the netsim property tests
+/// diff the network fabric-ring protocol against this function with
+/// the topology's fabric order.
+pub(crate) fn ring_in_order(ranks: &[Vec<f64>], m: usize, order: &[usize]) -> Vec<f64> {
+    let p = ranks.len();
+    let seg_len = m.div_ceil(p);
+    let mut out = vec![0.0f64; m];
+    for s in 0..p {
+        let lo = (s * seg_len).min(m);
+        let hi = ((s + 1) * seg_len).min(m);
+        for i in lo..hi {
+            let mut acc = ranks[order[s]][i];
+            for step in 1..p {
+                acc += ranks[order[(s + step) % p]][i];
+            }
+            out[i] = acc;
+        }
+    }
+    out
+}
+
+/// Double binary tree: the lower half of the payload reduces over a
+/// binary tree in identity rank order, the upper half over the
+/// complementary tree in mirrored order (`v ↔ p−1−v`), so interior
+/// ranks of one tree are leaves of the other and each tree carries
+/// half the bytes.
+pub(crate) fn double_binary_tree_in_memory(
+    ranks: &[Vec<f64>],
+    arrival_seed: Option<u64>,
+) -> Vec<f64> {
+    let p = ranks.len();
+    let m = ranks[0].len();
+    let h = m.div_ceil(2);
+    let mut out = tree_fold(ranks, |v| v, p, 0, h, 2, arrival_seed, DBT_SALT_LOWER);
+    out.extend(tree_fold(ranks, |v| p - 1 - v, p, h, m, 2, arrival_seed, DBT_SALT_UPPER));
+    out
 }
 
 /// Recursive doubling: in round `d`, partners `r` and `r ^ d` exchange
@@ -247,6 +410,11 @@ mod tests {
             (Algorithm::KAryTree { fanout: 4 }, Ordering::ArrivalOrder { seed: 3 }),
             (Algorithm::RecursiveDoubling, Ordering::RankOrder),
             (Algorithm::Ring, Ordering::Reproducible),
+            (Algorithm::Hierarchical { intra: 2, inter: 2 }, Ordering::RankOrder),
+            (Algorithm::Hierarchical { intra: 4, inter: 2 }, Ordering::ArrivalOrder { seed: 9 }),
+            (Algorithm::FabricRing, Ordering::RankOrder),
+            (Algorithm::DoubleBinaryTree, Ordering::RankOrder),
+            (Algorithm::DoubleBinaryTree, Ordering::ArrivalOrder { seed: 11 }),
         ] {
             let out = allreduce(&ranks, alg, ord);
             for i in [0usize, 17, 63] {
@@ -282,6 +450,9 @@ mod tests {
             Algorithm::Ring,
             Algorithm::KAryTree { fanout: 2 },
             Algorithm::RecursiveDoubling,
+            Algorithm::Hierarchical { intra: 2, inter: 3 },
+            Algorithm::FabricRing,
+            Algorithm::DoubleBinaryTree,
         ] {
             let a = allreduce(&ranks, alg, Ordering::RankOrder);
             let b = allreduce(&ranks, alg, Ordering::RankOrder);
@@ -316,6 +487,9 @@ mod tests {
             Algorithm::Ring,
             Algorithm::KAryTree { fanout: 3 },
             Algorithm::RecursiveDoubling,
+            Algorithm::Hierarchical { intra: 2, inter: 2 },
+            Algorithm::FabricRing,
+            Algorithm::DoubleBinaryTree,
         ] {
             let out = allreduce(&ranks, alg, Ordering::Reproducible);
             assert_eq!(
@@ -333,6 +507,74 @@ mod tests {
         assert_eq!(out, ranks[0]);
         let out = allreduce(&ranks, Algorithm::KAryTree { fanout: 2 }, Ordering::RankOrder);
         assert_eq!(out, ranks[0]);
+    }
+
+    #[test]
+    fn double_binary_tree_halves_agree_with_the_exact_sum() {
+        // Odd length, so the halves are uneven (5 lower, 4 upper), and
+        // an odd rank count, so one rank is a leaf in both trees.
+        let ranks = make_ranks(9, 9, 8);
+        for ord in [Ordering::RankOrder, Ordering::ArrivalOrder { seed: 21 }] {
+            let out = allreduce(&ranks, Algorithm::DoubleBinaryTree, ord);
+            for (i, &v) in out.iter().enumerate() {
+                let want = column_exact(&ranks, i);
+                assert!((v - want).abs() < 1e-6, "{ord:?} element {i}: {v} vs {want}");
+            }
+        }
+    }
+
+    #[test]
+    fn double_binary_tree_mirrors_the_fold_between_halves() {
+        // Under rank order the lower half folds over the identity tree
+        // and the upper half over the mirrored one — with the same
+        // value in every column of both halves, the bits can only
+        // differ between halves if the mirrored fold really runs in
+        // the mirrored order.
+        let col = make_ranks(7, 1, 12);
+        let ranks: Vec<Vec<f64>> = col.iter().map(|r| vec![r[0], r[0]]).collect();
+        let out = allreduce(&ranks, Algorithm::DoubleBinaryTree, Ordering::RankOrder);
+        let tree = allreduce(&ranks, Algorithm::KAryTree { fanout: 2 }, Ordering::RankOrder);
+        assert_eq!(out[0].to_bits(), tree[0].to_bits(), "lower half is the identity tree");
+        assert!((out[0] - out[1]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn hierarchical_groups_move_bits_but_not_the_sum() {
+        let ranks = make_ranks(16, 32, 10);
+        let trivial = allreduce(
+            &ranks,
+            Algorithm::Hierarchical { intra: 2, inter: 2 },
+            Ordering::RankOrder,
+        );
+        let groups: Vec<Vec<usize>> = (0..4).map(|g| (4 * g..4 * g + 4).collect()).collect();
+        let grouped = hierarchical_in_memory(&ranks, &groups, 2, 2, None);
+        for i in 0..32 {
+            let want = column_exact(&ranks, i);
+            assert!((trivial[i] - want).abs() < 1e-6);
+            assert!((grouped[i] - want).abs() < 1e-6);
+        }
+        assert!(
+            trivial.iter().zip(&grouped).any(|(a, b)| a.to_bits() != b.to_bits()),
+            "the group partition should reassociate the fold"
+        );
+    }
+
+    #[test]
+    fn ring_in_order_with_identity_is_the_plain_ring() {
+        let ranks = make_ranks(12, 30, 11);
+        let plain = allreduce(&ranks, Algorithm::Ring, Ordering::RankOrder);
+        let fabric = allreduce(&ranks, Algorithm::FabricRing, Ordering::RankOrder);
+        assert_eq!(
+            plain.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            fabric.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+        // A permuted order still sums every column, rotated start.
+        let order: Vec<usize> = (0..12).map(|s| (5 * s) % 12).collect();
+        let permuted = ring_in_order(&ranks, 30, &order);
+        for (i, &got) in permuted.iter().enumerate() {
+            let want = column_exact(&ranks, i);
+            assert!((got - want).abs() < 1e-6);
+        }
     }
 
     #[test]

@@ -627,11 +627,12 @@ pub fn allreduce_on(
         );
     };
     let jitter = jitter_for(ordering, config);
+    let identity: Vec<usize> = (0..ranks.len()).collect();
     match algorithm {
-        Algorithm::Ring => ring_on(topo, ranks, 1, ordering, config, jitter),
+        Algorithm::Ring => ring_on(topo, ranks, 1, ordering, config, jitter, &identity),
         Algorithm::SegmentedRing { segments } => {
             check_segments(segments);
-            ring_on(topo, ranks, segments, ordering, config, jitter)
+            ring_on(topo, ranks, segments, ordering, config, jitter, &identity)
         }
         Algorithm::KAryTree { fanout } => {
             assert!(fanout >= 2, "tree fanout must be at least 2");
@@ -648,6 +649,17 @@ pub fn allreduce_on(
                 "recursive doubling needs a power-of-two rank count"
             );
             recursive_doubling_on(topo, ranks, ordering, config, jitter)
+        }
+        Algorithm::Hierarchical { intra, inter } => {
+            assert!(intra >= 2 && inter >= 2, "tree fanout must be at least 2");
+            hierarchical_on(topo, ranks, intra, inter, ordering, config, jitter)
+        }
+        Algorithm::FabricRing => {
+            let order = topo.fabric_ring_order();
+            ring_on(topo, ranks, 1, ordering, config, jitter, &order)
+        }
+        Algorithm::DoubleBinaryTree => {
+            double_binary_tree_on(topo, ranks, ordering, config, jitter)
         }
     }
 }
@@ -666,6 +678,24 @@ fn chunk_bounds(lo: usize, hi: usize, k: usize, c: usize) -> (usize, usize) {
     let n = hi - lo;
     let per = n.div_ceil(k);
     (lo + (c * per).min(n), lo + ((c + 1) * per).min(n))
+}
+
+/// Wire size of a raw input slice without building a buffer — the
+/// exact path prices the same canonical one-value accumulators the
+/// receiver will fold.
+fn raw_wire_bytes(xs: &[f64], exact: bool) -> u64 {
+    if exact {
+        xs.iter()
+            .map(|&x| {
+                let mut acc = ExactAccumulator::new();
+                acc.add(x);
+                acc.normalize();
+                acc.wire_len() as u64
+            })
+            .sum()
+    } else {
+        std::mem::size_of_val(xs) as u64
+    }
 }
 
 /// K-ary reduction tree rooted at rank 0 (children of `v` are
@@ -741,24 +771,6 @@ fn tree_on(
         };
     }
 
-    // Wire size of a leaf's chunk without building the buffer — for
-    // exact payloads this prices the same canonical one-value
-    // accumulators the parent will fold.
-    let slice_wire_bytes = |xs: &[f64]| -> u64 {
-        if exact {
-            xs.iter()
-                .map(|&x| {
-                    let mut acc = ExactAccumulator::new();
-                    acc.add(x);
-                    acc.normalize();
-                    acc.wire_len() as u64
-                })
-                .sum()
-        } else {
-            std::mem::size_of_val(xs) as u64
-        }
-    };
-
     let mut sim = build_sim(topo, jitter, config);
     let mut payloads = Payloads::default();
     // The tree under `ArrivalOrder` folds children in physical arrival
@@ -794,7 +806,7 @@ fn tree_on(
         if is_leaf(v) {
             for c in 0..k {
                 let (lo, hi) = chunk_bounds(0, m, k, c);
-                let bytes = slice_wire_bytes(&own[lo..hi]);
+                let bytes = raw_wire_bytes(&own[lo..hi], exact);
                 let tag = ((c as u64) << 1) | TAG_UP;
                 nic.send_at(&mut sim, config.stagger_ns * v as f64, v, parent(v), bytes, tag);
             }
@@ -921,6 +933,13 @@ fn tree_on(
 /// chunks walking the ring as independent messages — same rotation,
 /// same per-element combine order, so values are bitwise identical to
 /// the unsegmented ring while serialization pipelines across hops.
+///
+/// `order` permutes the ring onto the ranks: ring position `s` is rank
+/// `order[s]`, segment `s` starts at its owner `order[s]` and hops to
+/// `order[(s + 1) % p]`. The identity order is the classic
+/// rank-numbered ring; [`Topology::fabric_ring_order`] keeps
+/// consecutive positions inside the same fabric group so the rotation
+/// crosses the NIC/spine only once per group.
 fn ring_on(
     topo: &Topology,
     ranks: &[Vec<f64>],
@@ -928,12 +947,21 @@ fn ring_on(
     ordering: Ordering,
     config: &NetConfig,
     jitter: JitterModel,
+    order: &[usize],
 ) -> NetAllreduce {
     let p = ranks.len();
     let m = ranks[0].len();
     let k = segments;
     let exact = matches!(ordering, Ordering::Reproducible);
     assert!(p < (1 << RING_CHUNK_SHIFT), "ring tag packing supports < 2^20 ranks");
+    assert_eq!(order.len(), p, "ring order must cover every rank");
+    let pos_of = {
+        let mut pos = vec![0usize; p];
+        for (s, &r) in order.iter().enumerate() {
+            pos[r] = s;
+        }
+        pos
+    };
     let seg_len = m.div_ceil(p);
     let bounds = |s: usize| ((s * seg_len).min(m), ((s + 1) * seg_len).min(m));
     let chunk_of = |s: usize, c: usize| {
@@ -962,20 +990,21 @@ fn ring_on(
     // Step 0: every rank sends its own copy of its own segment, chunk
     // by chunk (empty chunks still circulate as 0-byte messages so the
     // protocol shape is uniform at every segment count).
-    for (r, own) in ranks.iter().enumerate() {
+    for (s, &r) in order.iter().enumerate() {
         for c in 0..k {
-            let (lo, hi) = chunk_of(r, c);
-            let seg = pool.values_of(&own[lo..hi], exact);
+            let (lo, hi) = chunk_of(s, c);
+            let seg = pool.values_of(&ranks[r][lo..hi], exact);
             let bytes = seg.wire_bytes();
             let tag = (c as u64) << RING_CHUNK_SHIFT;
-            let msg = nic.send_at(&mut sim, config.stagger_ns * r as f64, r, (r + 1) % p, bytes, tag);
+            let msg =
+                nic.send_at(&mut sim, config.stagger_ns * r as f64, r, order[(s + 1) % p], bytes, tag);
             payloads.insert(msg, seg);
             if tracing {
                 // Span per travelling chunk: B at injection, E at its
                 // single rounding (reduce-scatter complete).
-                let lane = trace::CHUNK_TID_BASE + (r * k + c) as u64;
-                trace::name_thread(pid, lane, format!("seg {r} chunk {c}"));
-                trace::begin(pid, lane, config.stagger_ns * r as f64, format!("seg{r}.chunk{c}"), "coll");
+                let lane = trace::CHUNK_TID_BASE + (s * k + c) as u64;
+                trace::name_thread(pid, lane, format!("seg {s} chunk {c}"));
+                trace::begin(pid, lane, config.stagger_ns * r as f64, format!("seg{s}.chunk{c}"), "coll");
             }
         }
     }
@@ -989,11 +1018,12 @@ fn ring_on(
         elapsed = elapsed.max(d.time);
         if d.tag < TAG_AG_BASE {
             // Reduce-scatter step `s`: fold our contribution under the
-            // travelling partial for chunk c of segment (from − s) mod p.
+            // travelling partial for chunk c of segment
+            // (pos(from) − s) mod p.
             let s = (d.tag & step_mask) as usize;
             let c = (d.tag >> RING_CHUNK_SHIFT) as usize;
             let r = d.to;
-            let z = (d.from + p - s) % p;
+            let z = (pos_of[d.from] + p - s) % p;
             let (lo, hi) = chunk_of(z, c);
             let mut acc = payloads.take(d.msg).expect("ring partial lost");
             acc.fold_in_slice(&ranks[r][lo..hi]);
@@ -1010,7 +1040,7 @@ fn ring_on(
             if s + 1 < p - 1 {
                 let bytes = acc.wire_bytes();
                 let tag = ((c as u64) << RING_CHUNK_SHIFT) | (s as u64 + 1);
-                let msg = nic.send_at(sim, d.time, r, (r + 1) % p, bytes, tag);
+                let msg = nic.send_at(sim, d.time, r, order[(pos_of[r] + 1) % p], bytes, tag);
                 payloads.insert(msg, acc);
             } else {
                 // Chunk complete: single rounding, then allgather.
@@ -1023,19 +1053,19 @@ fn ring_on(
                 out[lo..hi].copy_from_slice(&rounded);
                 let bytes = (rounded.len() * 8) as u64;
                 let tag = TAG_AG_BASE + (((c as u64) << RING_CHUNK_SHIFT) | z as u64);
-                let msg = nic.send_at(sim, d.time, r, (r + 1) % p, bytes, tag);
+                let msg = nic.send_at(sim, d.time, r, order[(pos_of[r] + 1) % p], bytes, tag);
                 payloads.insert(msg, Values::Plain(rounded));
             }
         } else {
             // Allgather: forward the finished chunk around the ring
-            // until it is one rank short of its finisher.
+            // until it is one position short of its finisher.
             let z = ((d.tag - TAG_AG_BASE) & step_mask) as usize;
             let finisher = (z + p - 1) % p;
             let t = d.to;
             let acc = payloads.take(d.msg).expect("allgather segment lost");
-            if (t + 1) % p != finisher {
+            if (pos_of[t] + 1) % p != finisher {
                 let bytes = acc.wire_bytes();
-                let msg = nic.send_at(sim, d.time, t, (t + 1) % p, bytes, d.tag);
+                let msg = nic.send_at(sim, d.time, t, order[(pos_of[t] + 1) % p], bytes, d.tag);
                 payloads.insert(msg, acc);
             } else {
                 pool.recycle(acc);
@@ -1047,6 +1077,391 @@ fn ring_on(
 
     NetAllreduce {
         values: out,
+        elapsed_ns: elapsed,
+        stats,
+        link_stats: collect_link_stats(&sim, config),
+    }
+}
+
+/// Hierarchical phase tags (single chunk, so the whole tag is the
+/// phase id).
+const H_INTRA_UP: u64 = 0;
+const H_INTER_UP: u64 = 1;
+const H_INTER_DOWN: u64 = 2;
+const H_INTRA_DOWN: u64 = 3;
+
+/// Topology-aware hierarchical allreduce: an `intra`-ary reduction
+/// tree inside every fabric group (rooted at the group leader, the
+/// group's smallest rank), an `inter`-ary tree over the leaders in
+/// group order, then the rounded result broadcast back down both
+/// levels. Only the inter phase crosses fabric groups, so the
+/// NIC/spine links carry one payload per group instead of one per
+/// rank. Value semantics match
+/// [`hierarchical_in_memory`](crate::allreduce::hierarchical_in_memory)
+/// over the fabric groups (per ordering); under `Reproducible` the
+/// travelling exact accumulators make the bits identical to every
+/// oblivious baseline.
+fn hierarchical_on(
+    topo: &Topology,
+    ranks: &[Vec<f64>],
+    intra: usize,
+    inter: usize,
+    ordering: Ordering,
+    config: &NetConfig,
+    jitter: JitterModel,
+) -> NetAllreduce {
+    let p = ranks.len();
+    let m = ranks[0].len();
+    let exact = matches!(ordering, Ordering::Reproducible);
+    let rank_order = matches!(ordering, Ordering::RankOrder);
+    let num_groups = topo.num_groups();
+
+    let mut pool = BufferPool::default();
+    if p == 1 {
+        return NetAllreduce {
+            values: pool.values_of(&ranks[0], exact).round(),
+            elapsed_ns: 0.0,
+            stats: RunStats::default(),
+            link_stats: None,
+        };
+    }
+
+    // Virtual coordinates: the member index inside the group (leader =
+    // member 0) for the intra trees, the group id for the inter tree.
+    // Members and group leaders are both rank-ascending, so sorting
+    // buffered children by physical rank is sorting by virtual index.
+    let group_of: Vec<usize> = (0..p).map(|r| topo.group_of(r)).collect();
+    let member_idx: Vec<usize> = (0..p)
+        .map(|r| {
+            topo.group_ranks(group_of[r])
+                .iter()
+                .position(|&x| x == r)
+                .expect("rank missing from its own fabric group")
+        })
+        .collect();
+    let leader = |g: usize| topo.group_ranks(g)[0];
+    let is_leader = |r: usize| member_idx[r] == 0;
+    let intra_children = |r: usize| {
+        let members = topo.group_ranks(group_of[r]);
+        let i = member_idx[r];
+        (1..=intra)
+            .map(move |c| intra * i + c)
+            .filter(move |&c| c < members.len())
+            .map(move |c| members[c])
+    };
+    let inter_children = |g: usize| {
+        (1..=inter)
+            .map(move |c| inter * g + c)
+            .filter(move |&c| c < num_groups)
+            .map(leader)
+    };
+    // Where a finished accumulator goes: leaders climb the inter tree
+    // (the root, leader of group 0 = rank 0, keeps it), everyone else
+    // climbs their group's intra tree.
+    let up_target = |r: usize| -> Option<(usize, u64)> {
+        if is_leader(r) {
+            let g = group_of[r];
+            (g != 0).then(|| (leader((g - 1) / inter), H_INTER_UP))
+        } else {
+            let members = topo.group_ranks(group_of[r]);
+            Some((members[(member_idx[r] - 1) / intra], H_INTRA_UP))
+        }
+    };
+
+    // A rank with nothing to wait for ships its input slice directly
+    // (never materialising an accumulator): intra leaves, and
+    // singleton-group leaders that are also inter leaves.
+    let mut pending: Vec<usize> = (0..p)
+        .map(|r| {
+            intra_children(r).count()
+                + if is_leader(r) { inter_children(group_of[r]).count() } else { 0 }
+        })
+        .collect();
+    let sends_raw: Vec<bool> = (0..p).map(|r| pending[r] == 0).collect();
+    let mut accs: Vec<Values> = (0..p)
+        .map(|r| {
+            if sends_raw[r] {
+                Values::empty()
+            } else {
+                pool.values_of(&ranks[r], exact)
+            }
+        })
+        .collect();
+    // Rank-order mode buffers every contribution and folds once all
+    // are in, keyed `(phase, child rank)` — intra children ascending,
+    // then inter children ascending, matching the in-memory fold.
+    let mut buffered: Vec<Vec<(u64, usize, Option<Values>)>> =
+        (0..p).map(|_| Vec::new()).collect();
+
+    let mut sim = build_sim(topo, jitter, config);
+    let mut payloads = Payloads::default();
+    // Same coalescing rule as the k-ary tree: arrival order folds in
+    // physical arrival order, which coalescing would perturb.
+    let mut nic = Nic::new(if matches!(ordering, Ordering::ArrivalOrder { .. }) {
+        0
+    } else {
+        config.coalesce_bytes
+    });
+    for r in 1..p {
+        if sends_raw[r] {
+            let (to, tag) = up_target(r).expect("non-root raw sender has an up target");
+            let bytes = raw_wire_bytes(&ranks[r], exact);
+            nic.send_at(&mut sim, config.stagger_ns * r as f64, r, to, bytes, tag);
+        }
+    }
+    nic.flush(&mut sim);
+
+    let mut result = vec![0.0f64; m];
+    let mut root_done = false;
+    let mut down_seen = 0usize;
+    let mut elapsed = 0.0f64;
+    let stats = sim.run(|sim, wire| {
+        for d in nic.expand(&wire) {
+            match d.tag {
+                H_INTRA_UP | H_INTER_UP => {
+                    let v = d.to;
+                    let payload = if sends_raw[d.from] {
+                        None
+                    } else {
+                        Some(payloads.take(d.msg).expect("up message lost its payload"))
+                    };
+                    if rank_order {
+                        buffered[v].push((d.tag, d.from, payload));
+                    } else {
+                        match payload {
+                            Some(b) => {
+                                accs[v].fold_in(&b);
+                                pool.recycle(b);
+                            }
+                            None => accs[v].fold_in_slice(&ranks[d.from]),
+                        }
+                    }
+                    pending[v] -= 1;
+                    if pending[v] == 0 {
+                        if rank_order {
+                            let mut b = std::mem::take(&mut buffered[v]);
+                            b.sort_by_key(|&(tag, from, _)| (tag, from));
+                            for (_, from, payload) in b {
+                                match payload {
+                                    Some(x) => {
+                                        accs[v].fold_in(&x);
+                                        pool.recycle(x);
+                                    }
+                                    None => accs[v].fold_in_slice(&ranks[from]),
+                                }
+                            }
+                        }
+                        match up_target(v) {
+                            Some((to, tag)) => {
+                                let acc = std::mem::replace(&mut accs[v], Values::empty());
+                                let bytes = acc.wire_bytes();
+                                let msg = nic.send_at(sim, d.time, v, to, bytes, tag);
+                                payloads.insert(msg, acc);
+                            }
+                            None => {
+                                // Root: the single rounding, then the
+                                // two-level broadcast.
+                                result.copy_from_slice(&accs[0].round());
+                                root_done = true;
+                                elapsed = elapsed.max(d.time);
+                                let bytes = (m * 8) as u64;
+                                for child in inter_children(0) {
+                                    nic.send_at(sim, d.time, 0, child, bytes, H_INTER_DOWN);
+                                }
+                                for child in intra_children(0) {
+                                    nic.send_at(sim, d.time, 0, child, bytes, H_INTRA_DOWN);
+                                }
+                            }
+                        }
+                    }
+                }
+                _ => {
+                    let v = d.to;
+                    elapsed = elapsed.max(d.time);
+                    down_seen += 1;
+                    if d.tag == H_INTER_DOWN {
+                        for child in inter_children(group_of[v]) {
+                            nic.send_at(sim, d.time, v, child, d.bytes, H_INTER_DOWN);
+                        }
+                    }
+                    for child in intra_children(v) {
+                        nic.send_at(sim, d.time, v, child, d.bytes, H_INTRA_DOWN);
+                    }
+                }
+            }
+        }
+        nic.flush(sim);
+    });
+
+    assert!(root_done, "hierarchical reduction never completed");
+    assert_eq!(down_seen, p - 1, "hierarchical broadcast never completed");
+    NetAllreduce {
+        values: result,
+        elapsed_ns: elapsed,
+        stats,
+        link_stats: collect_link_stats(&sim, config),
+    }
+}
+
+/// Double binary tree, NCCL-style: two complementary binary trees run
+/// in the same simulation, tree 0 over virtual ids `v = rank` reducing
+/// the lower half of the payload, tree 1 over the mirrored ids
+/// `v = p − 1 − rank` reducing the upper half — interior ranks of one
+/// tree are leaves of the other, so each link carries roughly half the
+/// bytes of a single tree. Tags are `(tree << 1) | direction`. Value
+/// semantics match
+/// [`double_binary_tree_in_memory`](crate::allreduce::double_binary_tree_in_memory)
+/// (per ordering); under `Reproducible` each half folds exactly and
+/// rounds once, bitwise those of every oblivious baseline.
+fn double_binary_tree_on(
+    topo: &Topology,
+    ranks: &[Vec<f64>],
+    ordering: Ordering,
+    config: &NetConfig,
+    jitter: JitterModel,
+) -> NetAllreduce {
+    let p = ranks.len();
+    let m = ranks[0].len();
+    let exact = matches!(ordering, Ordering::Reproducible);
+    let rank_order = matches!(ordering, Ordering::RankOrder);
+    let h = m.div_ceil(2);
+    let range = |t: usize| if t == 0 { (0, h) } else { (h, m) };
+    // An involution: virtual id of a rank in tree `t`, and equally the
+    // physical rank of a virtual id.
+    let virt = |t: usize, r: usize| if t == 0 { r } else { p - 1 - r };
+    let vchildren = |v: usize| (1..=2).map(move |c| 2 * v + c).filter(move |&c| c < p);
+    let is_vleaf = |v: usize| 2 * v + 1 >= p;
+
+    let mut pool = BufferPool::default();
+    if p == 1 {
+        return NetAllreduce {
+            values: pool.values_of(&ranks[0], exact).round(),
+            elapsed_ns: 0.0,
+            stats: RunStats::default(),
+            link_stats: None,
+        };
+    }
+
+    // State for rank `r` in tree `t` lives at index `t·p + r`. Leaves
+    // ship their input slice directly and never materialise a buffer.
+    let mut accs: Vec<Values> = Vec::with_capacity(2 * p);
+    let mut pending = vec![0usize; 2 * p];
+    for t in 0..2 {
+        let (lo, hi) = range(t);
+        for r in 0..p {
+            let v = virt(t, r);
+            accs.push(if is_vleaf(v) && v != 0 {
+                Values::empty()
+            } else {
+                pool.values_of(&ranks[r][lo..hi], exact)
+            });
+            pending[t * p + r] = vchildren(v).count();
+        }
+    }
+    // Rank-order buffers sort by *virtual* child id — in tree 1 that
+    // is descending physical rank, matching the in-memory fold.
+    let mut buffered: Vec<Vec<(usize, Option<Values>)>> =
+        (0..2 * p).map(|_| Vec::new()).collect();
+
+    let mut sim = build_sim(topo, jitter, config);
+    let mut payloads = Payloads::default();
+    let mut nic = Nic::new(if matches!(ordering, Ordering::ArrivalOrder { .. }) {
+        0
+    } else {
+        config.coalesce_bytes
+    });
+    for t in 0..2 {
+        let (lo, hi) = range(t);
+        for (r, own) in ranks.iter().enumerate() {
+            let v = virt(t, r);
+            if is_vleaf(v) && v != 0 {
+                let bytes = raw_wire_bytes(&own[lo..hi], exact);
+                let tag = ((t as u64) << 1) | TAG_UP;
+                nic.send_at(&mut sim, config.stagger_ns * r as f64, r, virt(t, (v - 1) / 2), bytes, tag);
+            }
+        }
+    }
+    nic.flush(&mut sim);
+
+    let mut result = vec![0.0f64; m];
+    let mut roots_done = 0usize;
+    let mut elapsed = 0.0f64;
+    let stats = sim.run(|sim, wire| {
+        for d in nic.expand(&wire) {
+            let t = (d.tag >> 1) as usize;
+            let (lo, hi) = range(t);
+            match d.tag & 1 {
+                TAG_UP => {
+                    let r = d.to;
+                    let i = t * p + r;
+                    let payload = if is_vleaf(virt(t, d.from)) {
+                        None
+                    } else {
+                        Some(payloads.take(d.msg).expect("up message lost its payload"))
+                    };
+                    if rank_order {
+                        buffered[i].push((virt(t, d.from), payload));
+                    } else {
+                        match payload {
+                            Some(b) => {
+                                accs[i].fold_in(&b);
+                                pool.recycle(b);
+                            }
+                            None => accs[i].fold_in_slice(&ranks[d.from][lo..hi]),
+                        }
+                    }
+                    pending[i] -= 1;
+                    if pending[i] == 0 {
+                        let v = virt(t, r);
+                        if rank_order {
+                            let mut b = std::mem::take(&mut buffered[i]);
+                            b.sort_by_key(|&(vc, _)| vc);
+                            for (vc, payload) in b {
+                                match payload {
+                                    Some(x) => {
+                                        accs[i].fold_in(&x);
+                                        pool.recycle(x);
+                                    }
+                                    None => {
+                                        accs[i].fold_in_slice(&ranks[virt(t, vc)][lo..hi])
+                                    }
+                                }
+                            }
+                        }
+                        if v == 0 {
+                            // This tree's root: round its half, then
+                            // broadcast it down the same tree.
+                            result[lo..hi].copy_from_slice(&accs[i].round());
+                            roots_done += 1;
+                            elapsed = elapsed.max(d.time);
+                            for vc in vchildren(0) {
+                                let tag = ((t as u64) << 1) | TAG_DOWN;
+                                nic.send_at(sim, d.time, r, virt(t, vc), ((hi - lo) * 8) as u64, tag);
+                            }
+                        } else {
+                            let acc = std::mem::replace(&mut accs[i], Values::empty());
+                            let bytes = acc.wire_bytes();
+                            let tag = ((t as u64) << 1) | TAG_UP;
+                            let msg = nic.send_at(sim, d.time, r, virt(t, (v - 1) / 2), bytes, tag);
+                            payloads.insert(msg, acc);
+                        }
+                    }
+                }
+                _ => {
+                    let r = d.to;
+                    elapsed = elapsed.max(d.time);
+                    for vc in vchildren(virt(t, r)) {
+                        nic.send_at(sim, d.time, r, virt(t, vc), d.bytes, d.tag);
+                    }
+                }
+            }
+        }
+        nic.flush(sim);
+    });
+
+    assert_eq!(roots_done, 2, "double binary tree never completed");
+    NetAllreduce {
+        values: result,
         elapsed_ns: elapsed,
         stats,
         link_stats: collect_link_stats(&sim, config),
@@ -1328,6 +1743,11 @@ mod tests {
             Algorithm::RecursiveDoubling,
             Algorithm::SegmentedRing { segments: 4 },
             Algorithm::SegmentedTree { fanout: 3, segments: 4 },
+            // The flat switch is one fabric group, so the aware
+            // variants degenerate to their in-memory references.
+            Algorithm::Hierarchical { intra: 2, inter: 2 },
+            Algorithm::FabricRing,
+            Algorithm::DoubleBinaryTree,
         ] {
             let sim = allreduce_on(&topo, &ranks, alg, Ordering::RankOrder, &cfg);
             let mem = allreduce(&ranks, alg, Ordering::RankOrder);
@@ -1491,6 +1911,9 @@ mod tests {
                 Algorithm::RecursiveDoubling,
                 Algorithm::SegmentedRing { segments: 7 },
                 Algorithm::SegmentedTree { fanout: 4, segments: 16 },
+                Algorithm::Hierarchical { intra: 2, inter: 2 },
+                Algorithm::FabricRing,
+                Algorithm::DoubleBinaryTree,
             ] {
                 for seed in [0u64, 7, 1234] {
                     let out = allreduce_on(
@@ -1543,6 +1966,9 @@ mod tests {
             (Algorithm::KAryTree { fanout: 5 }, Ordering::Reproducible),
             (Algorithm::SegmentedRing { segments: 16 }, Ordering::ArrivalOrder { seed: 4 }),
             (Algorithm::SegmentedTree { fanout: 2, segments: 5 }, Ordering::RankOrder),
+            (Algorithm::Hierarchical { intra: 2, inter: 2 }, Ordering::ArrivalOrder { seed: 6 }),
+            (Algorithm::FabricRing, Ordering::ArrivalOrder { seed: 8 }),
+            (Algorithm::DoubleBinaryTree, Ordering::Reproducible),
         ] {
             let out = allreduce_on(&topo, &ranks, alg, ord, &cfg);
             for i in [0usize, 17, 39] {
@@ -1567,6 +1993,9 @@ mod tests {
             Algorithm::RecursiveDoubling,
             Algorithm::SegmentedRing { segments: 3 },
             Algorithm::SegmentedTree { fanout: 2, segments: 3 },
+            Algorithm::Hierarchical { intra: 2, inter: 2 },
+            Algorithm::FabricRing,
+            Algorithm::DoubleBinaryTree,
         ] {
             let out = allreduce_on(&topo, &ranks, alg, Ordering::RankOrder, &cfg);
             assert_eq!(bits(&out.values), bits(&ranks[0]), "{alg:?}");
@@ -1610,9 +2039,15 @@ mod tests {
         let ranks = make_ranks(16, 24, 21);
         let reference = allreduce(&ranks, Algorithm::Ring, Ordering::Reproducible);
         for topo in [flat(16), spined(16, 4, 4), hier(4, 4)] {
-            for load in [0.0, 0.3, 0.8] {
+            for load in [0.0, 0.5, 0.8] {
                 for route in [RouteSelect::Fixed, RouteSelect::SeededEcmp { seed: 5 }] {
-                    for alg in [Algorithm::Ring, Algorithm::KAryTree { fanout: 4 }] {
+                    for alg in [
+                        Algorithm::Ring,
+                        Algorithm::KAryTree { fanout: 4 },
+                        Algorithm::Hierarchical { intra: 2, inter: 2 },
+                        Algorithm::FabricRing,
+                        Algorithm::DoubleBinaryTree,
+                    ] {
                         let cfg = NetConfig::default()
                             .with_load(load, 0xB0B)
                             .with_route(route)
@@ -1808,6 +2243,148 @@ mod tests {
             assert_eq!(a.elapsed_ns.to_bits(), b.elapsed_ns.to_bits(), "{alg:?}");
             assert_eq!(a.stats, b.stats, "{alg:?}");
         }
+    }
+
+    fn cyclic(nodes: usize, rpn: usize) -> Topology {
+        Topology::hierarchical_cyclic(
+            nodes,
+            rpn,
+            LinkSpec::new(200.0, 100.0),
+            LinkSpec::new(500.0, 50.0),
+            LinkSpec::new(5_000.0, 25.0),
+        )
+    }
+
+    fn fabric_groups(topo: &Topology) -> Vec<Vec<usize>> {
+        (0..topo.num_groups()).map(|g| topo.group_ranks(g).to_vec()).collect()
+    }
+
+    #[test]
+    fn aware_variants_match_their_group_parameterized_references() {
+        // Zero-jitter rank order on fabrics with real group structure:
+        // the protocols must reproduce the in-memory folds
+        // parameterized by the topology's own groups / fabric order.
+        use crate::allreduce::{
+            double_binary_tree_in_memory, hierarchical_in_memory, ring_in_order,
+        };
+        let ranks = make_ranks(16, 40, 41);
+        let cfg = NetConfig::default();
+        for topo in [hier(4, 4), cyclic(4, 4), spined(16, 4, 2)] {
+            let h = allreduce_on(
+                &topo,
+                &ranks,
+                Algorithm::Hierarchical { intra: 2, inter: 2 },
+                Ordering::RankOrder,
+                &cfg,
+            );
+            let h_ref = hierarchical_in_memory(&ranks, &fabric_groups(&topo), 2, 2, None);
+            assert_eq!(bits(&h.values), bits(&h_ref), "hierarchical on {}", topo.name());
+
+            let fr = allreduce_on(&topo, &ranks, Algorithm::FabricRing, Ordering::RankOrder, &cfg);
+            let fr_ref = ring_in_order(&ranks, 40, &topo.fabric_ring_order());
+            assert_eq!(bits(&fr.values), bits(&fr_ref), "fabric ring on {}", topo.name());
+
+            let dbt = allreduce_on(
+                &topo,
+                &ranks,
+                Algorithm::DoubleBinaryTree,
+                Ordering::RankOrder,
+                &cfg,
+            );
+            let dbt_ref = double_binary_tree_in_memory(&ranks, None);
+            assert_eq!(bits(&dbt.values), bits(&dbt_ref), "dbt on {}", topo.name());
+        }
+    }
+
+    #[test]
+    fn aware_placement_cuts_nic_crossing_bytes() {
+        // The point of the exercise: hierarchical placement sends one
+        // payload per node across the NIC instead of one per rank, and
+        // the fabric ring (on a scrambled placement) crosses groups
+        // once per group instead of nearly every hop.
+        let ranks = make_ranks(16, 64, 42);
+        let cfg = NetConfig {
+            jitter_frac: 0.0,
+            ..NetConfig::default()
+        };
+        let topo = hier(4, 4);
+        let oblivious = allreduce_on(
+            &topo,
+            &ranks,
+            Algorithm::KAryTree { fanout: 2 },
+            Ordering::RankOrder,
+            &cfg,
+        );
+        let aware = allreduce_on(
+            &topo,
+            &ranks,
+            Algorithm::Hierarchical { intra: 2, inter: 2 },
+            Ordering::RankOrder,
+            &cfg,
+        );
+        assert!(
+            aware.stats.nic_bytes < oblivious.stats.nic_bytes,
+            "hierarchical should cross the NIC less: {} vs {}",
+            aware.stats.nic_bytes,
+            oblivious.stats.nic_bytes
+        );
+        assert!(aware.stats.nic_hops < oblivious.stats.nic_hops);
+
+        let scrambled = cyclic(4, 4);
+        let ring = allreduce_on(&scrambled, &ranks, Algorithm::Ring, Ordering::RankOrder, &cfg);
+        let fabric =
+            allreduce_on(&scrambled, &ranks, Algorithm::FabricRing, Ordering::RankOrder, &cfg);
+        assert!(
+            fabric.stats.nic_bytes < ring.stats.nic_bytes,
+            "fabric ring should cross the NIC less: {} vs {}",
+            fabric.stats.nic_bytes,
+            ring.stats.nic_bytes
+        );
+        // On a node-major layout the fabric order *is* the identity:
+        // the fabric ring must be the plain ring, crossings included.
+        let node_major_ring =
+            allreduce_on(&topo, &ranks, Algorithm::Ring, Ordering::RankOrder, &cfg);
+        let node_major_fabric =
+            allreduce_on(&topo, &ranks, Algorithm::FabricRing, Ordering::RankOrder, &cfg);
+        assert_eq!(node_major_fabric.stats, node_major_ring.stats);
+        assert_eq!(bits(&node_major_fabric.values), bits(&node_major_ring.values));
+    }
+
+    #[test]
+    fn double_binary_tree_balances_bytes_across_trees() {
+        // Each half-payload tree should carry roughly half the bytes a
+        // single full-payload binary tree moves on the same fabric.
+        let ranks = make_ranks(16, 256, 43);
+        let cfg = NetConfig {
+            jitter_frac: 0.0,
+            ..NetConfig::default()
+        };
+        let topo = flat(16);
+        let single = allreduce_on(
+            &topo,
+            &ranks,
+            Algorithm::KAryTree { fanout: 2 },
+            Ordering::RankOrder,
+            &cfg,
+        );
+        let dbt = allreduce_on(&topo, &ranks, Algorithm::DoubleBinaryTree, Ordering::RankOrder, &cfg);
+        // Two trees × half payload ≈ the same total bytes...
+        let lo = single.stats.bytes_delivered * 9 / 10;
+        let hi = single.stats.bytes_delivered * 11 / 10;
+        assert!(
+            (lo..=hi).contains(&dbt.stats.bytes_delivered),
+            "dbt bytes {} vs single-tree {}",
+            dbt.stats.bytes_delivered,
+            single.stats.bytes_delivered
+        );
+        // ...but the serialized chain at any one link is halved, so the
+        // clock should come in under the single tree.
+        assert!(
+            dbt.elapsed_ns < single.elapsed_ns,
+            "dbt {} vs single tree {}",
+            dbt.elapsed_ns,
+            single.elapsed_ns
+        );
     }
 
     #[test]

@@ -511,6 +511,55 @@ fn coalesce_counters_tally_absorbed_messages() {
     assert_eq!(value_bits(&quiet), value_bits(&off));
 }
 
+/// The NIC-crossing counter mirrors the per-run `RunStats::nic_bytes`
+/// tally (foreground payload over cross-group links): zero on a flat
+/// switch (one fabric group), live and aggregated across runs on a
+/// hierarchical fabric, and smaller for a topology-aware placement
+/// than for the oblivious tree it replaces.
+#[test]
+fn nic_cross_counter_mirrors_run_stats() {
+    let _g = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    reset_obs();
+
+    let ranks = inputs(8, 64, 31);
+    let flat = Topology::flat_switch(8, LinkSpec::new(500.0, 25.0));
+    let hier = Topology::hierarchical(
+        2,
+        4,
+        LinkSpec::new(200.0, 100.0),
+        LinkSpec::new(500.0, 50.0),
+        LinkSpec::new(5_000.0, 25.0),
+    );
+    let run = |topo: &Topology, alg: Algorithm| {
+        allreduce_on(topo, &ranks, alg, Ordering::RankOrder, &NetConfig::default())
+    };
+
+    counters::reset();
+    counters::set_enabled(true);
+    run(&flat, Algorithm::KAryTree { fanout: 2 });
+    assert_eq!(counters::snapshot().nic_cross_bytes, 0, "flat switch has no crossings");
+
+    counters::reset();
+    let obl = run(&hier, Algorithm::KAryTree { fanout: 2 });
+    assert_eq!(counters::snapshot().nic_cross_bytes, obl.stats.nic_bytes);
+    let again = run(&hier, Algorithm::KAryTree { fanout: 2 });
+    assert_eq!(
+        counters::snapshot().nic_cross_bytes,
+        obl.stats.nic_bytes + again.stats.nic_bytes,
+        "the global counter aggregates across runs"
+    );
+
+    counters::reset();
+    let aware = run(&hier, Algorithm::Hierarchical { intra: 2, inter: 2 });
+    let snap = counters::snapshot();
+    reset_obs();
+    assert_eq!(snap.nic_cross_bytes, aware.stats.nic_bytes);
+    assert!(
+        aware.stats.nic_bytes < obl.stats.nic_bytes,
+        "aware placement must cross the fabric seam with fewer bytes"
+    );
+}
+
 /// The profile report answers the ROADMAP's calendar-queue question:
 /// one `net.heap_pop@load=…,queue=…` histogram per offered-load level
 /// and queue implementation, plus the executor phase and the counter

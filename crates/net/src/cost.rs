@@ -58,6 +58,49 @@ impl CostModel {
         }
     }
 
+    /// Worst-case α–β parameters over the **same-group** rank pairs
+    /// (ranks sharing a fabric group, [`Topology::group_of`]): the
+    /// intra-node leg a topology-aware placement keeps most traffic
+    /// on. α and β are maximized jointly (the `α + β` objective of
+    /// [`CostModel::from_topology`]). Zero when no group holds two
+    /// ranks.
+    pub fn intra_group(topo: &Topology) -> Self {
+        Self::worst_pair(topo, |a, b| topo.group_of(a) == topo.group_of(b))
+    }
+
+    /// Worst-case α–β parameters over the **cross-group** rank pairs —
+    /// the NIC/spine leg only group leaders traverse under a
+    /// topology-aware placement. Zero when the fabric has a single
+    /// group (nothing ever crosses).
+    pub fn inter_group(topo: &Topology) -> Self {
+        Self::worst_pair(topo, |a, b| topo.group_of(a) != topo.group_of(b))
+    }
+
+    /// Worst `α + β` rank pair among those `keep` admits, over the
+    /// precomputed canonical routes.
+    fn worst_pair(topo: &Topology, keep: impl Fn(usize, usize) -> bool) -> Self {
+        let p = topo.ranks();
+        let (mut alpha, mut beta) = (0.0f64, 0.0f64);
+        for a in 0..p {
+            for b in 0..p {
+                if a == b || !keep(a, b) {
+                    continue;
+                }
+                let route = topo.route_hops(a, b);
+                let ra: f64 = route.iter().map(|h| h.link.latency_ns).sum();
+                let rb: f64 = route.iter().map(|h| h.link.ns_per_byte).sum();
+                if ra + rb > alpha + beta {
+                    alpha = ra;
+                    beta = rb;
+                }
+            }
+        }
+        CostModel {
+            alpha_ns: alpha,
+            beta_ns_per_byte: beta,
+        }
+    }
+
     /// Ring allreduce (reduce-scatter + allgather):
     /// `2(p−1)α + 2((p−1)/p)·n·β` for `n` payload bytes.
     pub fn ring_allreduce_ns(&self, p: usize, bytes: u64) -> f64 {
@@ -173,6 +216,65 @@ impl CostModel {
         stages * (self.alpha_ns + fanout as f64 * bytes as f64 * self.beta_ns_per_byte / k)
     }
 
+    /// Topology-aware hierarchical allreduce: a `intra_fanout`-ary
+    /// reduce + broadcast inside each fabric group priced by the
+    /// `intra` leg, plus an `inter_fanout`-ary allreduce among the
+    /// group leaders priced by the `inter` leg — the two phases
+    /// pipeline in the event engine, but the serial sum is the same
+    /// conservative estimate the oblivious tree model makes:
+    /// `2·d_i·(α_i + f_i·n·β_i) + 2·d_x·(α_x + f_x·n·β_x)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either fanout is below 2.
+    pub fn hierarchical_allreduce_ns(
+        intra: CostModel,
+        inter: CostModel,
+        groups: usize,
+        group_size: usize,
+        intra_fanout: usize,
+        inter_fanout: usize,
+        bytes: u64,
+    ) -> f64 {
+        intra.tree_allreduce_ns(group_size, intra_fanout, bytes)
+            + inter.tree_allreduce_ns(groups, inter_fanout, bytes)
+    }
+
+    /// Double binary tree allreduce: two complementary binary trees
+    /// each carry half the payload concurrently, so the makespan is
+    /// one binary-tree allreduce at half the bytes:
+    /// `2·d·(α + 2·(n/2)·β)`.
+    pub fn double_binary_tree_allreduce_ns(&self, p: usize, bytes: u64) -> f64 {
+        if p < 2 {
+            return 0.0;
+        }
+        let depth = Self::tree_depth(p, 2) as f64;
+        2.0 * depth * (self.alpha_ns + 2.0 * (bytes as f64 / 2.0) * self.beta_ns_per_byte)
+    }
+
+    /// Fabric-mapped ring allreduce: the ring visits ranks in fabric
+    /// order, so only `groups` of the `p` hops cross the NIC/spine —
+    /// the latency term mixes the two legs by hop share while the
+    /// bandwidth term stays pinned to the slower leg (every byte still
+    /// circulates the whole ring):
+    /// `2(p−1)·ᾱ + 2((p−1)/p)·n·max(β_i, β_x)` with
+    /// `ᾱ = ((p−G)·α_i + G·α_x)/p`.
+    pub fn fabric_ring_allreduce_ns(
+        intra: CostModel,
+        inter: CostModel,
+        p: usize,
+        groups: usize,
+        bytes: u64,
+    ) -> f64 {
+        if p < 2 {
+            return 0.0;
+        }
+        let (pf, g) = (p as f64, groups as f64);
+        let alpha = ((pf - g) * intra.alpha_ns + g * inter.alpha_ns) / pf;
+        let beta = intra.beta_ns_per_byte.max(inter.beta_ns_per_byte);
+        2.0 * (pf - 1.0) * alpha + 2.0 * ((pf - 1.0) / pf) * bytes as f64 * beta
+    }
+
     /// Multiplicative bandwidth overhead of shipping `payload_bytes`
     /// of exact-accumulator state per element instead of one `f64`:
     /// the bandwidth term inflates by `payload_bytes / 8`, the latency
@@ -280,6 +382,66 @@ mod tests {
         // cross-node route: intra + nic + inter + inter + nic + intra
         assert!((m.alpha_ns - (100.0 + 200.0 + 1000.0 + 1000.0 + 200.0 + 100.0)).abs() < 1e-9);
         assert!(m.beta_ns_per_byte > 0.0);
+    }
+
+    fn hier_topo() -> Topology {
+        Topology::hierarchical(
+            4,
+            4,
+            LinkSpec::new(100.0, 100.0),
+            LinkSpec::new(200.0, 50.0),
+            LinkSpec::new(1000.0, 10.0),
+        )
+    }
+
+    #[test]
+    fn group_extractors_split_the_fabric_legs() {
+        let t = hier_topo();
+        let intra = CostModel::intra_group(&t);
+        let inter = CostModel::inter_group(&t);
+        // Same-node route: rank → sw → rank, 2 intra links.
+        assert!((intra.alpha_ns - 200.0).abs() < 1e-9);
+        // Cross-node route: intra + nic + inter + inter + nic + intra.
+        assert!((inter.alpha_ns - 2600.0).abs() < 1e-9);
+        assert!(inter.beta_ns_per_byte > intra.beta_ns_per_byte);
+        // The worst cross pair is also the fabric-wide worst pair.
+        assert_eq!(inter, CostModel::from_topology(&t));
+        // Flat switch: one group, so nothing ever crosses.
+        let flat = Topology::flat_switch(8, LinkSpec::new(100.0, 100.0));
+        let none = CostModel::inter_group(&flat);
+        assert_eq!(none.alpha_ns, 0.0);
+        assert_eq!(none.beta_ns_per_byte, 0.0);
+        assert_eq!(CostModel::intra_group(&flat), CostModel::from_topology(&flat));
+    }
+
+    #[test]
+    fn aware_models_undercut_oblivious_on_hierarchical_fabrics() {
+        let t = hier_topo();
+        let oblivious = CostModel::from_topology(&t);
+        let intra = CostModel::intra_group(&t);
+        let inter = CostModel::inter_group(&t);
+        let n = 1u64 << 16;
+        let hier = CostModel::hierarchical_allreduce_ns(intra, inter, 4, 4, 4, 4, n);
+        let tree = oblivious.tree_allreduce_ns(16, 4, n);
+        assert!(hier < tree, "hierarchical {hier} vs oblivious tree {tree}");
+        let fabric = CostModel::fabric_ring_allreduce_ns(intra, inter, 16, 4, n);
+        let ring = oblivious.ring_allreduce_ns(16, n);
+        assert!(fabric < ring, "fabric ring {fabric} vs oblivious ring {ring}");
+    }
+
+    #[test]
+    fn double_binary_tree_halves_the_bandwidth_term() {
+        let m = model();
+        let dbt = m.double_binary_tree_allreduce_ns(16, 1 << 20);
+        let single = m.tree_allreduce_ns(16, 2, 1 << 20);
+        assert!(dbt < single, "{dbt} vs {single}");
+        // Latency-only payloads gain nothing: same depth, same α term.
+        let lat_only = CostModel { alpha_ns: 1000.0, beta_ns_per_byte: 0.0 };
+        assert_eq!(
+            lat_only.double_binary_tree_allreduce_ns(16, 1 << 20),
+            lat_only.tree_allreduce_ns(16, 2, 1 << 20)
+        );
+        assert_eq!(m.double_binary_tree_allreduce_ns(1, 1 << 20), 0.0);
     }
 
     #[test]

@@ -334,6 +334,15 @@ pub struct RunStats {
     pub max_wait_ns: f64,
     /// Foreground hops that found their link busy.
     pub contended_hops: u64,
+    /// Foreground traversals of cross-group links (switch↔switch /
+    /// switch↔NIC hops, [`Topology::is_cross_group_link`]) — the
+    /// NIC/spine crossings topology-aware placement minimises.
+    ///
+    /// [`Topology::is_cross_group_link`]: crate::Topology::is_cross_group_link
+    pub nic_hops: u64,
+    /// Foreground payload bytes carried over cross-group links (sum
+    /// over such hops).
+    pub nic_bytes: u64,
     /// Peak queue depth over every link (any traffic): most messages
     /// simultaneously queued on or serializing through one link.
     pub max_queue_depth: u32,
@@ -753,6 +762,7 @@ struct ObsState {
     peak: u64,
     route_lookups: u64,
     wire_bytes: u64,
+    nic_cross_bytes: u64,
     /// Wall-clock heap-pop latency histogram for this engine, merged
     /// into the global `net.heap_pop@load=…` phase per `run`.
     pop_stat: PhaseStat,
@@ -773,6 +783,7 @@ impl ObsState {
             peak: 0,
             route_lookups: 0,
             wire_bytes: 0,
+            nic_cross_bytes: 0,
             pop_stat: PhaseStat::default(),
         }
     }
@@ -1293,6 +1304,13 @@ impl<'t> NetSim<'t> {
             } else {
                 self.stats.hops_traversed += 1;
                 self.stats.wait_ns += wait;
+                if self.topo.is_cross_group_link(l) {
+                    self.stats.nic_hops += 1;
+                    self.stats.nic_bytes += m.bytes;
+                    if self.obs.counting {
+                        self.obs.nic_cross_bytes += m.bytes;
+                    }
+                }
                 if wait > 0.0 {
                     self.stats.contended_hops += 1;
                     if wait > self.stats.max_wait_ns {
@@ -1379,6 +1397,7 @@ impl<'t> NetSim<'t> {
             counters::record_heap_peak(std::mem::take(&mut self.obs.peak));
             counters::add(Counter::RouteLookup, std::mem::take(&mut self.obs.route_lookups));
             counters::add(Counter::WireBytes, std::mem::take(&mut self.obs.wire_bytes));
+            counters::add(Counter::NicCrossBytes, std::mem::take(&mut self.obs.nic_cross_bytes));
             let (rot_q, promo_q) = self.queue.take_cal_tallies();
             counters::add(Counter::BucketRotation, rot_q);
             counters::add(Counter::OverflowPromotion, promo_q);
@@ -1422,6 +1441,29 @@ mod tests {
         assert!((seen[0].time - 216.0).abs() < 1e-9);
         assert_eq!(stats.hops_traversed, 2);
         assert_eq!(stats.bytes_delivered, 8);
+    }
+
+    #[test]
+    fn nic_counters_tally_only_cross_group_foreground_hops() {
+        // Flat switch: no cross-group links at all.
+        let t = topo();
+        let mut sim = NetSim::new(&t, JitterModel::none());
+        sim.send_at(0.0, 0, 1, 64, 0);
+        let stats = sim.run(|_, _| {});
+        assert_eq!(stats.nic_hops, 0);
+        assert_eq!(stats.nic_bytes, 0);
+        // Hierarchical: a same-node message never crosses; a cross-node
+        // message crosses on its 4 middle (sw→nic→top→nic→sw) hops.
+        let h = Topology::hierarchical(2, 2, LinkSpec::new(100.0, 1.0), LinkSpec::new(100.0, 1.0), LinkSpec::new(100.0, 1.0));
+        let mut sim = NetSim::new(&h, JitterModel::none());
+        sim.send_at(0.0, 0, 1, 64, 0);
+        let intra = sim.run(|_, _| {});
+        assert_eq!(sim.take_stats(), intra);
+        assert_eq!(intra.nic_hops, 0);
+        sim.send_at(0.0, 0, 2, 64, 0);
+        let inter = sim.run(|_, _| {});
+        assert_eq!(inter.nic_hops, 4);
+        assert_eq!(inter.nic_bytes, 4 * 64);
     }
 
     #[test]

@@ -127,6 +127,18 @@ pub struct Topology {
     /// `(offset, len)` into `route_arena` per equal-cost route; slot 0
     /// of every group is the canonical BFS route.
     ecmp_slots: Vec<(u32, u32)>,
+    /// Fabric group of each rank (see [`Topology::group_of`]).
+    rank_group: Vec<u32>,
+    /// CSR offsets into `group_members`: group `g` owns
+    /// `group_members[group_offsets[g] .. group_offsets[g + 1]]`.
+    group_offsets: Vec<u32>,
+    /// Rank ids, ascending within each group; groups ordered by their
+    /// smallest member rank.
+    group_members: Vec<usize>,
+    /// Per **directed** link id: `true` when both endpoints are
+    /// forwarding hardware (switch↔switch, switch↔NIC) — the
+    /// NIC/spine crossings a topology-aware placement tries to avoid.
+    cross_group: Vec<bool>,
 }
 
 impl Topology {
@@ -143,6 +155,10 @@ impl Topology {
             ecmp_index: Vec::new(),
             ecmp_groups: Vec::new(),
             ecmp_slots: Vec::new(),
+            rank_group: Vec::new(),
+            group_offsets: Vec::new(),
+            group_members: Vec::new(),
+            cross_group: Vec::new(),
         }
     }
 
@@ -214,6 +230,64 @@ impl Topology {
             }
         }
         self.enumerate_equal_cost_routes();
+        self.classify_groups();
+    }
+
+    /// Classify links and group ranks by physical proximity. A
+    /// directed link is *cross-group* when both endpoints are
+    /// forwarding hardware (switch↔switch, switch↔NIC, NIC↔switch):
+    /// those are the NIC/spine crossings topology-aware placement
+    /// tries to keep traffic off. Two ranks share a *fabric group*
+    /// when they are connected by links that are **not** cross-group —
+    /// flat switch: one group; fat tree: one group per edge switch;
+    /// hierarchical: one group per compute node. Groups are numbered
+    /// by their smallest member rank.
+    fn classify_groups(&mut self) {
+        self.cross_group = (0..self.num_links)
+            .map(|id| {
+                let (a, b) = self.link_ends[id];
+                !matches!(self.nodes[a as usize], NodeKind::Rank(_))
+                    && !matches!(self.nodes[b as usize], NodeKind::Rank(_))
+            })
+            .collect();
+        // Flood-fill vertex components over non-cross links, then
+        // number the rank-bearing components by smallest member rank.
+        let mut comp = vec![u32::MAX; self.nodes.len()];
+        let mut next = 0u32;
+        for start in 0..self.nodes.len() {
+            if comp[start] != u32::MAX {
+                continue;
+            }
+            comp[start] = next;
+            next += 1;
+            let mut queue = std::collections::VecDeque::from([start]);
+            while let Some(v) = queue.pop_front() {
+                for &(w, _, id) in &self.adj[v] {
+                    if !self.cross_group[id as usize] && comp[w] == u32::MAX {
+                        comp[w] = comp[start];
+                        queue.push_back(w);
+                    }
+                }
+            }
+        }
+        let p = self.rank_vertex.len();
+        self.rank_group = vec![u32::MAX; p];
+        let mut group_of_comp = vec![u32::MAX; next as usize];
+        let mut groups: Vec<Vec<usize>> = Vec::new();
+        for r in 0..p {
+            let c = comp[self.rank_vertex[r]] as usize;
+            if group_of_comp[c] == u32::MAX {
+                group_of_comp[c] = groups.len() as u32;
+                groups.push(Vec::new());
+            }
+            self.rank_group[r] = group_of_comp[c];
+            groups[group_of_comp[c] as usize].push(r);
+        }
+        self.group_offsets = vec![0];
+        for members in &groups {
+            self.group_members.extend_from_slice(members);
+            self.group_offsets.push(self.group_members.len() as u32);
+        }
     }
 
     /// BFS hop distances from vertex `src` to every vertex.
@@ -402,9 +476,104 @@ impl Topology {
         t
     }
 
+    /// [`Topology::hierarchical`] with **cyclic** rank placement: rank
+    /// `r` lives on node `r % nodes` (the round-robin layout an MPI
+    /// scheduler produces under `--map-by node`), so consecutive rank
+    /// ids sit on *different* nodes. The fabric is identical to the
+    /// node-major builder; only the rank→node assignment changes —
+    /// which is exactly the situation where a topology-oblivious ring
+    /// crosses the NIC on every hop and
+    /// [`Topology::fabric_ring_order`] recovers the node-contiguous
+    /// order.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either dimension is zero.
+    pub fn hierarchical_cyclic(
+        nodes: usize,
+        ranks_per_node: usize,
+        intra: LinkSpec,
+        nic: LinkSpec,
+        inter: LinkSpec,
+    ) -> Self {
+        assert!(nodes > 0 && ranks_per_node > 0, "empty hierarchy");
+        let mut t = Topology::empty(format!(
+            "hierarchical-cyclic(nodes={nodes},rpn={ranks_per_node})"
+        ));
+        let top = t.add_node(NodeKind::Switch);
+        let mut node_sws = Vec::with_capacity(nodes);
+        for _ in 0..nodes {
+            let node_sw = t.add_node(NodeKind::Switch);
+            let node_nic = t.add_node(NodeKind::Nic);
+            t.link(node_sw, node_nic, nic);
+            t.link(node_nic, top, inter);
+            node_sws.push(node_sw);
+        }
+        for r in 0..nodes * ranks_per_node {
+            let v = t.add_node(NodeKind::Rank(r));
+            t.link(v, node_sws[r % nodes], intra);
+        }
+        t.finalize();
+        t
+    }
+
     /// Human-readable topology name (embeds the key parameters).
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// Number of fabric groups — sets of ranks that reach each other
+    /// without traversing a cross-group (switch/NIC-to-switch/NIC)
+    /// link. Flat switch: 1; fat tree: one per edge switch;
+    /// hierarchical: one per compute node.
+    pub fn num_groups(&self) -> usize {
+        self.group_offsets.len() - 1
+    }
+
+    /// Fabric group of `rank`. Groups are numbered by smallest member
+    /// rank, densely in `0..num_groups()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `rank` is out of range.
+    pub fn group_of(&self, rank: usize) -> usize {
+        self.rank_group[rank] as usize
+    }
+
+    /// The ranks of fabric group `g`, ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `g >= num_groups()`.
+    pub fn group_ranks(&self, g: usize) -> &[usize] {
+        &self.group_members[self.group_offsets[g] as usize..self.group_offsets[g + 1] as usize]
+    }
+
+    /// Whether the directed link is a cross-group crossing: both
+    /// endpoints are forwarding hardware (switch/NIC), so any message
+    /// on it is leaving one fabric group for another. The engine
+    /// tallies foreground traffic over these links as
+    /// `nic_hops`/`nic_bytes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `link_id >= num_links()`.
+    #[inline]
+    pub fn is_cross_group_link(&self, link_id: usize) -> bool {
+        self.cross_group[link_id]
+    }
+
+    /// Ring order that walks the physical fabric: ranks enumerated
+    /// group by group (groups in smallest-rank order, members
+    /// ascending), so consecutive ring neighbours share a fabric group
+    /// everywhere except the `num_groups()` unavoidable group-to-group
+    /// seams. On the node-major builders (`flat_switch`, `fat_tree*`,
+    /// `hierarchical`) this is the identity permutation — rank ids are
+    /// already fabric-contiguous; under cyclic placement
+    /// ([`Topology::hierarchical_cyclic`]) it recovers the
+    /// node-contiguous order a topology-oblivious ring loses.
+    pub fn fabric_ring_order(&self) -> Vec<usize> {
+        self.group_members.clone()
     }
 
     /// Number of rank endpoints.
@@ -847,6 +1016,103 @@ mod tests {
     fn route_hops_nth_rejects_out_of_range_slot() {
         let t = Topology::fat_tree_spines(8, 4, 2, link(), link());
         t.route_hops_nth(0, 4, 2);
+    }
+
+    #[test]
+    fn fabric_groups_follow_the_physical_layout() {
+        let flat = Topology::flat_switch(6, link());
+        assert_eq!(flat.num_groups(), 1);
+        assert_eq!(flat.group_ranks(0), &[0, 1, 2, 3, 4, 5]);
+
+        let ft = Topology::fat_tree(16, 4, link(), link());
+        assert_eq!(ft.num_groups(), 4);
+        for r in 0..16 {
+            assert_eq!(ft.group_of(r), r / 4);
+        }
+        assert_eq!(ft.group_ranks(2), &[8, 9, 10, 11]);
+
+        let h = Topology::hierarchical(4, 4, link(), link(), link());
+        assert_eq!(h.num_groups(), 4);
+        for r in 0..16 {
+            assert_eq!(h.group_of(r), r / 4);
+        }
+
+        let hc = Topology::hierarchical_cyclic(4, 4, link(), link(), link());
+        assert_eq!(hc.num_groups(), 4);
+        for r in 0..16 {
+            assert_eq!(hc.group_of(r), r % 4, "cyclic placement: rank {r}");
+        }
+        assert_eq!(hc.group_ranks(1), &[1, 5, 9, 13]);
+    }
+
+    #[test]
+    fn cross_group_links_are_exactly_the_switch_to_switch_hops() {
+        // Flat switch: every link touches a rank — nothing crosses.
+        let flat = Topology::flat_switch(6, link());
+        assert!((0..flat.num_links()).all(|l| !flat.is_cross_group_link(l)));
+        // Hierarchical: a same-node route never crosses; a cross-node
+        // route crosses on exactly the sw→nic→top→nic→sw middle hops.
+        let h = Topology::hierarchical(2, 4, link(), link(), link());
+        for h_hop in h.route_hops(0, 3) {
+            assert!(!h.is_cross_group_link(h_hop.link_id as usize));
+        }
+        let cross = h.route_hops(0, 4);
+        let crossing: Vec<bool> = cross
+            .iter()
+            .map(|hop| h.is_cross_group_link(hop.link_id as usize))
+            .collect();
+        assert_eq!(crossing, [false, true, true, true, true, false]);
+        // Fat tree: only the edge↔core uplinks cross.
+        let ft = Topology::fat_tree(8, 4, link(), link());
+        let crossing: Vec<bool> = ft
+            .route_hops(0, 5)
+            .iter()
+            .map(|hop| ft.is_cross_group_link(hop.link_id as usize))
+            .collect();
+        assert_eq!(crossing, [false, true, true, false]);
+    }
+
+    #[test]
+    fn fabric_ring_order_is_identity_on_node_major_builders() {
+        for t in [
+            Topology::flat_switch(7, link()),
+            Topology::fat_tree_spines(16, 4, 3, link(), link()),
+            Topology::hierarchical(4, 4, link(), link(), link()),
+        ] {
+            let order = t.fabric_ring_order();
+            assert_eq!(order, (0..t.ranks()).collect::<Vec<_>>(), "{}", t.name());
+        }
+    }
+
+    #[test]
+    fn fabric_ring_order_recovers_node_contiguity_under_cyclic_placement() {
+        let t = Topology::hierarchical_cyclic(4, 4, link(), link(), link());
+        let order = t.fabric_ring_order();
+        assert_eq!(order, vec![0, 4, 8, 12, 1, 5, 9, 13, 2, 6, 10, 14, 3, 7, 11, 15]);
+        // Around the aware ring, the group changes exactly num_groups
+        // times; the oblivious (identity) ring changes on every hop.
+        let seams = |order: &[usize]| {
+            (0..order.len())
+                .filter(|&i| t.group_of(order[i]) != t.group_of(order[(i + 1) % order.len()]))
+                .count()
+        };
+        assert_eq!(seams(&order), t.num_groups());
+        let identity: Vec<usize> = (0..t.ranks()).collect();
+        assert_eq!(seams(&identity), t.ranks());
+    }
+
+    #[test]
+    fn cyclic_placement_only_relabels_ranks() {
+        // Same fabric, same link count, same diameter as the
+        // node-major builder — only the rank→node map differs.
+        let a = Topology::hierarchical(3, 4, link(), link(), link());
+        let b = Topology::hierarchical_cyclic(3, 4, link(), link(), link());
+        assert_eq!(a.vertices(), b.vertices());
+        assert_eq!(a.num_links(), b.num_links());
+        assert_eq!(a.diameter_hops(), b.diameter_hops());
+        assert_eq!(a.num_groups(), b.num_groups());
+        // Cross-node pairs cost the same either way (uniform specs).
+        assert_eq!(a.route_hops(0, 4).len(), b.route_hops(0, 1).len());
     }
 
     #[test]

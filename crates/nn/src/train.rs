@@ -154,34 +154,43 @@ pub struct MatrixRow {
     pub vc: RunSummary,
 }
 
-/// The Table 7 experiment: predictions of `models` independently
-/// produced pipelines per condition, compared against the
-/// deterministic-train + deterministic-inference reference. Pipelines
-/// within a condition fan out through `executor` (each is seeded from
-/// `(seed, condition, model_index)`); the rows are bitwise identical
-/// at any thread count.
-pub fn train_inference_matrix(
+/// The four D/ND training × inference conditions of Table 7, in the
+/// paper's row order.
+pub const MATRIX_CONDITIONS: [(Mode, Mode); 4] = [
+    (Mode::D, Mode::D),
+    (Mode::D, Mode::Nd),
+    (Mode::Nd, Mode::D),
+    (Mode::Nd, Mode::Nd),
+];
+
+/// The shardable core of [`train_inference_matrix`]: per-model
+/// prediction comparisons against the D/D reference, computed for the
+/// global model indices in `range` only. Every comparison is a pure
+/// function of `(seed, condition, model_index)` — the D/D reference is
+/// recomputed per process (one deterministic training run, cheap next
+/// to the sweep) and run seeds are keyed by the *global* index — so
+/// any partition of `0..models` concatenates back to the full matrix
+/// bit for bit. Returns one `Vec<ArrayComparison>` per condition of
+/// [`MATRIX_CONDITIONS`], in `range` index order.
+pub fn train_inference_comparisons(
     ds: &NodeClassification,
     cfg: &TrainConfig,
     gpu: GpuModel,
     models: usize,
     seed: u64,
+    range: std::ops::Range<usize>,
     executor: &RunExecutor,
-) -> Result<Vec<MatrixRow>> {
+) -> Result<[Vec<ArrayComparison>; 4]> {
+    assert!(range.end <= models, "model range {range:?} exceeds --models {models}");
     let det_ctx = GpuContext::new(gpu, seed).with_determinism(Some(true));
     let (ref_model, _) = crate::model::train_model(ds, cfg, &det_ctx)?;
     let reference = ref_model.predict(&det_ctx, ds)?.into_data();
 
-    let conditions = [
-        (Mode::D, Mode::D),
-        (Mode::D, Mode::Nd),
-        (Mode::Nd, Mode::D),
-        (Mode::Nd, Mode::Nd),
-    ];
-    let mut rows = Vec::with_capacity(4);
-    for (cond_idx, &(train, infer)) in conditions.iter().enumerate() {
+    let mut out: [Vec<ArrayComparison>; 4] = Default::default();
+    for (cond_idx, &(train, infer)) in MATRIX_CONDITIONS.iter().enumerate() {
         let comparisons: Result<Vec<ArrayComparison>> = executor
-            .map_runs(models, |m| -> Result<ArrayComparison> {
+            .map_runs(range.len(), |i| -> Result<ArrayComparison> {
+                let m = range.start + i;
                 let run_seed =
                     fpna_core::rng::derive_seed(seed, (cond_idx * models + m + 1) as u64);
                 let train_ctx =
@@ -199,7 +208,29 @@ pub fn train_inference_matrix(
             })
             .into_iter()
             .collect();
-        let comparisons = comparisons?;
+        out[cond_idx] = comparisons?;
+    }
+    Ok(out)
+}
+
+/// The Table 7 experiment: predictions of `models` independently
+/// produced pipelines per condition, compared against the
+/// deterministic-train + deterministic-inference reference. Pipelines
+/// within a condition fan out through `executor` (each is seeded from
+/// `(seed, condition, model_index)`); the rows are bitwise identical
+/// at any thread count.
+pub fn train_inference_matrix(
+    ds: &NodeClassification,
+    cfg: &TrainConfig,
+    gpu: GpuModel,
+    models: usize,
+    seed: u64,
+    executor: &RunExecutor,
+) -> Result<Vec<MatrixRow>> {
+    let per_condition =
+        train_inference_comparisons(ds, cfg, gpu, models, seed, 0..models, executor)?;
+    let mut rows = Vec::with_capacity(4);
+    for (&(train, infer), comparisons) in MATRIX_CONDITIONS.iter().zip(&per_condition) {
         let vermv: Vec<f64> = comparisons.iter().map(|c| c.vermv).collect();
         let vc: Vec<f64> = comparisons.iter().map(|c| c.vc).collect();
         rows.push(MatrixRow {

@@ -51,9 +51,13 @@ pub enum Counter {
     /// that rode a shared wire message instead of paying their own
     /// per-message overhead.
     CoalescedBytesSaved,
+    /// Foreground payload bytes carried over cross-group fabric links
+    /// (switch↔switch / switch↔NIC hops) — the NIC/spine crossings
+    /// topology-aware placement exists to minimise.
+    NicCrossBytes,
 }
 
-const N_COUNTERS: usize = 12;
+const N_COUNTERS: usize = 13;
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
 static COUNTS: [AtomicU64; N_COUNTERS] = [const { AtomicU64::new(0) }; N_COUNTERS];
@@ -111,6 +115,7 @@ pub struct Snapshot {
     pub overflow_promotions: u64,
     pub coalesced_msgs: u64,
     pub coalesced_bytes_saved: u64,
+    pub nic_cross_bytes: u64,
 }
 
 impl Snapshot {
@@ -142,6 +147,7 @@ pub fn snapshot() -> Snapshot {
         overflow_promotions: get(Counter::OverflowPromotion),
         coalesced_msgs: get(Counter::CoalescedMsgs),
         coalesced_bytes_saved: get(Counter::CoalescedBytesSaved),
+        nic_cross_bytes: get(Counter::NicCrossBytes),
     }
 }
 

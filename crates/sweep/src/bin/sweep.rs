@@ -15,8 +15,24 @@
 //! `--manifest PATH` writes the `(shard_id, base_seed, run_range)`
 //! manifest JSON (or prints it for `-`) instead of running — the
 //! hand-off format for splitting one sweep across machines.
+//!
+//! Store hygiene (no `--bin` needed):
+//!
+//! ```text
+//! sweep --list [--store DIR]
+//! sweep --gc [--max-age AGE] [--max-bytes SIZE] [--store DIR]
+//! ```
+//!
+//! `--list` prints one line per stored sweep (spec hash, experiment,
+//! runs, shard files, completeness, cached report, size, age).
+//! `--gc` removes entries older than `--max-age` (suffixes `s`/`m`/
+//! `h`/`d`, default seconds), then — if the store still exceeds
+//! `--max-bytes` (suffixes `k`/`m`/`g`) — evicts incomplete entries
+//! oldest-first, then complete ones. A spec-complete shard set newer
+//! than the age cutoff is only ever removed by the byte budget.
 
 use std::process::exit;
+use std::time::{Duration, SystemTime};
 
 use fpna_sweep::coordinator::Coordinator;
 use fpna_sweep::store::SweepStore;
@@ -24,9 +40,139 @@ use fpna_sweep::store::SweepStore;
 fn usage() -> ! {
     eprintln!(
         "usage: sweep --bin <experiment> [--shards N] [--jobs J] [--store DIR] \
-         [--bin-dir DIR] [--refresh] [--no-cache] [--manifest PATH] -- <experiment args...>"
+         [--bin-dir DIR] [--refresh] [--no-cache] [--manifest PATH] -- <experiment args...>\n\
+         \x20      sweep --list [--store DIR]\n\
+         \x20      sweep --gc [--max-age AGE] [--max-bytes SIZE] [--store DIR]"
     );
     exit(2)
+}
+
+/// Parse a duration: plain seconds, or a number with an `s`/`m`/`h`/`d`
+/// suffix.
+fn parse_age(s: &str) -> Result<Duration, String> {
+    let (num, scale) = match s.char_indices().last() {
+        Some((i, c)) if c.is_ascii_alphabetic() => {
+            let scale = match c.to_ascii_lowercase() {
+                's' => 1u64,
+                'm' => 60,
+                'h' => 3600,
+                'd' => 86_400,
+                other => return Err(format!("unknown age suffix {other:?}")),
+            };
+            (&s[..i], scale)
+        }
+        _ => (s, 1),
+    };
+    num.parse::<u64>()
+        .map(|n| Duration::from_secs(n * scale))
+        .map_err(|e| format!("bad age {s:?}: {e}"))
+}
+
+/// Parse a size: plain bytes, or a number with a `k`/`m`/`g` suffix.
+fn parse_size(s: &str) -> Result<u64, String> {
+    let (num, scale) = match s.char_indices().last() {
+        Some((i, c)) if c.is_ascii_alphabetic() => {
+            let scale = match c.to_ascii_lowercase() {
+                'k' => 1u64 << 10,
+                'm' => 1 << 20,
+                'g' => 1 << 30,
+                other => return Err(format!("unknown size suffix {other:?}")),
+            };
+            (&s[..i], scale)
+        }
+        _ => (s, 1),
+    };
+    num.parse::<u64>()
+        .map(|n| n * scale)
+        .map_err(|e| format!("bad size {s:?}: {e}"))
+}
+
+fn human_bytes(b: u64) -> String {
+    if b >= 1 << 20 {
+        format!("{:.1} MiB", b as f64 / (1 << 20) as f64)
+    } else if b >= 1 << 10 {
+        format!("{:.1} KiB", b as f64 / (1 << 10) as f64)
+    } else {
+        format!("{b} B")
+    }
+}
+
+fn human_age(newest: SystemTime, now: SystemTime) -> String {
+    let secs = now.duration_since(newest).map(|d| d.as_secs()).unwrap_or(0);
+    if secs >= 86_400 {
+        format!("{}d", secs / 86_400)
+    } else if secs >= 3600 {
+        format!("{}h", secs / 3600)
+    } else if secs >= 60 {
+        format!("{}m", secs / 60)
+    } else {
+        format!("{secs}s")
+    }
+}
+
+fn list_store(store: &SweepStore) -> i32 {
+    let entries = match store.list_entries() {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("error: cannot scan {}: {e}", store.root().display());
+            return 1;
+        }
+    };
+    if entries.is_empty() {
+        println!("store {} is empty", store.root().display());
+        return 0;
+    }
+    let now = SystemTime::now();
+    println!(
+        "{:<16}  {:<12} {:>6} {:>6}  {:<10} {:>9} {:>5}  report",
+        "spec", "experiment", "runs", "shards", "state", "size", "age"
+    );
+    for e in &entries {
+        let (exp, runs) = match &e.spec {
+            Some(s) => (s.experiment.clone(), s.runs.to_string()),
+            None => ("?".into(), "?".into()),
+        };
+        println!(
+            "{:<16}  {:<12} {:>6} {:>6}  {:<10} {:>9} {:>5}  {}",
+            e.hash,
+            exp,
+            runs,
+            e.shard_count,
+            if e.complete { "complete" } else { "incomplete" },
+            human_bytes(e.total_bytes),
+            human_age(e.newest_mtime, now),
+            if e.has_report { "yes" } else { "no" }
+        );
+    }
+    let total: u64 = entries.iter().map(|e| e.total_bytes).sum();
+    println!("{} entries, {}", entries.len(), human_bytes(total));
+    0
+}
+
+fn gc_store(store: &SweepStore, max_age: Option<Duration>, max_bytes: Option<u64>) -> i32 {
+    if max_age.is_none() && max_bytes.is_none() {
+        eprintln!("error: --gc needs --max-age and/or --max-bytes");
+        return 2;
+    }
+    match store.gc(max_age, max_bytes, SystemTime::now()) {
+        Ok(out) => {
+            for hash in &out.removed {
+                eprintln!("removed {hash}");
+            }
+            println!(
+                "gc: removed {} entries ({}), kept {} ({})",
+                out.removed.len(),
+                human_bytes(out.freed_bytes),
+                out.kept,
+                human_bytes(out.kept_bytes)
+            );
+            0
+        }
+        Err(e) => {
+            eprintln!("error: gc failed: {e}");
+            1
+        }
+    }
 }
 
 fn main() {
@@ -44,6 +190,10 @@ fn main() {
     let mut refresh = false;
     let mut no_cache = false;
     let mut manifest: Option<String> = None;
+    let mut list = false;
+    let mut gc = false;
+    let mut max_age: Option<Duration> = None;
+    let mut max_bytes: Option<u64> = None;
 
     let mut it = own.iter();
     while let Some(flag) = it.next() {
@@ -72,12 +222,43 @@ fn main() {
             "--refresh" => refresh = true,
             "--no-cache" => no_cache = true,
             "--manifest" => manifest = Some(value()),
+            "--list" => list = true,
+            "--gc" => gc = true,
+            "--max-age" => {
+                max_age = Some(parse_age(&value()).unwrap_or_else(|e| {
+                    eprintln!("error: --max-age: {e}");
+                    usage()
+                }))
+            }
+            "--max-bytes" => {
+                max_bytes = Some(parse_size(&value()).unwrap_or_else(|e| {
+                    eprintln!("error: --max-bytes: {e}");
+                    usage()
+                }))
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("error: unknown flag {other} (experiment args go after --)");
                 usage()
             }
         }
+    }
+    if list || gc {
+        if bin.is_some() {
+            eprintln!("error: --list/--gc do not take --bin");
+            usage()
+        }
+        let store = store.map(SweepStore::new).unwrap_or_else(SweepStore::default_root);
+        let code = if list {
+            list_store(&store)
+        } else {
+            gc_store(&store, max_age, max_bytes)
+        };
+        exit(code)
+    }
+    if max_age.is_some() || max_bytes.is_some() {
+        eprintln!("error: --max-age/--max-bytes only apply to --gc");
+        usage()
     }
     let Some(bin) = bin else {
         eprintln!("error: --bin is required");

@@ -47,4 +47,4 @@ pub use mode::SweepMode;
 pub use rows::{ExactStats, SweepRows};
 pub use service::{ShardHandle, SweepService};
 pub use spec::{shard_assignments, ShardAssignment, SweepSpec};
-pub use store::SweepStore;
+pub use store::{GcOutcome, StoreEntry, SweepStore};

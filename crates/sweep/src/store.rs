@@ -22,6 +22,7 @@
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::time::{Duration, SystemTime};
 
 use fpna_summation::ExactAccumulator;
 
@@ -250,6 +251,195 @@ impl SweepStore {
                 fs::remove_file(entry.path())?;
             }
         }
+        Ok(())
+    }
+}
+
+/// One sweep's entry in the store, as surfaced by
+/// [`SweepStore::list_entries`] (and consumed by `sweep --list` /
+/// `sweep --gc`).
+#[derive(Debug, Clone)]
+pub struct StoreEntry {
+    /// Directory name under the root — the spec's content hash.
+    pub hash: String,
+    /// The spec, decoded from the first readable shard file. `None`
+    /// when the entry holds no decodable shard (e.g. report-only or
+    /// corrupt).
+    pub spec: Option<SweepSpec>,
+    /// Decodable shard files present.
+    pub shard_count: usize,
+    /// Total bytes of every file in the entry's directory.
+    pub total_bytes: u64,
+    /// Newest modification time over the entry's files (directory
+    /// mtime when empty).
+    pub newest_mtime: SystemTime,
+    /// `true` when the decodable shards' non-empty run ranges exactly
+    /// tile `0..spec.runs` for a consistent spec hash — i.e. the entry
+    /// merges cleanly and re-running this sweep costs nothing.
+    pub complete: bool,
+    /// `true` when a cached merged report is present.
+    pub has_report: bool,
+}
+
+/// What one [`SweepStore::gc`] pass removed and kept.
+#[derive(Debug, Clone, Default)]
+pub struct GcOutcome {
+    /// Hashes of the entries deleted, in deletion order.
+    pub removed: Vec<String>,
+    /// Bytes freed by those deletions.
+    pub freed_bytes: u64,
+    /// Entries (and bytes) surviving the pass.
+    pub kept: usize,
+    /// Total bytes still stored after the pass.
+    pub kept_bytes: u64,
+}
+
+impl SweepStore {
+    /// Scan the store and describe every sweep entry, newest first.
+    /// A missing root is an empty store, not an error; non-directory
+    /// clutter under the root is ignored.
+    pub fn list_entries(&self) -> io::Result<Vec<StoreEntry>> {
+        let entries = match fs::read_dir(&self.root) {
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+            other => other?,
+        };
+        let mut out = Vec::new();
+        for entry in entries {
+            let entry = entry?;
+            if !entry.file_type()?.is_dir() {
+                continue;
+            }
+            let hash = entry.file_name().to_string_lossy().into_owned();
+            out.push(self.scan_entry(&entry.path(), hash)?);
+        }
+        out.sort_by(|a, b| b.newest_mtime.cmp(&a.newest_mtime).then(a.hash.cmp(&b.hash)));
+        Ok(out)
+    }
+
+    fn scan_entry(&self, dir: &Path, hash: String) -> io::Result<StoreEntry> {
+        let mut total_bytes = 0u64;
+        let mut newest_mtime = fs::metadata(dir)?.modified()?;
+        let mut has_report = false;
+        let mut spec: Option<SweepSpec> = None;
+        let mut ranges: Vec<std::ops::Range<usize>> = Vec::new();
+        let mut shard_count = 0usize;
+        let mut all_match = true;
+        for file in fs::read_dir(dir)? {
+            let file = file?;
+            let meta = file.metadata()?;
+            if !meta.is_file() {
+                continue;
+            }
+            total_bytes += meta.len();
+            if let Ok(mtime) = meta.modified() {
+                newest_mtime = newest_mtime.max(mtime);
+            }
+            let name = file.file_name();
+            let name = name.to_string_lossy();
+            if name == "report.txt" {
+                has_report = true;
+            } else if name.starts_with("shard-") && name.ends_with(".json") {
+                match fs::read_to_string(file.path())
+                    .ok()
+                    .and_then(|text| decode_shard(&text).ok())
+                {
+                    Some(shard) => {
+                        shard_count += 1;
+                        all_match &= shard.spec_hash == hash;
+                        if !shard.run_range.is_empty() {
+                            ranges.push(shard.run_range.clone());
+                        }
+                        spec.get_or_insert(shard.spec);
+                    }
+                    None => all_match = false,
+                }
+            }
+        }
+        ranges.sort_by_key(|r| r.start);
+        let complete = all_match
+            && spec.as_ref().is_some_and(|s| {
+                let mut covered = 0usize;
+                for r in &ranges {
+                    if r.start != covered {
+                        return false;
+                    }
+                    covered = r.end;
+                }
+                covered == s.runs
+            });
+        Ok(StoreEntry {
+            hash,
+            spec,
+            shard_count,
+            total_bytes,
+            newest_mtime,
+            complete,
+            has_report,
+        })
+    }
+
+    /// Garbage-collect the store at time `now`:
+    ///
+    /// 1. every entry whose newest file is older than `max_age` is
+    ///    removed — age is the explicit eviction cutoff;
+    /// 2. if the survivors still exceed `max_bytes`, **incomplete**
+    ///    entries go first (oldest first — they cannot merge anyway),
+    ///    then complete entries oldest-first until under budget.
+    ///
+    /// A spec-complete entry newer than the age cutoff is therefore
+    /// never removed unless the byte budget cannot be met without it,
+    /// and with no `max_bytes` it is never removed at all.
+    pub fn gc(
+        &self,
+        max_age: Option<Duration>,
+        max_bytes: Option<u64>,
+        now: SystemTime,
+    ) -> io::Result<GcOutcome> {
+        let entries = self.list_entries()?;
+        let mut outcome = GcOutcome::default();
+        let expired = |e: &StoreEntry| {
+            max_age.is_some_and(|limit| {
+                now.duration_since(e.newest_mtime)
+                    .map(|age| age > limit)
+                    .unwrap_or(false)
+            })
+        };
+        let mut survivors: Vec<&StoreEntry> = Vec::new();
+        for e in &entries {
+            if expired(e) {
+                self.remove_entry(e, &mut outcome)?;
+            } else {
+                survivors.push(e);
+            }
+        }
+        if let Some(budget) = max_bytes {
+            let mut used: u64 = survivors.iter().map(|e| e.total_bytes).sum();
+            // Incomplete entries first, then complete; oldest first
+            // within each class.
+            survivors.sort_by(|a, b| {
+                a.complete
+                    .cmp(&b.complete)
+                    .then(a.newest_mtime.cmp(&b.newest_mtime))
+            });
+            for e in survivors {
+                if used <= budget {
+                    break;
+                }
+                used -= e.total_bytes;
+                self.remove_entry(e, &mut outcome)?;
+            }
+        }
+        for e in self.list_entries()? {
+            outcome.kept += 1;
+            outcome.kept_bytes += e.total_bytes;
+        }
+        Ok(outcome)
+    }
+
+    fn remove_entry(&self, e: &StoreEntry, outcome: &mut GcOutcome) -> io::Result<()> {
+        fs::remove_dir_all(self.root.join(&e.hash))?;
+        outcome.removed.push(e.hash.clone());
+        outcome.freed_bytes += e.total_bytes;
         Ok(())
     }
 }
@@ -539,6 +729,80 @@ mod tests {
         assert!(store.read_valid_shard(&s, 0, 0..10).is_none());
         let err = store.load_merged(&s).unwrap_err();
         assert!(err.contains("corrupt") || err.contains("stats"), "{err}");
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn list_describes_completeness_and_reports() {
+        let store = temp_store("list");
+        let done = spec();
+        store.write_shard(&done, 0, 0..5, &rows_for(0..5)).unwrap();
+        store.write_shard(&done, 1, 5..10, &rows_for(5..10)).unwrap();
+        store.write_report(&done, b"cached\n").unwrap();
+        let part = SweepSpec::new("selftest", 10).arg("seed", 8);
+        store.write_shard(&part, 0, 0..5, &rows_for(0..5)).unwrap();
+
+        let entries = store.list_entries().unwrap();
+        assert_eq!(entries.len(), 2);
+        let by_hash = |h: &str| entries.iter().find(|e| e.hash == h).unwrap();
+        let d = by_hash(&done.hash_hex());
+        assert!(d.complete && d.has_report && d.shard_count == 2);
+        assert_eq!(d.spec.as_ref().unwrap(), &done);
+        assert!(d.total_bytes > 0);
+        let p = by_hash(&part.hash_hex());
+        assert!(!p.complete && !p.has_report && p.shard_count == 1);
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn gc_never_deletes_a_complete_set_newer_than_the_cutoff() {
+        let store = temp_store("gc-age");
+        let s = spec();
+        store.write_shard(&s, 0, 0..5, &rows_for(0..5)).unwrap();
+        store.write_shard(&s, 1, 5..10, &rows_for(5..10)).unwrap();
+        let written = SystemTime::now();
+
+        // Young relative to the cutoff: spared, with or without a byte
+        // budget generous enough to hold it.
+        let hour = Duration::from_secs(3600);
+        for max_bytes in [None, Some(u64::MAX)] {
+            let out = store.gc(Some(hour), max_bytes, written + Duration::from_secs(60)).unwrap();
+            assert!(out.removed.is_empty(), "young complete set must survive: {out:?}");
+            assert_eq!(out.kept, 1);
+            assert!(store.load_merged(&s).is_ok(), "survivor still merges");
+        }
+        // Past the cutoff: collected.
+        let out = store.gc(Some(hour), None, written + 2 * hour).unwrap();
+        assert_eq!(out.removed, vec![s.hash_hex()]);
+        assert_eq!(out.kept, 0);
+        assert!(store.list_entries().unwrap().is_empty());
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn gc_byte_budget_evicts_incomplete_entries_first() {
+        let store = temp_store("gc-bytes");
+        let done = spec();
+        store.write_shard(&done, 0, 0..10, &rows_for(0..10)).unwrap();
+        let part = SweepSpec::new("selftest", 10).arg("seed", 8);
+        store.write_shard(&part, 0, 0..5, &rows_for(0..5)).unwrap();
+        let entries = store.list_entries().unwrap();
+        let complete_bytes = entries
+            .iter()
+            .find(|e| e.complete)
+            .map(|e| e.total_bytes)
+            .unwrap();
+
+        // Budget with room for exactly the complete set: the
+        // incomplete entry goes first even though both are young.
+        let out = store.gc(None, Some(complete_bytes), SystemTime::now()).unwrap();
+        assert_eq!(out.removed, vec![part.hash_hex()]);
+        assert_eq!(out.kept, 1);
+        assert!(store.load_merged(&done).is_ok());
+        // A zero budget is the only thing that takes the complete set.
+        let out = store.gc(None, Some(0), SystemTime::now()).unwrap();
+        assert_eq!(out.removed, vec![done.hash_hex()]);
+        assert_eq!(out.kept_bytes, 0);
         let _ = fs::remove_dir_all(store.root());
     }
 
